@@ -1,0 +1,167 @@
+// Package kascade_test holds the top-level benchmark harness: one benchmark
+// per table/figure of the paper (regenerating it on the simulator and
+// reporting the headline throughput), the design-choice ablations, and
+// microbenchmarks of the real protocol engine over the in-memory fabric and
+// loopback TCP.
+//
+// Figure benchmarks run the experiment at a reduced file-size scale so each
+// iteration stays in benchmark territory; `cmd/kascade-bench -scale 1`
+// regenerates the full-size tables.
+package kascade_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"kascade/internal/core"
+	"kascade/internal/experiments"
+	"kascade/internal/iolimit"
+	"kascade/internal/stats"
+	"kascade/internal/transport"
+)
+
+// benchFigure runs one experiment per iteration and reports the mean of the
+// named column at the last x-axis point.
+func benchFigure(b *testing.B, id, column string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Config{Reps: 1, Seed: 7, Scale: 0.05}
+	if id == "fig15" || id == "abl-timeout" {
+		cfg.Scale = 0.6 // late sequential failures must land mid-transfer
+	}
+	var tab *stats.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab = e.Run(cfg)
+	}
+	b.StopTimer()
+	ci := 0
+	for i, c := range tab.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(last.Cells[ci].Mean, "MB/s")
+}
+
+func BenchmarkFigure07_Scalability1GbE(b *testing.B) { benchFigure(b, "fig7", "Kascade") }
+func BenchmarkFigure08_TenGbE(b *testing.B)          { benchFigure(b, "fig8", "Kascade") }
+func BenchmarkFigure09_InfiniBand(b *testing.B)      { benchFigure(b, "fig9", "Kascade") }
+func BenchmarkFigure10_RandomOrder(b *testing.B)     { benchFigure(b, "fig10", "Kascade") }
+func BenchmarkFigure11_DiskBound(b *testing.B)       { benchFigure(b, "fig11", "Kascade") }
+func BenchmarkFigure13_MultiSiteWAN(b *testing.B)    { benchFigure(b, "fig13", "Kascade") }
+func BenchmarkFigure14_SmallFile(b *testing.B)       { benchFigure(b, "fig14", "Kascade") }
+func BenchmarkFigure15_FaultTolerance(b *testing.B)  { benchFigure(b, "fig15", "Kascade") }
+func BenchmarkAblationTimeout(b *testing.B)          { benchFigure(b, "abl-timeout", "Kascade") }
+func BenchmarkAblationWindow(b *testing.B)           { benchFigure(b, "abl-window", "Kascade") }
+func BenchmarkAblationArity(b *testing.B)            { benchFigure(b, "abl-arity", "TakTuk") }
+func BenchmarkAblationStartupWindow(b *testing.B)    { benchFigure(b, "abl-startup", "Kascade") }
+func BenchmarkAblationPipelineDepth(b *testing.B)    { benchFigure(b, "abl-depth", "Kascade") }
+
+// engineOpts are protocol options sized for fast in-memory benchmarking.
+func engineOpts(chunk int) core.Options {
+	return core.Options{
+		ChunkSize:    chunk,
+		WindowChunks: 32,
+	}
+}
+
+// runEngineBroadcast pushes size bytes through a real n-node pipeline over
+// the in-memory fabric and returns the byte count for throughput reporting.
+func runEngineBroadcast(b *testing.B, n int, size int64, chunk int) {
+	b.Helper()
+	fabric := transport.NewFabric(1 << 20)
+	peers := make([]core.Peer, n)
+	for i := range peers {
+		peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
+	}
+	payload := make([]byte, size)
+	iolimit.NewPattern(size, 99).Read(payload)
+	cfg := core.SessionConfig{
+		Peers:      peers,
+		Opts:       engineOpts(chunk),
+		NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
+		SinkFor:    func(int) io.Writer { return io.Discard },
+		InputFile:  newByteReaderAt(payload),
+		InputSize:  size,
+	}
+	res, err := core.RunSession(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Report.Failures) != 0 {
+		b.Fatalf("failures during benchmark: %v", res.Report)
+	}
+}
+
+type byteReaderAt struct{ p []byte }
+
+func newByteReaderAt(p []byte) *byteReaderAt { return &byteReaderAt{p} }
+
+func (r *byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r.p)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.p[off:])
+	return n, nil
+}
+
+// BenchmarkEnginePipeline measures the real protocol engine end to end over
+// the in-memory fabric at several pipeline lengths.
+func BenchmarkEnginePipeline(b *testing.B) {
+	const size = 16 << 20
+	for _, nodes := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				runEngineBroadcast(b, nodes, size, 256<<10)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineChunkSize sweeps the protocol chunk size (the §III-C
+// design knob) on a fixed 5-node pipeline.
+func BenchmarkEngineChunkSize(b *testing.B) {
+	const size = 16 << 20
+	for _, chunk := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		b.Run(fmt.Sprintf("chunk=%dKiB", chunk>>10), func(b *testing.B) {
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				runEngineBroadcast(b, 5, size, chunk)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineTCPLoopback measures the real engine over genuine TCP
+// sockets on the loopback interface.
+func BenchmarkEngineTCPLoopback(b *testing.B) {
+	const size = 16 << 20
+	payload := make([]byte, size)
+	iolimit.NewPattern(size, 7).Read(payload)
+	peers := make([]core.Peer, 4)
+	for i := range peers {
+		peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: "127.0.0.1:0"}
+	}
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		cfg := core.SessionConfig{
+			Peers:      peers,
+			Opts:       engineOpts(1 << 20),
+			NetworkFor: func(int) transport.Network { return transport.TCP{} },
+			SinkFor:    func(int) io.Writer { return io.Discard },
+			InputFile:  newByteReaderAt(payload),
+			InputSize:  size,
+		}
+		if _, err := core.RunSession(context.Background(), cfg); err != nil {
+			b.Skipf("loopback TCP unavailable: %v", err)
+		}
+	}
+}

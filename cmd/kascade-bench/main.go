@@ -1,0 +1,64 @@
+// Command kascade-bench regenerates the paper's evaluation tables (§IV,
+// Figures 7-15) and the design-choice ablations on the simulator.
+//
+//	kascade-bench -list                 # show available experiments
+//	kascade-bench -run fig7             # regenerate one figure
+//	kascade-bench -run all -scale 1     # everything at paper file sizes
+//	kascade-bench -run fig15 -reps 10   # tighter confidence intervals
+//
+// Absolute throughputs come from a calibrated simulator (see DESIGN.md §2);
+// the shapes — who wins, by what factor, where the crossovers are — are the
+// reproduction targets, recorded against the paper in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kascade/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "all", "experiment id to run (or 'all' / 'figures')")
+	reps := flag.Int("reps", 3, "repetitions per data point")
+	scale := flag.Float64("scale", 0.25, "file-size scale factor (1 = paper sizes)")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed}
+	var selected []experiments.Experiment
+	switch *run {
+	case "all":
+		selected = experiments.All()
+	case "figures":
+		for _, e := range experiments.All() {
+			if len(e.ID) > 3 && e.ID[:3] == "fig" {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		e, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kascade-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(cfg)
+		table.Render(os.Stdout)
+		fmt.Printf("[%s: %d reps, scale %.2g, %v]\n\n", e.ID, cfg.Reps, cfg.Scale, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+
+	"kascade/internal/core"
+	"kascade/internal/transport"
+)
+
+// The control protocol between the sender and its agents is two JSON
+// messages per session: "prepare" (the agent binds its data listener and
+// reports the address) then "start" (full plan + this agent's index and
+// sink). The agent answers "result" when its node finishes. Keeping the
+// control connection open for the session doubles as a liveness signal.
+
+type ctrlRequest struct {
+	Op     string       `json:"op"` // "prepare" | "start"
+	Index  int          `json:"index,omitempty"`
+	Peers  []core.Peer  `json:"peers,omitempty"`
+	Opts   core.Options `json:"opts,omitempty"`
+	Output sinkSpec     `json:"output,omitempty"`
+}
+
+type sinkSpec struct {
+	// Path writes the stream to a file; Command pipes it through a shell
+	// command (`sh -c`). At most one may be set; neither discards.
+	Path    string `json:"path,omitempty"`
+	Command string `json:"command,omitempty"`
+}
+
+type ctrlResponse struct {
+	Op       string       `json:"op"` // "prepared" | "result"
+	DataAddr string       `json:"data_addr,omitempty"`
+	Err      string       `json:"err,omitempty"`
+	Report   *core.Report `json:"report,omitempty"`
+	Bytes    uint64       `json:"bytes,omitempty"`
+}
+
+// runAgent serves broadcast sessions forever on the control address.
+func runAgent(listen, advertise string) error {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "kascade agent: listening on %s\n", l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveSession(conn, advertise); err != nil {
+				fmt.Fprintf(os.Stderr, "kascade agent: session: %v\n", err)
+			}
+		}()
+	}
+}
+
+// serveSession handles one prepare/start exchange on an open control
+// connection and runs the node to completion.
+func serveSession(conn net.Conn, advertise string) error {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+
+	var req ctrlRequest
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	if req.Op != "prepare" {
+		return fmt.Errorf("expected prepare, got %q", req.Op)
+	}
+	// Bind the data listener now so the sender can assemble the plan.
+	dataListener, err := transport.TCP{}.Listen(bindAddr(conn, advertise))
+	if err != nil {
+		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
+	}
+	defer dataListener.Close()
+	dataAddr := advertiseAddr(dataListener.Addr(), conn, advertise)
+	if err := enc.Encode(ctrlResponse{Op: "prepared", DataAddr: dataAddr}); err != nil {
+		return err
+	}
+
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	if req.Op != "start" {
+		return fmt.Errorf("expected start, got %q", req.Op)
+	}
+	sink, closeSink, err := openSink(req.Output)
+	if err != nil {
+		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Index:    req.Index,
+		Plan:     core.Plan{Peers: req.Peers, Opts: req.Opts},
+		Network:  transport.TCP{},
+		Listener: dataListener,
+		Sink:     sink,
+	})
+	if err != nil {
+		closeSink()
+		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
+	}
+	report, runErr := node.Run(context.Background())
+	closeSink()
+	resp := ctrlResponse{Op: "result", Report: report, Bytes: node.BytesReceived()}
+	if runErr != nil {
+		resp.Err = runErr.Error()
+	}
+	return enc.Encode(resp)
+}
+
+// bindAddr picks the data listen address: same interface as the control
+// connection, ephemeral port.
+func bindAddr(conn net.Conn, advertise string) string {
+	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
+	if err != nil || host == "" {
+		host = "0.0.0.0"
+	}
+	if advertise != "" {
+		// Bind everywhere; the advertised host routes to us.
+		host = "0.0.0.0"
+	}
+	return net.JoinHostPort(host, "0")
+}
+
+// advertiseAddr rewrites the bound address with the advertised host.
+func advertiseAddr(bound string, conn net.Conn, advertise string) string {
+	_, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	host := advertise
+	if host == "" {
+		if h, _, err := net.SplitHostPort(conn.LocalAddr().String()); err == nil {
+			host = h
+		}
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		return bound
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// openSink realises a sink spec. The returned closer flushes files and
+// waits for piped commands.
+func openSink(spec sinkSpec) (io.Writer, func(), error) {
+	switch {
+	case spec.Path != "" && spec.Command != "":
+		return nil, nil, fmt.Errorf("kascade: -o and -O are mutually exclusive")
+	case spec.Path != "":
+		f, err := os.Create(spec.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	case spec.Command != "":
+		cmd := exec.Command("sh", "-c", spec.Command)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, nil, err
+		}
+		return stdin, func() {
+			stdin.Close()
+			_ = cmd.Wait()
+		}, nil
+	default:
+		return io.Discard, func() {}, nil
+	}
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"kascade/internal/core"
+	"kascade/internal/deploy"
+	"kascade/internal/topology"
+	"kascade/internal/transport"
+)
+
+// agentSession is one prepared agent: its control connection stays open for
+// the duration of the broadcast.
+type agentSession struct {
+	ctrl     net.Conn
+	enc      *json.Encoder
+	dec      *json.Decoder
+	name     string
+	dataAddr string
+}
+
+// runRoot drives a broadcast as the sending node: contact agents (or spawn
+// local ones), assemble the pipeline plan, stream the input, and gather the
+// final report.
+func runRoot(o rootOptions) (*core.Report, error) {
+	nodes := o.nodes
+	var stopLocal func()
+	if o.local > 0 {
+		var err error
+		nodes, stopLocal, err = spawnLocalAgents(o.local)
+		if err != nil {
+			return nil, err
+		}
+		defer stopLocal()
+	}
+	if !o.noSort {
+		// Kascade sorts destinations by host number so the pipeline
+		// matches the physical topology (§III-A).
+		sorted := append([]string(nil), nodes...)
+		topology.SortByHostNumber(sorted)
+		nodes = sorted
+	}
+
+	// Phase 1: prepare every agent (windowed, like TakTuk's windowed
+	// connection mode, §III-B).
+	sessions := make([]*agentSession, len(nodes))
+	errs := deploy.ParallelWindow(len(nodes), 50, func(i int) error {
+		s, err := prepareAgent(nodes[i])
+		if err != nil {
+			return fmt.Errorf("agent %s: %w", nodes[i], err)
+		}
+		sessions[i] = s
+		return nil
+	})
+	defer func() {
+		for _, s := range sessions {
+			if s != nil {
+				s.ctrl.Close()
+			}
+		}
+	}()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: bind the sender's own data listener and assemble the plan.
+	rootListener, err := transport.TCP{}.Listen(o.listen)
+	if err != nil {
+		return nil, fmt.Errorf("binding sender address: %w", err)
+	}
+	defer rootListener.Close()
+	peers := []core.Peer{{Name: "sender", Addr: rootListener.Addr()}}
+	for _, s := range sessions {
+		peers = append(peers, core.Peer{Name: s.name, Addr: s.dataAddr})
+	}
+	plan := core.Plan{Peers: peers, Opts: o.protocolOptions()}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: start every agent.
+	sinks := sinkSpec{Path: o.outPath, Command: o.outCmd}
+	for i, s := range sessions {
+		req := ctrlRequest{Op: "start", Index: i + 1, Peers: peers, Opts: plan.Opts, Output: sinks}
+		if o.local > 0 && o.outPath != "" {
+			// The demo writes per-node files side by side.
+			req.Output = sinkSpec{Path: fmt.Sprintf("%s-%s", o.outPath, s.name)}
+		}
+		if err := s.enc.Encode(req); err != nil {
+			return nil, fmt.Errorf("starting agent %s: %w", s.name, err)
+		}
+	}
+
+	// Phase 4: run the sender node on the input.
+	nc := core.NodeConfig{
+		Index:    0,
+		Plan:     plan,
+		Network:  transport.TCP{},
+		Listener: rootListener,
+	}
+	if o.input == "-" {
+		nc.Input = os.Stdin
+	} else {
+		f, err := os.Open(o.input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		nc.InputFile = f
+		nc.InputSize = st.Size()
+	}
+	node, err := core.NewNode(nc)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	report, runErr := node.Run(context.Background())
+	elapsed := time.Since(start)
+
+	// Phase 5: gather agent results (best effort: dead agents are in the
+	// report already).
+	for _, s := range sessions {
+		var resp ctrlResponse
+		s.ctrl.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if err := s.dec.Decode(&resp); err != nil {
+			continue
+		}
+		if resp.Err != "" && !o.quiet {
+			fmt.Fprintf(os.Stderr, "kascade: node %s: %s\n", s.name, resp.Err)
+		}
+	}
+	if report != nil && !o.quiet {
+		mbps := float64(report.TotalBytes) / 1e6 / elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "kascade: %d bytes to %d node(s) in %v (%.1f MB/s)\n",
+			report.TotalBytes, len(peers)-1, elapsed.Round(time.Millisecond), mbps)
+	}
+	return report, runErr
+}
+
+// prepareAgent opens the control connection and retrieves the data address.
+func prepareAgent(addr string) (*agentSession, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	s := &agentSession{
+		ctrl: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+		name: addr,
+	}
+	if err := s.enc.Encode(ctrlRequest{Op: "prepare"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var resp ctrlResponse
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := s.dec.Decode(&resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if resp.Op != "prepared" || resp.DataAddr == "" {
+		conn.Close()
+		return nil, fmt.Errorf("bad prepare response: %+v", resp)
+	}
+	s.dataAddr = resp.DataAddr
+	return s, nil
+}
+
+// spawnLocalAgents starts n in-process agents on loopback for the
+// self-contained demo and returns their control addresses.
+func spawnLocalAgents(n int) ([]string, func(), error) {
+	var listeners []net.Listener
+	var addrs []string
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, ll := range listeners {
+				ll.Close()
+			}
+			return nil, nil, err
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+		go func(l net.Listener) {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					_ = serveSession(conn, "127.0.0.1")
+				}()
+			}
+		}(l)
+	}
+	stop := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	return addrs, stop, nil
+}

@@ -1,0 +1,70 @@
+// Simulate: compare every broadcast method of the paper at cluster scale on
+// the flow-level simulator — a 2 GB image to 200 nodes across six switches —
+// and regenerate the paper's headline result (Fig 7: only the pipelined
+// methods stay at link speed), plus the Fig 10 twist (a random pipeline
+// order collapses even Kascade).
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"kascade/internal/experiments"
+	"kascade/internal/simbcast"
+	"kascade/internal/simnet"
+	"kascade/internal/topology"
+)
+
+func main() {
+	const fileBytes = 2 << 30
+
+	// The paper's Fig 1 fat tree: 35 nodes per 1 GbE switch, 10 G uplinks.
+	build := func() (*simnet.Cluster, *topology.Cluster) {
+		topo := topology.FatTree("n", 6, 35, 112e6, 1.12e9)
+		sim := simnet.New()
+		return simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{}), topo
+	}
+
+	fmt.Println("2 GB to 200 nodes on a 1 GbE fat tree (simulated):")
+	run := func(label string, f func() simbcast.Result) {
+		res := f()
+		fmt.Printf("  %-28s %6.1f MB/s  (%.1fs)\n", label, res.Throughput(fileBytes)/1e6, res.Duration)
+	}
+	run("Kascade (ordered pipeline)", func() simbcast.Result {
+		w, topo := build()
+		return simbcast.Kascade(w, topo.TopologyOrder(), fileBytes, simbcast.KascadeParams{}, nil)
+	})
+	run("Kascade (random order)", func() simbcast.Result {
+		w, topo := build()
+		return simbcast.Kascade(w, topo.RandomOrder(7), fileBytes, simbcast.KascadeParams{}, nil)
+	})
+	run("MPI bcast (pipelined chain)", func() simbcast.Result {
+		w, topo := build()
+		return simbcast.Tree(w, topo.TopologyOrder(), fileBytes, simbcast.TreeParams{})
+	})
+	run("MPI bcast (binomial tree)", func() simbcast.Result {
+		w, topo := build()
+		return simbcast.Tree(w, topo.TopologyOrder(), fileBytes,
+			simbcast.TreeParams{Children: simbcast.BinomialChildrenFn})
+	})
+	run("UDPCast (synchronized)", func() simbcast.Result {
+		w, topo := build()
+		return simbcast.UDPCast(w, topo.TopologyOrder(), fileBytes, simbcast.UDPCastParams{})
+	})
+
+	// And one failure drill: 5 nodes die mid-transfer; the pipeline heals.
+	run("Kascade (5 failures)", func() simbcast.Result {
+		w, topo := build()
+		var kills []simbcast.NodeFailure
+		for _, pos := range []int{20, 60, 100, 140, 180} {
+			kills = append(kills, simbcast.NodeFailure{Pos: pos, At: 3.0})
+		}
+		return simbcast.Kascade(w, topo.TopologyOrder(), fileBytes, simbcast.KascadeParams{}, kills)
+	})
+
+	fmt.Println("\nFigure 7 series (reduced scale, 2 repetitions):")
+	tab := experiments.Figure7().Run(experiments.Config{Reps: 2, Scale: 0.05, Seed: 3})
+	tab.Render(os.Stdout)
+}

@@ -1,0 +1,108 @@
+// Package blockio provides the minimal block framing shared by the baseline
+// broadcast implementations (internal/taktuk, internal/udpcast,
+// internal/mpibcast): typed frames carrying data blocks, end-of-stream
+// markers, and acknowledgements.
+//
+// The Kascade engine (internal/core) deliberately does not use this package:
+// its richer protocol (GET/PGET/FORGET/REPORT/...) is defined in its own
+// wire format.
+package blockio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	TypeData byte = iota + 1 // u32 length + payload
+	TypeEnd                  // u64 total stream length
+	TypeAck                  // u64 acknowledged offset
+	TypeDone                 // subtree finished
+)
+
+// MaxBlock bounds accepted block lengths, protecting against corrupt frames.
+const MaxBlock = 1 << 28
+
+// WriteBlock frames one data block.
+func WriteBlock(w io.Writer, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = TypeData
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteEnd frames the end-of-stream marker.
+func WriteEnd(w io.Writer, total uint64) error {
+	var hdr [9]byte
+	hdr[0] = TypeEnd
+	binary.BigEndian.PutUint64(hdr[1:], total)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// WriteAck frames an acknowledgement up to offset.
+func WriteAck(w io.Writer, offset uint64) error {
+	var hdr [9]byte
+	hdr[0] = TypeAck
+	binary.BigEndian.PutUint64(hdr[1:], offset)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// WriteDone frames a subtree-completion marker.
+func WriteDone(w io.Writer) error {
+	_, err := w.Write([]byte{TypeDone})
+	return err
+}
+
+// Frame is one decoded frame. Payload aliases the buffer passed to Read.
+type Frame struct {
+	Type    byte
+	Payload []byte // TypeData only
+	Offset  uint64 // TypeEnd: total length; TypeAck: acknowledged offset
+}
+
+// Read decodes the next frame, reading payload bytes into buf (growing it
+// when needed).
+func Read(r *bufio.Reader, buf []byte) (Frame, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	switch typ {
+	case TypeData:
+		var lenb [4]byte
+		if _, err := io.ReadFull(r, lenb[:]); err != nil {
+			return Frame{}, err
+		}
+		size := binary.BigEndian.Uint32(lenb[:])
+		if size > MaxBlock {
+			return Frame{}, fmt.Errorf("blockio: block of %d bytes exceeds limit", size)
+		}
+		if cap(buf) < int(size) {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: TypeData, Payload: buf}, nil
+	case TypeEnd, TypeAck:
+		var ob [8]byte
+		if _, err := io.ReadFull(r, ob[:]); err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: typ, Offset: binary.BigEndian.Uint64(ob[:])}, nil
+	case TypeDone:
+		return Frame{Type: TypeDone}, nil
+	default:
+		return Frame{}, fmt.Errorf("blockio: unknown frame type %d", typ)
+	}
+}

@@ -1,0 +1,79 @@
+package blockio
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBlock(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAck(&buf, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnd(&buf, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDone(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	f, err := Read(r, nil)
+	if err != nil || f.Type != TypeData || string(f.Payload) != "payload" {
+		t.Fatalf("data frame: %+v %v", f, err)
+	}
+	f, err = Read(r, nil)
+	if err != nil || f.Type != TypeAck || f.Offset != 777 {
+		t.Fatalf("ack frame: %+v %v", f, err)
+	}
+	f, err = Read(r, nil)
+	if err != nil || f.Type != TypeEnd || f.Offset != 12345 {
+		t.Fatalf("end frame: %+v %v", f, err)
+	}
+	f, err = Read(r, nil)
+	if err != nil || f.Type != TypeDone {
+		t.Fatalf("done frame: %+v %v", f, err)
+	}
+}
+
+func TestUnknownFrameRejected(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte{0x7F}))
+	if _, err := Read(r, nil); err == nil {
+		t.Fatal("unknown frame accepted")
+	}
+}
+
+func TestOversizedBlockRejected(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte{TypeData, 0xFF, 0xFF, 0xFF, 0xFF}))
+	if _, err := Read(r, nil); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+// Property: any sequence of blocks framed and decoded reproduces the
+// payloads in order.
+func TestBlockSequenceQuick(t *testing.T) {
+	f := func(blocks [][]byte) bool {
+		var buf bytes.Buffer
+		for _, b := range blocks {
+			if err := WriteBlock(&buf, b); err != nil {
+				return false
+			}
+		}
+		r := bufio.NewReader(&buf)
+		for _, want := range blocks {
+			f, err := Read(r, nil)
+			if err != nil || f.Type != TypeData || !bytes.Equal(f.Payload, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// serveOutcome classifies how one successor-serving attempt ended.
+type serveOutcome int
+
+const (
+	outcomeOK       serveOutcome = iota // sub-step succeeded, keep going
+	outcomeDone                         // full lifecycle completed (PASSED read)
+	outcomeRetry                        // transient failure, redial same successor
+	outcomeDead                         // successor confirmed dead, advance
+	outcomeTerminal                     // node-level failure, stop
+)
+
+// maxRetriesPerSuccessor bounds redials of a live-but-flaky successor
+// before it is treated as dead.
+const maxRetriesPerSuccessor = 5
+
+// runManager drives the downstream side of the node: it serves the current
+// successor from the store, detects successor failures, skips dead nodes
+// (§III-D2), and runs the END → REPORT → PASSED epilogue (Fig 5). When no
+// alive successor remains, the node is the pipeline tail and closes the
+// ring by delivering the report to node 0 (§III-A).
+func (n *Node) runManager(ctx context.Context) error {
+	succ := n.cfg.Index + 1
+	retries := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for succ < len(n.peers()) && n.isFailedPeer(succ) {
+			succ++
+			retries = 0
+		}
+		if succ >= len(n.peers()) {
+			return n.finishAsTail(ctx)
+		}
+		outcome, err := n.serveSuccessor(ctx, succ)
+		switch outcome {
+		case outcomeDone:
+			return nil
+		case outcomeRetry:
+			retries++
+			if retries >= maxRetriesPerSuccessor {
+				n.recordFailure(succ, fmt.Sprintf("gave up after %d reconnects", retries), n.st.Head())
+				retries = 0
+			}
+		case outcomeDead:
+			retries = 0
+			// recordFailure already happened at the detection site;
+			// the skip loop above advances past it.
+		case outcomeTerminal:
+			return err
+		default:
+			return fmt.Errorf("kascade: internal: unexpected outcome %d", outcome)
+		}
+	}
+}
+
+// serveSuccessor runs one full attempt against the successor at pipeline
+// index succ: dial, handshake, answer its GET, stream DATA, send END/QUIT,
+// forward the REPORT, and collect PASSED.
+func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, error) {
+	peer := n.peers()[succ]
+	conn, err := n.dialPeer(peer.Addr)
+	if err != nil {
+		n.recordFailure(succ, fmt.Sprintf("dial failed: %v", err), n.st.Head())
+		return outcomeDead, nil
+	}
+	w := newWire(conn)
+	w.out = &stallWriter{
+		conn:   conn,
+		stall:  n.opts.WriteStallTimeout,
+		budget: n.opts.FetchTimeout,
+		probe:  func() bool { return n.probe(peer.Addr) },
+	}
+	defer w.close()
+
+	if werr := w.writeHello(RoleData, n.cfg.Index); werr != nil {
+		return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+	}
+	off, out, err := n.readGet(ctx, w, succ, peer.Addr, n.opts.GetTimeout)
+	if out != outcomeOK {
+		return out, err
+	}
+	n.st.ResetLowWater(off)
+
+	// §V extension: measure the successor's drain rate (time actually
+	// spent inside writes, so a data-starved pipeline is never mistaken
+	// for a slow node) and exclude it when MinThroughput is configured.
+	var drained float64
+	var writing time.Duration
+
+streamLoop:
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return outcomeTerminal, cerr
+		}
+		chunk, cerr := n.st.ChunkAt(off)
+		var fe *ForgetError
+		switch {
+		case cerr == nil:
+			wStart := time.Now()
+			werr := w.writeData(chunk)
+			writing += time.Since(wStart)
+			if werr != nil {
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+			}
+			off += uint64(len(chunk))
+			n.st.SetLowWater(off)
+			drained += float64(len(chunk))
+			if n.opts.MinThroughput > 0 && writing >= n.opts.SlowNodeGrace {
+				if rate := drained / writing.Seconds(); rate < n.opts.MinThroughput {
+					// The paper's §V malfunctioning-node case: tell
+					// the slow node to step aside and route around
+					// it like a failure.
+					_ = w.writeQuit(QuitExcluded)
+					n.recordFailure(succ, fmt.Sprintf(
+						"excluded: draining %.0f B/s, below the %.0f B/s threshold",
+						rate, n.opts.MinThroughput), off)
+					return outcomeDead, nil
+				}
+				// Healthy: slide the observation window.
+				drained, writing = 0, 0
+			}
+		case errors.As(cerr, &fe):
+			// The successor resumed below our window: answer FORGET
+			// and wait for its re-GET once it fetched the gap from
+			// node 0 (§III-D2).
+			if werr := w.writeForget(fe.Base); werr != nil {
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+			}
+			newOff, out, gerr := n.readGet(ctx, w, succ, peer.Addr, n.opts.FetchTimeout)
+			if out != outcomeOK {
+				return out, gerr
+			}
+			off = newOff
+			n.st.ResetLowWater(off)
+		case cerr == io.EOF:
+			end, _ := n.st.End()
+			if werr := w.writeEnd(end); werr != nil {
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+			}
+			break streamLoop
+		case errors.Is(cerr, ErrQuit):
+			// User interruption: anticipated end of stream; the
+			// report still follows (§III-C).
+			if werr := w.writeQuit(QuitUser); werr != nil {
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+			}
+			break streamLoop
+		case errors.Is(cerr, ErrExcluded):
+			// This node was excluded (§V): step aside silently; the
+			// excluding predecessor adopts our successor, so no QUIT
+			// cascade.
+			return outcomeTerminal, cerr
+		default:
+			// Abandon or internal shutdown: cascade QUIT downstream
+			// (best effort) and stop.
+			_ = w.writeQuit(QuitAbandon)
+			return outcomeTerminal, cerr
+		}
+	}
+
+	rep, rerr := n.awaitReport(ctx)
+	if rerr != nil {
+		return outcomeTerminal, rerr
+	}
+	if werr := w.writeReport(rep); werr != nil {
+		return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+	}
+	out, err = n.expectType(ctx, w, succ, peer.Addr, MsgPassed, n.opts.ReportTimeout)
+	if out != outcomeOK {
+		return out, err
+	}
+	n.markPassed()
+	return outcomeDone, nil
+}
+
+// finishAsTail closes the pipeline ring: the tail delivers the aggregated
+// report to node 0 and unblocks the PASSED chain.
+func (n *Node) finishAsTail(ctx context.Context) error {
+	n.mu.Lock()
+	n.tail = true
+	n.mu.Unlock()
+	// No successor will ever replay from this node's window.
+	n.st.ReleaseAll()
+
+	rep, err := n.awaitReport(ctx)
+	if err != nil {
+		return err
+	}
+	if n.cfg.Index == 0 {
+		// Degenerate ring: every receiver is gone (or there were
+		// none); the sender's own view is the final report.
+		n.setRingReport(rep)
+		n.markPassed()
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < n.opts.DialRetries; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if lastErr = n.deliverRingReport(rep); lastErr == nil {
+			n.markPassed()
+			return nil
+		}
+	}
+	return fmt.Errorf("kascade: delivering final report to sender: %w", lastErr)
+}
+
+func (n *Node) deliverRingReport(rep *Report) error {
+	c, err := n.cfg.Network.Dial(n.peers()[0].Addr, n.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	w := newWire(c)
+	defer w.close()
+	_ = c.SetWriteDeadline(time.Now().Add(n.opts.ReportTimeout))
+	if err := w.writeHello(RoleReport, n.cfg.Index); err != nil {
+		return err
+	}
+	if err := w.writeReport(rep); err != nil {
+		return err
+	}
+	w.setReadDeadlineIn(n.opts.ReportTimeout)
+	typ, err := w.readType()
+	if err != nil {
+		return err
+	}
+	if typ != MsgPassed {
+		return &errProtocol{want: MsgPassed, got: typ}
+	}
+	return nil
+}
+
+// dialPeer dials with retries; a brief pause between attempts covers
+// startup races without masking real deaths.
+func (n *Node) dialPeer(addr string) (transport.Conn, error) {
+	var lastErr error
+	for i := 0; i < n.opts.DialRetries; i++ {
+		c, err := n.cfg.Network.Dial(addr, n.opts.DialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(n.opts.pollInterval())
+	}
+	return nil, lastErr
+}
+
+// classifyConnErr decides what a failed write/read on the successor
+// connection means, using the paper's ping discipline: a ping answered
+// means "alive, reconnect and resume via GET"; unanswered means dead.
+func (n *Node) classifyConnErr(ctx context.Context, err error, succ int, addr string) (serveOutcome, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return outcomeTerminal, cerr
+	}
+	var pd *peerDeadError
+	if errors.As(err, &pd) {
+		n.recordFailure(succ, pd.Error(), n.st.Head())
+		return outcomeDead, nil
+	}
+	if n.probe(addr) {
+		return outcomeRetry, nil
+	}
+	n.recordFailure(succ, fmt.Sprintf("connection failed: %v", err), n.st.Head())
+	return outcomeDead, nil
+}
+
+// expectType waits for one frame of the wanted type, probing the peer on
+// stalls. budget bounds the total patience with a live-but-silent peer.
+func (n *Node) expectType(ctx context.Context, w *wire, succ int, addr string, want MsgType, budget time.Duration) (serveOutcome, error) {
+	stall := n.opts.WriteStallTimeout
+	remaining := budget
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return outcomeTerminal, cerr
+		}
+		w.setReadDeadlineIn(stall)
+		typ, err := w.readType()
+		if err == nil {
+			if typ != want {
+				n.recordFailure(succ, (&errProtocol{want: want, got: typ}).Error(), n.st.Head())
+				return outcomeDead, nil
+			}
+			return outcomeOK, nil
+		}
+		if transport.IsTimeout(err) {
+			remaining -= stall
+			if remaining <= 0 {
+				n.recordFailure(succ, fmt.Sprintf("no %v within %v", want, budget), n.st.Head())
+				return outcomeDead, nil
+			}
+			if n.probe(addr) {
+				continue
+			}
+			n.recordFailure(succ, fmt.Sprintf("stalled awaiting %v, ping unanswered", want), n.st.Head())
+			return outcomeDead, nil
+		}
+		return n.classifyConnErr(ctx, err, succ, addr)
+	}
+}
+
+// readGet awaits a GET frame and returns its offset.
+func (n *Node) readGet(ctx context.Context, w *wire, succ int, addr string, budget time.Duration) (uint64, serveOutcome, error) {
+	out, err := n.expectType(ctx, w, succ, addr, MsgGet, budget)
+	if out != outcomeOK {
+		return 0, out, err
+	}
+	w.setReadDeadlineIn(n.opts.GetTimeout)
+	off, rerr := w.readUint64()
+	if rerr != nil {
+		out, err := n.classifyConnErr(ctx, rerr, succ, addr)
+		return 0, out, err
+	}
+	return off, outcomeOK, nil
+}
+
+// stallWriter writes to the successor connection with the paper's failure
+// detector built in: a write that stalls past the timeout triggers a PING;
+// an answered ping means the successor is alive (e.g. a node further down
+// crashed, or the network is congested) so the write resumes where it
+// stopped; an unanswered ping confirms death (§III-D1).
+type stallWriter struct {
+	conn   transport.Conn
+	stall  time.Duration
+	budget time.Duration // total patience with a live-but-stuck peer
+	probe  func() bool
+}
+
+func (s *stallWriter) Write(p []byte) (int, error) {
+	total := 0
+	remaining := s.budget
+	for len(p) > 0 {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(s.stall))
+		nn, err := s.conn.Write(p)
+		total += nn
+		p = p[nn:]
+		if err == nil {
+			continue
+		}
+		if transport.IsTimeout(err) {
+			if nn > 0 {
+				remaining = s.budget // progress resets patience
+			}
+			remaining -= s.stall
+			if remaining <= 0 {
+				return total, &peerDeadError{reason: fmt.Sprintf("write made no progress for %v", s.budget)}
+			}
+			if s.probe() {
+				continue
+			}
+			return total, &peerDeadError{reason: "write stalled and ping unanswered", cause: err}
+		}
+		return total, err
+	}
+	return total, nil
+}

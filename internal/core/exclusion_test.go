@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSlowNodeExclusion exercises the paper's §V future-work extension: a
+// node whose drain rate stays below MinThroughput is excluded from the
+// transfer, the pipeline routes around it, and everyone else still gets a
+// full copy.
+func TestSlowNodeExclusion(t *testing.T) {
+	env := newTestEnv(5, 4<<10)
+	env.sinks[2] = &slowSink{bytesPerSec: 24 << 10} // n3 drains at ~24 KiB/s
+	data := testPayload(192<<10, 21)
+	cfg := env.config(data, false)
+	opts := testOpts()
+	opts.MinThroughput = 128 << 10 // n3 is far below this
+	opts.SlowNodeGrace = 300 * time.Millisecond
+	cfg.Opts = opts
+
+	sess, err := StartSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Failed(2) {
+		t.Fatalf("report must list the excluded node: %v", res.Report)
+	}
+	var excluded Failure
+	for _, f := range res.Report.Failures {
+		if f.Index == 2 {
+			excluded = f
+		}
+	}
+	if !strings.Contains(excluded.Reason, "excluded") {
+		t.Fatalf("failure reason should mark exclusion: %q", excluded.Reason)
+	}
+	// The survivors get the complete payload at full speed.
+	checkSink(t, env, 1, data)
+	checkSink(t, env, 3, data)
+	checkSink(t, env, 4, data)
+	// The excluded node stepped aside (did not cascade a QUIT to n4).
+	if sess.Nodes[3].Abandoned() {
+		t.Fatal("n4 must not abandon when its predecessor was merely excluded")
+	}
+	if !sess.Nodes[2].Abandoned() {
+		t.Fatal("excluded node should have stepped aside")
+	}
+}
+
+// TestNoExclusionWithoutThreshold is the control: the same slow node is
+// tolerated (the §III-D1 ping discipline) when MinThroughput is unset.
+func TestNoExclusionWithoutThreshold(t *testing.T) {
+	env := newTestEnv(4, 4<<10)
+	env.sinks[2] = &slowSink{bytesPerSec: 48 << 10}
+	data := testPayload(24<<10, 22)
+	res, err := RunSession(context.Background(), env.config(data, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("no exclusion threshold set, yet: %v", res.Report)
+	}
+	checkSink(t, env, 2, data)
+}
+
+// TestHealthyPipelineNeverExcludes: a fast pipeline with the threshold set
+// must never trip the detector (time is only charged while writing).
+func TestHealthyPipelineNeverExcludes(t *testing.T) {
+	env := newTestEnv(5, 0)
+	data := testPayload(256<<10, 23)
+	cfg := env.config(data, false)
+	opts := testOpts()
+	opts.MinThroughput = 64 << 10 // far below in-memory speed
+	opts.SlowNodeGrace = 50 * time.Millisecond
+	cfg.Opts = opts
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("healthy pipeline excluded someone: %v", res.Report)
+	}
+	for i := 1; i < 5; i++ {
+		checkSink(t, env, i, data)
+	}
+}
+
+// TestSlowSourceDoesNotTriggerExclusion: a data-starved pipeline (slow
+// streamed source) spends no time writing, so the rate monitor must not
+// misfire even with an aggressive threshold.
+func TestSlowSourceDoesNotTriggerExclusion(t *testing.T) {
+	env := newTestEnv(3, 0)
+	data := testPayload(32<<10, 24)
+	cfg := env.config(nil, false)
+	// Drip-feed the input at ~64 KiB/s via a shaped reader.
+	cfg.InputFile = nil
+	cfg.Input = &pacedReader{data: data, bytesPerSec: 64 << 10}
+	opts := testOpts()
+	opts.MinThroughput = 512 << 10 // would exclude anything this slow...
+	opts.SlowNodeGrace = 100 * time.Millisecond
+	cfg.Opts = opts
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("starved pipeline misdiagnosed as slow nodes: %v", res.Report)
+	}
+	checkSink(t, env, 1, data)
+	checkSink(t, env, 2, data)
+}
+
+// pacedReader drips its payload at a fixed rate.
+type pacedReader struct {
+	data        []byte
+	off         int
+	bytesPerSec float64
+}
+
+func (p *pacedReader) Read(buf []byte) (int, error) {
+	if p.off >= len(p.data) {
+		return 0, io.EOF
+	}
+	n := 2 << 10
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if n > len(p.data)-p.off {
+		n = len(p.data) - p.off
+	}
+	time.Sleep(time.Duration(float64(n) / p.bytesPerSec * float64(time.Second)))
+	copy(buf, p.data[p.off:p.off+n])
+	p.off += n
+	return n, nil
+}
+
+// TestAcceptReplacementPolicy pins the predecessor-priority rule.
+func TestAcceptReplacementPolicy(t *testing.T) {
+	mk := func(from int) *upstreamConn { return &upstreamConn{from: from} }
+	if !acceptReplacement(mk(3), mk(1)) {
+		t.Error("closer predecessor must win")
+	}
+	if !acceptReplacement(mk(2), mk(2)) {
+		t.Error("same predecessor reconnecting must win")
+	}
+	if acceptReplacement(mk(1), mk(4)) {
+		t.Error("farther predecessor must not steal the connection")
+	}
+}
+
+// Property: options round-trip through JSON (the CLI control protocol
+// serialises them into agent start messages).
+func TestOptionsJSONRoundTripQuick(t *testing.T) {
+	f := func(chunkKiB uint8, window uint8, stallMs uint16) bool {
+		in := Options{
+			ChunkSize:         (int(chunkKiB)%64 + 1) << 10,
+			WindowChunks:      int(window)%62 + 2,
+			WriteStallTimeout: time.Duration(stallMs) * time.Millisecond,
+		}
+		payload, err := json.Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out Options
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return false
+		}
+		return out.ChunkSize == in.ChunkSize &&
+			out.WindowChunks == in.WindowChunks &&
+			out.WriteStallTimeout == in.WriteStallTimeout
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,887 @@
+// Package core implements the Kascade protocol (§III of the paper): a
+// topology-aware, fault-tolerant pipelined broadcast over reliable byte
+// streams.
+//
+// Every pipeline member runs a Node. Node 0 (the sender) reads the input
+// (file or stream), chunks it, and serves its successor; every other node
+// answers GET(offset) on each new inbound connection, appends DATA chunks
+// to its replay window, writes them to its local sink, and forwards them
+// to its own successor. After END (or QUIT), the failure report flows down
+// the pipeline, the last node delivers it to node 0 over a ring-closing
+// connection, and PASSED acknowledgements flow back up, letting each node
+// exit (Fig 5).
+//
+// Failures are detected exactly as §III-D1 describes: syscall errors on
+// read/write, plus timers on stalled writes resolved by a PING to the
+// stalled successor — answered means "alive, keep waiting", unanswered
+// means "dead, skip to the next alive successor and replay from its GET
+// offset". Recovery data comes from the in-memory window; when the window
+// no longer holds the requested offset the sender answers FORGET and the
+// successor fetches the gap from node 0 with PGET (file-backed sources) or
+// abandons with a QUIT cascade (streamed sources), per §III-D2.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// NodeConfig wires one pipeline member to its environment.
+type NodeConfig struct {
+	// Index is this node's position in Plan.Peers (0 = sender).
+	Index int
+	// Plan is the shared pipeline description.
+	Plan Plan
+	// Network is the node's dialing/listening surface.
+	Network transport.Network
+	// Listener is the pre-bound listener for Plan.Peers[Index].Addr.
+	// Binding happens before nodes start so that no dial races a listen.
+	Listener transport.Listener
+	// Sink receives the broadcast payload locally; nil discards it.
+	// Only meaningful for receivers (Index > 0).
+	Sink io.Writer
+
+	// Source input (Index 0 only): either a random-access file...
+	InputFile io.ReaderAt
+	InputSize int64
+	// ...or a stream of unknown length (the dd|gzip use case of Fig 2).
+	Input io.Reader
+}
+
+// Node is one member of a running broadcast pipeline.
+type Node struct {
+	cfg  NodeConfig
+	opts Options
+	st   store
+	ws   *windowStore // non-nil iff st is a window store
+
+	ictx   context.Context // internal lifecycle, detached from caller ctx
+	cancel context.CancelFunc
+
+	upConns chan *upstreamConn
+
+	mu            sync.Mutex
+	detected      []Failure
+	upReport      *Report
+	abandoned     bool
+	abandonReason string
+	tail          bool
+
+	reportOnce sync.Once
+	reportC    chan struct{} // closed when upReport becomes available
+	passedOnce sync.Once
+	passedC    chan struct{} // closed when the report reached node 0's side
+	ringOnce   sync.Once
+	ringC      chan struct{} // source only: final ring report arrived
+	ringReport *Report
+
+	bytesIn atomic.Uint64
+}
+
+type upstreamConn struct {
+	w    *wire
+	from int
+}
+
+// errUpstreamDone signals the normal end of the upstream lifecycle.
+var errUpstreamDone = errors.New("kascade: upstream lifecycle complete")
+
+// errProtocol reports an unexpected frame.
+type errProtocol struct {
+	want MsgType
+	got  MsgType
+}
+
+func (e *errProtocol) Error() string {
+	return fmt.Sprintf("kascade: protocol error: expected %v, got %v", e.want, e.got)
+}
+
+// peerDeadError marks a confirmed successor death (stall + failed ping,
+// refused dial, or exhausted patience).
+type peerDeadError struct {
+	reason string
+	cause  error
+}
+
+func (e *peerDeadError) Error() string {
+	if e.cause != nil {
+		return "kascade: peer dead: " + e.reason + ": " + e.cause.Error()
+	}
+	return "kascade: peer dead: " + e.reason
+}
+
+func (e *peerDeadError) Unwrap() error { return e.cause }
+
+// NewNode validates cfg and prepares a Node. Call Run to participate in
+// the broadcast.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Index < 0 || cfg.Index >= len(cfg.Plan.Peers) {
+		return nil, fmt.Errorf("kascade: node index %d out of range", cfg.Index)
+	}
+	if cfg.Network == nil || cfg.Listener == nil {
+		return nil, fmt.Errorf("kascade: node %d needs a network and a bound listener", cfg.Index)
+	}
+	opts := cfg.Plan.Opts.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		opts:    opts,
+		upConns: make(chan *upstreamConn, 4),
+		reportC: make(chan struct{}),
+		passedC: make(chan struct{}),
+		ringC:   make(chan struct{}),
+	}
+	if cfg.Index == 0 {
+		switch {
+		case cfg.InputFile != nil:
+			n.st = newFileStore(cfg.InputFile, cfg.InputSize, opts.ChunkSize)
+		case cfg.Input != nil:
+			n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks)
+			n.st = n.ws
+		default:
+			return nil, fmt.Errorf("kascade: sender has no input")
+		}
+		// The sender originates the report chain: its own report is
+		// available from the start (failures are merged at send time).
+		n.upReport = &Report{}
+		n.reportOnce.Do(func() { close(n.reportC) })
+	} else {
+		if cfg.Input != nil || cfg.InputFile != nil {
+			return nil, fmt.Errorf("kascade: only the sender (index 0) takes input")
+		}
+		n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks)
+		n.st = n.ws
+	}
+	return n, nil
+}
+
+// BytesReceived reports how many payload bytes this node has ingested.
+func (n *Node) BytesReceived() uint64 { return n.bytesIn.Load() }
+
+// Abandoned reports whether this node gave up after unrecoverable loss.
+func (n *Node) Abandoned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.abandoned
+}
+
+func (n *Node) me() Peer { return n.cfg.Plan.Peers[n.cfg.Index] }
+func (n *Node) peers() []Peer {
+	return n.cfg.Plan.Peers
+}
+
+// Run participates in the broadcast until completion. It returns the final
+// report: at the sender this is the ring report aggregating every detected
+// failure; at receivers it is the node's merged view. The caller context
+// aborts the transfer gracefully (QUIT), giving the pipeline ReportTimeout
+// to close its ring before hard shutdown.
+func (n *Node) Run(ctx context.Context) (*Report, error) {
+	ictx, cancel := context.WithCancel(context.Background())
+	n.ictx, n.cancel = ictx, cancel
+	defer cancel()
+
+	// Bridge the caller's context. At the sender, cancellation turns into
+	// a graceful QUIT that propagates in-band down the pipeline; receivers
+	// do NOT abort locally (the QUIT frame reaches them through the
+	// protocol, keeping every sink a consistent prefix). Either way the
+	// node escalates to hard shutdown after ReportTimeout.
+	bridgeDone := make(chan struct{})
+	defer close(bridgeDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if n.cfg.Index == 0 {
+				n.st.Abort(ErrQuit)
+			}
+			select {
+			case <-time.After(n.opts.ReportTimeout):
+				cancel()
+			case <-bridgeDone:
+			}
+		case <-bridgeDone:
+		}
+	}()
+
+	go n.acceptLoop()
+	defer n.cfg.Listener.Close()
+
+	upErrC := make(chan error, 1)
+	if n.cfg.Index > 0 {
+		go func() {
+			err := n.upstreamLoop(ictx)
+			upErrC <- err
+			if err != nil {
+				n.shutdown(err)
+			}
+		}()
+	} else if n.cfg.Input != nil {
+		go n.readInput()
+	}
+
+	mgrErr := n.runManager(ictx)
+	if mgrErr != nil {
+		n.shutdown(mgrErr)
+		if n.cfg.Index > 0 {
+			<-upErrC
+		}
+		return n.snapshotReport(), mgrErr
+	}
+
+	if n.cfg.Index > 0 {
+		// The manager finished its lifecycle; the upstream loop still
+		// owes PASSED to the predecessor.
+		select {
+		case err := <-upErrC:
+			if err != nil {
+				return n.snapshotReport(), err
+			}
+		case <-time.After(n.opts.ReportTimeout):
+			n.shutdown(fmt.Errorf("kascade: timed out relaying PASSED upstream"))
+			<-upErrC
+			return n.snapshotReport(), fmt.Errorf("kascade: timed out relaying PASSED upstream")
+		}
+		return n.snapshotReport(), nil
+	}
+
+	// Sender: the ring report must have arrived (PASSED only propagates
+	// after the last node delivered it), unless the sender was its own
+	// tail because every receiver died.
+	select {
+	case <-n.ringC:
+	default:
+		if n.isTail() {
+			rep, _ := n.mergedReport()
+			n.setRingReport(rep)
+		}
+	}
+	select {
+	case <-n.ringC:
+		n.mu.Lock()
+		rep := n.ringReport.Clone()
+		n.mu.Unlock()
+		return rep, nil
+	case <-time.After(n.opts.ReportTimeout):
+		return n.snapshotReport(), fmt.Errorf("kascade: final report never arrived")
+	}
+}
+
+// shutdown aborts the node's store and internal context.
+func (n *Node) shutdown(cause error) {
+	if cause == nil {
+		cause = errors.New("kascade: node shutdown")
+	}
+	n.st.Abort(cause)
+	n.cancel()
+}
+
+// snapshotReport returns this node's current merged view.
+func (n *Node) snapshotReport() *Report {
+	rep := &Report{}
+	n.mu.Lock()
+	if n.upReport != nil {
+		rep = n.upReport.Clone()
+	}
+	det := append([]Failure(nil), n.detected...)
+	n.mu.Unlock()
+	rep.Merge(&Report{Failures: det})
+	if end, ok := n.st.End(); ok && end > rep.TotalBytes {
+		rep.TotalBytes = end
+	} else if h := n.st.Head(); h > rep.TotalBytes {
+		rep.TotalBytes = h
+	}
+	if n.st.AbortCause() == ErrQuit {
+		rep.Aborted = true
+	}
+	return rep
+}
+
+// readInput chunks the streamed input into the window store.
+func (n *Node) readInput() {
+	buf := make([]byte, n.opts.ChunkSize)
+	var total uint64
+	for {
+		nr, err := io.ReadFull(n.cfg.Input, buf)
+		if nr > 0 {
+			if aerr := n.ws.Append(buf[:nr]); aerr != nil {
+				return
+			}
+			total += uint64(nr)
+		}
+		switch err {
+		case nil:
+			continue
+		case io.EOF, io.ErrUnexpectedEOF:
+			n.ws.Finish(total)
+			return
+		default:
+			n.shutdown(fmt.Errorf("kascade: reading input: %w", err))
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Accept side: connection dispatch, ping answering, fetch serving, ring
+// report collection.
+
+func (n *Node) acceptLoop() {
+	for {
+		c, err := n.cfg.Listener.Accept()
+		if err != nil {
+			// Listener gone: host killed or shutting down. If the
+			// node is still mid-transfer this is fatal for it.
+			select {
+			case <-n.ictx.Done():
+			default:
+				if !n.Abandoned() {
+					n.shutdown(fmt.Errorf("kascade: listener failed: %w", err))
+				}
+			}
+			return
+		}
+		go n.handleConn(c)
+	}
+}
+
+func (n *Node) handleConn(c transport.Conn) {
+	w := newWire(c)
+	w.setReadDeadlineIn(n.opts.GetTimeout)
+	typ, err := w.readType()
+	if err != nil || typ != MsgHello {
+		_ = w.close()
+		return
+	}
+	role, from, err := w.readHello()
+	if err != nil {
+		_ = w.close()
+		return
+	}
+	switch role {
+	case RolePing:
+		// Liveness probe (§III-D1): answer promptly even mid-transfer.
+		w.setReadDeadlineIn(n.opts.PingTimeout)
+		if typ, err := w.readType(); err == nil && typ == MsgPing {
+			_ = c.SetWriteDeadline(time.Now().Add(n.opts.PingTimeout))
+			_ = w.writePong()
+		}
+		_ = w.close()
+	case RoleData:
+		w.setReadDeadlineIn(0)
+		select {
+		case n.upConns <- &upstreamConn{w: w, from: from}:
+		case <-n.ictx.Done():
+			_ = w.close()
+		}
+	case RoleFetch:
+		if n.cfg.Index != 0 {
+			_ = w.close()
+			return
+		}
+		n.serveFetch(w, from)
+	case RoleReport:
+		if n.cfg.Index != 0 {
+			_ = w.close()
+			return
+		}
+		n.receiveRingReport(w)
+	default:
+		_ = w.close()
+	}
+}
+
+// probe dials addr and plays one PING/PONG exchange; it reports liveness.
+func (n *Node) probe(addr string) bool {
+	c, err := n.cfg.Network.Dial(addr, n.opts.PingTimeout)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(n.opts.PingTimeout))
+	w := newWire(c)
+	if err := w.writeHello(RolePing, n.cfg.Index); err != nil {
+		return false
+	}
+	if err := w.writePing(); err != nil {
+		return false
+	}
+	typ, err := w.readType()
+	return err == nil && typ == MsgPong
+}
+
+// serveFetch answers a PGET range request from the sender's store (§III-D2).
+func (n *Node) serveFetch(w *wire, from int) {
+	defer w.close()
+	w.setReadDeadlineIn(n.opts.GetTimeout)
+	typ, err := w.readType()
+	if err != nil || typ != MsgPGet {
+		return
+	}
+	lo, hi, err := w.readPGet()
+	if err != nil {
+		return
+	}
+	for off := lo; off < hi; {
+		chunk, err := n.st.ChunkAt(off)
+		var fe *ForgetError
+		switch {
+		case errors.As(err, &fe):
+			// Streamed source recycled its buffer: the requester
+			// must abandon. Record it now so the sender's final
+			// report accounts for the cascade (§III-D2).
+			_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+			_ = w.writeForget(fe.Base)
+			n.recordFailure(from, fmt.Sprintf("abandoned: offset %d recycled at sender (min %d)", off, fe.Base), off)
+			return
+		case err != nil:
+			return
+		}
+		if rem := hi - off; uint64(len(chunk)) > rem {
+			chunk = chunk[:rem]
+		}
+		_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.FetchTimeout))
+		if err := w.writeData(chunk); err != nil {
+			return
+		}
+		off += uint64(len(chunk))
+	}
+	_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+	_ = w.writeEnd(hi)
+}
+
+// receiveRingReport handles the last node's ring-closing connection.
+func (n *Node) receiveRingReport(w *wire) {
+	defer w.close()
+	w.setReadDeadlineIn(n.opts.ReportTimeout)
+	typ, err := w.readType()
+	if err != nil || typ != MsgReport {
+		return
+	}
+	rep, err := w.readReport()
+	if err != nil {
+		return
+	}
+	// Fold in the sender's own observations (e.g. abandons recorded by
+	// the fetch server) before publishing.
+	n.mu.Lock()
+	rep.Merge(&Report{Failures: append([]Failure(nil), n.detected...)})
+	n.mu.Unlock()
+	n.setRingReport(rep)
+	_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+	_ = w.writePassed()
+}
+
+func (n *Node) setRingReport(rep *Report) {
+	n.ringOnce.Do(func() {
+		n.mu.Lock()
+		n.ringReport = rep
+		n.mu.Unlock()
+		close(n.ringC)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Upstream side (receivers): ingest DATA from the current predecessor,
+// whoever that is after failures.
+
+func (n *Node) upstreamLoop(ctx context.Context) error {
+	var cur *upstreamConn
+	for {
+		if cur == nil {
+			var err error
+			cur, err = n.awaitUpstream(ctx)
+			if err != nil {
+				return err
+			}
+		}
+		// The paper's deadlock-avoidance rule: GET is sent on every
+		// new connection, carrying our current offset.
+		_ = cur.w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+		if err := cur.w.writeGet(n.st.Head()); err != nil {
+			_ = cur.w.close()
+			cur = nil
+			continue
+		}
+		repl, err := n.serveUpstream(ctx, cur)
+		if err == errUpstreamDone {
+			_ = cur.w.close()
+			return nil
+		}
+		if err != nil {
+			_ = cur.w.close()
+			return err
+		}
+		_ = cur.w.close()
+		cur = repl // replacement conn, or nil to wait for one
+	}
+}
+
+func (n *Node) awaitUpstream(ctx context.Context) (*upstreamConn, error) {
+	timer := time.NewTimer(n.opts.UpstreamIdleTimeout)
+	defer timer.Stop()
+	select {
+	case uc := <-n.upConns:
+		return uc, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		return nil, fmt.Errorf("kascade: no predecessor connected within %v", n.opts.UpstreamIdleTimeout)
+	}
+}
+
+// acceptReplacement decides whether a queued predecessor connection should
+// supersede the current one: only a predecessor at least as close to the
+// sender wins (equal index = the same predecessor reconnecting). This keeps
+// a node excluded for slowness (§V) from stealing its former successor back
+// from the adopting predecessor.
+func acceptReplacement(cur, repl *upstreamConn) bool {
+	return repl.from <= cur.from
+}
+
+// serveUpstream processes frames from one predecessor connection. It
+// returns (replacement, nil) when the connection broke or was superseded,
+// or a terminal error (errUpstreamDone on success).
+func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamConn, error) {
+	w := uc.w
+	buf := make([]byte, n.opts.ChunkSize)
+	poll := n.opts.pollInterval()
+	for {
+		// A better predecessor may be waiting even while the current
+		// connection keeps delivering (e.g. after it excluded a slow
+		// node between us): check between frames, not only on idle.
+		select {
+		case repl := <-n.upConns:
+			if acceptReplacement(uc, repl) {
+				return repl, nil
+			}
+			_ = repl.w.close()
+		default:
+		}
+		w.setReadDeadlineIn(poll)
+		typ, err := w.readType()
+		if err != nil {
+			if transport.IsTimeout(err) {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				default:
+					continue
+				}
+			}
+			return nil, nil // connection broken; await replacement
+		}
+		w.setReadDeadlineIn(n.opts.UpstreamIdleTimeout)
+		switch typ {
+		case MsgData:
+			chunk, err := w.readDataInto(buf)
+			if err != nil {
+				return nil, nil
+			}
+			if err := n.ingest(chunk); err != nil {
+				return nil, err
+			}
+		case MsgEnd:
+			total, err := w.readUint64()
+			if err != nil {
+				return nil, nil
+			}
+			n.ws.Finish(total)
+		case MsgQuit:
+			reason, err := w.readQuit()
+			if err != nil {
+				return nil, nil
+			}
+			switch reason {
+			case QuitUser:
+				// Anticipated end of stream: a report follows and
+				// the ring still closes (§III-C).
+				n.st.Abort(ErrQuit)
+				continue
+			case QuitExcluded:
+				// The predecessor measured us as too slow (§V)
+				// and adopted our successor: step aside without
+				// cascading a QUIT.
+				n.stepAside("excluded by predecessor for low throughput")
+				return nil, ErrExcluded
+			default:
+				n.abandon("upstream instructed abandon")
+				return nil, ErrAbandoned
+			}
+		case MsgForget:
+			base, err := w.readUint64()
+			if err != nil {
+				return nil, nil
+			}
+			if ferr := n.fetchGap(ctx, n.st.Head(), base); ferr != nil {
+				n.abandon(fmt.Sprintf("gap [%d,%d) unrecoverable: %v", n.st.Head(), base, ferr))
+				return nil, ErrAbandoned
+			}
+			_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+			if err := w.writeGet(n.st.Head()); err != nil {
+				return nil, nil
+			}
+		case MsgReport:
+			rep, err := w.readReport()
+			if err != nil {
+				return nil, nil
+			}
+			n.setUpReport(rep)
+			repl, err := n.awaitPassedPhase(ctx, uc)
+			if err != nil {
+				return nil, err
+			}
+			if repl != nil {
+				return repl, nil
+			}
+			_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.ReportTimeout))
+			if err := w.writePassed(); err != nil {
+				return nil, nil
+			}
+			return nil, errUpstreamDone
+		default:
+			// Unknown frame: treat the connection as corrupt.
+			return nil, nil
+		}
+	}
+}
+
+// awaitPassedPhase blocks until this node's own report delivery completed
+// (then PASSED can flow upstream), a replacement predecessor appears, or
+// the node dies.
+func (n *Node) awaitPassedPhase(ctx context.Context, cur *upstreamConn) (*upstreamConn, error) {
+	for {
+		select {
+		case <-n.passedC:
+			return nil, nil
+		case repl := <-n.upConns:
+			if acceptReplacement(cur, repl) {
+				return repl, nil
+			}
+			_ = repl.w.close()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// ingest stores and sinks one received chunk.
+func (n *Node) ingest(chunk []byte) error {
+	if err := n.ws.Append(chunk); err != nil {
+		return err
+	}
+	if n.cfg.Sink != nil {
+		if _, err := n.cfg.Sink.Write(chunk); err != nil {
+			n.abandon(fmt.Sprintf("sink write failed: %v", err))
+			return ErrAbandoned
+		}
+	}
+	n.bytesIn.Add(uint64(len(chunk)))
+	return nil
+}
+
+// fetchGap retrieves the byte range [from,to) directly from the sender via
+// PGET (§III-D2): the predecessor's replay window no longer holds the data
+// this node still needs, so node 0 is the only remaining source. A FORGET
+// answer from node 0 means the data is gone for good (streamed input) and
+// the caller must abandon.
+func (n *Node) fetchGap(ctx context.Context, from, to uint64) error {
+	if from >= to {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Restart from wherever the previous attempt got to.
+		err := n.fetchGapOnce(n.st.Head(), to)
+		if err == nil || errors.Is(err, ErrAbandoned) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (n *Node) fetchGapOnce(from, to uint64) error {
+	if from >= to {
+		return nil
+	}
+	c, err := n.cfg.Network.Dial(n.peers()[0].Addr, n.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("kascade: dialing sender for gap fetch: %w", err)
+	}
+	w := newWire(c)
+	defer w.close()
+	_ = c.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+	if err := w.writeHello(RoleFetch, n.cfg.Index); err != nil {
+		return err
+	}
+	if err := w.writePGet(from, to); err != nil {
+		return err
+	}
+	buf := make([]byte, n.opts.ChunkSize)
+	for {
+		w.setReadDeadlineIn(n.opts.FetchTimeout)
+		typ, err := w.readType()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case MsgData:
+			chunk, err := w.readDataInto(buf)
+			if err != nil {
+				return err
+			}
+			if err := n.ingest(chunk); err != nil {
+				return err
+			}
+		case MsgEnd:
+			if _, err := w.readUint64(); err != nil {
+				return err
+			}
+			if n.st.Head() < to {
+				return fmt.Errorf("kascade: gap fetch ended early at %d of %d", n.st.Head(), to)
+			}
+			return nil
+		case MsgForget:
+			_, _ = w.readUint64()
+			return ErrAbandoned
+		default:
+			return &errProtocol{want: MsgData, got: typ}
+		}
+	}
+}
+
+// abandon marks the node as failed-by-loss: it stops answering pings
+// (listener closed) so its predecessor skips it, and poisons the store so
+// the downstream manager sends QUIT(abandon) to the successor.
+func (n *Node) abandon(reason string) {
+	n.mu.Lock()
+	already := n.abandoned
+	n.abandoned = true
+	if !already {
+		n.abandonReason = reason
+	}
+	n.mu.Unlock()
+	if already {
+		return
+	}
+	_ = n.cfg.Listener.Close()
+	n.st.Abort(ErrAbandoned)
+}
+
+// AbandonReason describes why the node abandoned (empty if it did not).
+func (n *Node) AbandonReason() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.abandonReason
+}
+
+// stepAside retires an excluded node: listener closed (pings stop, so the
+// pipeline routes around it), store poisoned with ErrExcluded so the
+// downstream manager terminates without cascading a QUIT (its former
+// successor now belongs to the excluding predecessor).
+func (n *Node) stepAside(reason string) {
+	n.mu.Lock()
+	already := n.abandoned
+	n.abandoned = true
+	if !already {
+		n.abandonReason = reason
+	}
+	n.mu.Unlock()
+	if already {
+		return
+	}
+	_ = n.cfg.Listener.Close()
+	n.st.Abort(ErrExcluded)
+}
+
+func (n *Node) setUpReport(rep *Report) {
+	n.mu.Lock()
+	if n.upReport == nil {
+		n.upReport = rep.Clone()
+	} else {
+		n.upReport.Merge(rep)
+	}
+	n.mu.Unlock()
+	n.reportOnce.Do(func() { close(n.reportC) })
+}
+
+func (n *Node) markPassed() {
+	n.passedOnce.Do(func() { close(n.passedC) })
+}
+
+func (n *Node) recordFailure(idx int, reason string, off uint64) {
+	if idx <= 0 || idx >= len(n.peers()) {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, f := range n.detected {
+		if f.Index == idx {
+			return
+		}
+	}
+	n.detected = append(n.detected, Failure{
+		Index:      idx,
+		Name:       n.peers()[idx].Name,
+		Reason:     reason,
+		Offset:     off,
+		DetectedBy: n.me().Name,
+	})
+}
+
+func (n *Node) isFailedPeer(idx int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, f := range n.detected {
+		if f.Index == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) isTail() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tail
+}
+
+// mergedReport snapshots the report to forward: upstream's view plus this
+// node's own detections.
+func (n *Node) mergedReport() (*Report, error) {
+	n.mu.Lock()
+	rep := n.upReport.Clone()
+	det := append([]Failure(nil), n.detected...)
+	n.mu.Unlock()
+	rep.Merge(&Report{Failures: det})
+	if end, ok := n.st.End(); ok && end > rep.TotalBytes {
+		rep.TotalBytes = end
+	} else if h := n.st.Head(); h > rep.TotalBytes {
+		rep.TotalBytes = h
+	}
+	if n.st.AbortCause() == ErrQuit {
+		rep.Aborted = true
+	}
+	return rep, nil
+}
+
+// awaitReport blocks until a report is available to forward.
+func (n *Node) awaitReport(ctx context.Context) (*Report, error) {
+	select {
+	case <-n.reportC:
+		return n.mergedReport()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options tunes the protocol engine. The zero value selects production
+// defaults via withDefaults; tests use much smaller timeouts.
+//
+// The paper singles out several of these as the interesting design knobs:
+// the chunk size (§III-C: the stream is split into chunks so its total size
+// need not be known upfront), the in-memory window kept for replay after a
+// failure (§III-D2), and the failure-detection timeout (§IV-G: every
+// triggered timeout costs about one second of transfer).
+type Options struct {
+	// ChunkSize is the DATA chunk granularity in bytes.
+	ChunkSize int
+	// WindowChunks is how many recent chunks each node retains in memory
+	// for replaying to a recovering successor. It also bounds how far a
+	// node may run ahead of its successor (back-pressure).
+	WindowChunks int
+
+	// WriteStallTimeout is how long a write to the successor may stall
+	// before the failure detector probes it with a ping.
+	WriteStallTimeout time.Duration
+	// PingTimeout bounds the liveness probe (dial + PING + PONG).
+	PingTimeout time.Duration
+	// DialTimeout bounds each connection attempt; DialRetries attempts
+	// are made before a successor is declared dead.
+	DialTimeout time.Duration
+	DialRetries int
+
+	// GetTimeout is how long the sender side waits for the initial GET
+	// on a fresh data connection.
+	GetTimeout time.Duration
+	// FetchTimeout is how long the sender side waits for a follow-up GET
+	// after answering FORGET (the successor is fetching the gap from
+	// node 1), and how long a gap fetch itself may take.
+	FetchTimeout time.Duration
+	// ReportTimeout bounds the report/PASSED exchange at the end.
+	ReportTimeout time.Duration
+	// UpstreamIdleTimeout is how long a node waits for a (replacement)
+	// predecessor connection before giving the transfer up.
+	UpstreamIdleTimeout time.Duration
+
+	// MinThroughput enables the paper's future-work extension (§V): a
+	// successor whose drain rate stays below this many bytes/second for
+	// longer than SlowNodeGrace is excluded from the transfer exactly
+	// like a dead node (it appears in the report with an "excluded"
+	// reason). 0 disables exclusion.
+	MinThroughput float64
+	// SlowNodeGrace is the observation window before a slow successor
+	// is excluded (default 10 s when MinThroughput is set).
+	SlowNodeGrace time.Duration
+}
+
+// withDefaults fills in zero fields with production defaults.
+func (o Options) withDefaults() Options {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = v
+		}
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 1 << 20
+	}
+	if o.WindowChunks <= 0 {
+		o.WindowChunks = 64
+	}
+	def(&o.WriteStallTimeout, time.Second) // the paper's one-second timer
+	def(&o.PingTimeout, 500*time.Millisecond)
+	def(&o.DialTimeout, 5*time.Second)
+	if o.DialRetries <= 0 {
+		o.DialRetries = 2
+	}
+	def(&o.GetTimeout, 10*time.Second)
+	def(&o.FetchTimeout, 2*time.Minute)
+	def(&o.ReportTimeout, time.Minute)
+	def(&o.UpstreamIdleTimeout, time.Minute)
+	if o.MinThroughput > 0 {
+		def(&o.SlowNodeGrace, 10*time.Second)
+	}
+	return o
+}
+
+// Validate rejects configurations the engine cannot run with.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.ChunkSize > maxFrameData {
+		return fmt.Errorf("kascade: chunk size %d exceeds frame limit %d", o.ChunkSize, maxFrameData)
+	}
+	if o.WindowChunks < 2 {
+		return fmt.Errorf("kascade: window of %d chunks is too small to pipeline", o.WindowChunks)
+	}
+	return nil
+}
+
+// pollInterval is the cadence at which blocked frame reads wake up to check
+// for replacement connections or cancellation.
+func (o Options) pollInterval() time.Duration {
+	p := o.WriteStallTimeout / 4
+	if p < 5*time.Millisecond {
+		p = 5 * time.Millisecond
+	}
+	if p > 250*time.Millisecond {
+		p = 250 * time.Millisecond
+	}
+	return p
+}
+
+// Peer identifies one pipeline member.
+type Peer struct {
+	// Name is the host name (used in reports and for fabric addressing).
+	Name string
+	// Addr is the node's listen address, "host:port".
+	Addr string
+}
+
+// Plan is the shared description of one broadcast: the ordered pipeline
+// (element 0 is the sending node) and the protocol options. Every node
+// receives the same plan.
+type Plan struct {
+	Peers []Peer
+	Opts  Options
+}
+
+// Validate checks the plan is runnable.
+func (p *Plan) Validate() error {
+	if len(p.Peers) == 0 {
+		return fmt.Errorf("kascade: empty plan")
+	}
+	seen := make(map[string]bool, len(p.Peers))
+	for i, peer := range p.Peers {
+		if peer.Addr == "" {
+			return fmt.Errorf("kascade: peer %d (%s) has no address", i, peer.Name)
+		}
+		if seen[peer.Addr] {
+			return fmt.Errorf("kascade: duplicate peer address %s", peer.Addr)
+		}
+		seen[peer.Addr] = true
+	}
+	return p.Opts.Validate()
+}

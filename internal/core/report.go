@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Failure records one node failure detected during a broadcast. Failures
+// accumulate in the report that travels down the pipeline after END/QUIT
+// and ultimately reach the sending node over the ring-closing connection
+// (§III-A, §III-C of the paper).
+type Failure struct {
+	// Index is the pipeline position of the failed node (0 = sender).
+	Index int `json:"index"`
+	// Name is the failed node's host name.
+	Name string `json:"name"`
+	// Reason describes how the failure was detected (write stall with
+	// failed ping, refused dial, abandon after FORGET, ...).
+	Reason string `json:"reason"`
+	// Offset is the stream offset the detecting node had reached.
+	Offset uint64 `json:"offset"`
+	// DetectedBy is the name of the node that detected the failure.
+	DetectedBy string `json:"detected_by,omitempty"`
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("node %s (#%d) at offset %d: %s", f.Name, f.Index, f.Offset, f.Reason)
+}
+
+// Report is the final account of a broadcast: which nodes failed, whether
+// the transfer was aborted by the user, and how many bytes the stream
+// carried. It is JSON-encoded inside REPORT frames.
+type Report struct {
+	Failures   []Failure `json:"failures,omitempty"`
+	Aborted    bool      `json:"aborted,omitempty"`
+	TotalBytes uint64    `json:"total_bytes"`
+}
+
+// Merge folds other into r, de-duplicating failures by pipeline index
+// (the first record for an index wins, since the earliest detector has the
+// most precise offset).
+func (r *Report) Merge(other *Report) {
+	if other == nil {
+		return
+	}
+	r.Aborted = r.Aborted || other.Aborted
+	if other.TotalBytes > r.TotalBytes {
+		r.TotalBytes = other.TotalBytes
+	}
+	seen := make(map[int]bool, len(r.Failures))
+	for _, f := range r.Failures {
+		seen[f.Index] = true
+	}
+	for _, f := range other.Failures {
+		if !seen[f.Index] {
+			r.Failures = append(r.Failures, f)
+			seen[f.Index] = true
+		}
+	}
+	sort.Slice(r.Failures, func(i, j int) bool { return r.Failures[i].Index < r.Failures[j].Index })
+}
+
+// Clone returns a deep copy, so a node can merge and forward a snapshot
+// while its own failure list keeps growing.
+func (r *Report) Clone() *Report {
+	if r == nil {
+		return &Report{}
+	}
+	out := &Report{Aborted: r.Aborted, TotalBytes: r.TotalBytes}
+	out.Failures = append(out.Failures, r.Failures...)
+	return out
+}
+
+// Failed reports whether the node at the given pipeline index appears in
+// the failure list.
+func (r *Report) Failed(index int) bool {
+	for _, f := range r.Failures {
+		if f.Index == index {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Report) String() string {
+	if r == nil {
+		return "<nil report>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "broadcast of %d bytes", r.TotalBytes)
+	if r.Aborted {
+		sb.WriteString(" (aborted)")
+	}
+	if len(r.Failures) == 0 {
+		sb.WriteString(": no failures")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, ": %d failure(s)", len(r.Failures))
+	for _, f := range r.Failures {
+		sb.WriteString("\n  - ")
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

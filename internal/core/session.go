@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// SessionConfig describes an in-process broadcast: every pipeline member
+// runs as a goroutine inside this process, each with its own Network view
+// (distinct fabric hosts, or the shared TCP stack for loopback runs).
+type SessionConfig struct {
+	// Peers is the ordered pipeline; Peers[0] is the sender. When a
+	// peer's Addr is empty, the session binds an ephemeral address and
+	// fills it in (supported by the TCP backend via "127.0.0.1:0").
+	Peers []Peer
+	Opts  Options
+
+	// NetworkFor returns the network surface of pipeline member i.
+	NetworkFor func(i int) transport.Network
+
+	// Input is the streamed source payload; InputFile/InputSize take
+	// precedence when InputFile is non-nil (random-access source).
+	Input     io.Reader
+	InputFile io.ReaderAt
+	InputSize int64
+
+	// SinkFor returns receiver i's local sink (nil to discard).
+	SinkFor func(i int) io.Writer
+}
+
+// SessionResult aggregates the outcome of an in-process broadcast.
+type SessionResult struct {
+	// Report is the sender's final ring report.
+	Report *Report
+	// Elapsed is the sender-observed wall-clock duration.
+	Elapsed time.Duration
+	// NodeErrs holds each receiver's terminal error (nil on success),
+	// indexed by pipeline position; entry 0 is the sender's.
+	NodeErrs []error
+	// Received holds the payload byte count each node ingested.
+	Received []uint64
+}
+
+// Throughput returns the broadcast throughput in bytes/second as the paper
+// computes it: transmitted size divided by completion time.
+func (r *SessionResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Report.TotalBytes) / r.Elapsed.Seconds()
+}
+
+// Session is a broadcast in flight. Nodes exposes the live pipeline members
+// (useful to observe progress or to coordinate fault injection in tests);
+// Wait blocks until the sender has its final report and every surviving
+// receiver finished its protocol epilogue.
+type Session struct {
+	Nodes []*Node
+	Plan  Plan
+
+	start  time.Time
+	wg     *sync.WaitGroup
+	res    *SessionResult
+	sender struct {
+		report *Report
+		err    error
+	}
+}
+
+// RunSession executes a complete broadcast in-process and returns once the
+// sender has its final report and all surviving receivers finished their
+// protocol epilogue. Receivers that die mid-transfer (fabric kills) report
+// their own errors in NodeErrs without failing the session.
+func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) {
+	s, err := StartSession(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wait()
+}
+
+// StartSession binds listeners, builds the nodes and launches them, then
+// returns immediately with the live session.
+func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("kascade: session needs at least the sender")
+	}
+	if cfg.NetworkFor == nil {
+		return nil, fmt.Errorf("kascade: session needs a NetworkFor function")
+	}
+	peers := append([]Peer(nil), cfg.Peers...)
+
+	// Bind every listener up front so no dial can race a listen.
+	listeners := make([]transport.Listener, len(peers))
+	for i := range peers {
+		l, err := cfg.NetworkFor(i).Listen(peers[i].Addr)
+		if err != nil {
+			for _, b := range listeners[:i] {
+				if b != nil {
+					b.Close()
+				}
+			}
+			return nil, fmt.Errorf("kascade: binding %s: %w", peers[i].Addr, err)
+		}
+		listeners[i] = l
+		peers[i].Addr = l.Addr() // resolve ephemeral ports
+	}
+
+	plan := Plan{Peers: peers, Opts: cfg.Opts}
+	if err := plan.Validate(); err != nil {
+		for _, l := range listeners {
+			l.Close()
+		}
+		return nil, err
+	}
+
+	nodes := make([]*Node, len(peers))
+	for i := range peers {
+		nc := NodeConfig{
+			Index:    i,
+			Plan:     plan,
+			Network:  cfg.NetworkFor(i),
+			Listener: listeners[i],
+		}
+		if i == 0 {
+			nc.InputFile = cfg.InputFile
+			nc.InputSize = cfg.InputSize
+			if cfg.InputFile == nil {
+				nc.Input = cfg.Input
+			}
+		} else if cfg.SinkFor != nil {
+			nc.Sink = cfg.SinkFor(i)
+		}
+		n, err := NewNode(nc)
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	s := &Session{
+		Nodes: nodes,
+		Plan:  plan,
+		wg:    &sync.WaitGroup{},
+		res: &SessionResult{
+			NodeErrs: make([]error, len(peers)),
+			Received: make([]uint64, len(peers)),
+		},
+		start: time.Now(),
+	}
+	for i := range nodes {
+		s.wg.Add(1)
+		go func(i int) {
+			defer s.wg.Done()
+			rep, err := nodes[i].Run(ctx)
+			s.res.NodeErrs[i] = err
+			if i == 0 {
+				s.sender.report, s.sender.err = rep, err
+				s.res.Elapsed = time.Since(s.start)
+			}
+		}(i)
+	}
+	return s, nil
+}
+
+// Wait blocks until every node finished and returns the aggregate result.
+func (s *Session) Wait() (*SessionResult, error) {
+	s.wg.Wait()
+	for i, n := range s.Nodes {
+		s.res.Received[i] = n.BytesReceived()
+	}
+	s.res.Report = s.sender.report
+	if s.sender.err != nil {
+		return s.res, fmt.Errorf("kascade: sender failed: %w", s.sender.err)
+	}
+	if s.sender.report == nil {
+		return s.res, errors.New("kascade: sender produced no report")
+	}
+	return s.res, nil
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Errors surfaced by chunk stores.
+var (
+	// ErrQuit is returned by ChunkAt after a user-initiated abort: the
+	// pipeline still closes its ring (QUIT then REPORT), per §III-C.
+	ErrQuit = errors.New("kascade: transfer aborted by user")
+	// ErrAbandoned is returned after an unrecoverable data loss (FORGET
+	// from a streamed source): the node gives up entirely, per §III-D2.
+	ErrAbandoned = errors.New("kascade: transfer abandoned, data irrecoverably lost")
+	// ErrExcluded is returned after the predecessor excluded this node
+	// for sustained low throughput (the paper's §V extension). The node
+	// steps aside without cascading a QUIT: its former successor is
+	// adopted by the excluding predecessor.
+	ErrExcluded = errors.New("kascade: node excluded for low throughput")
+)
+
+// ForgetError is returned by ChunkAt when the requested offset fell out of
+// the retained window; Base is the smallest offset still available. The
+// sender side answers the pending GET/PGET with FORGET(Base).
+type ForgetError struct{ Base uint64 }
+
+func (e *ForgetError) Error() string {
+	return fmt.Sprintf("kascade: data before offset %d is no longer buffered", e.Base)
+}
+
+// store is the node-local view of the stream being broadcast: the
+// downstream sender reads sequential chunks from it, and the fetch server
+// (at node 1) answers PGET range requests from it.
+type store interface {
+	// ChunkAt returns the chunk starting at byte offset off, blocking
+	// until it is available. It returns io.EOF once off reaches the end
+	// of a finished stream, a *ForgetError if off is below the retained
+	// window, ErrQuit/ErrAbandoned after an abort, or the abort cause.
+	ChunkAt(off uint64) ([]byte, error)
+	// SetLowWater tells the store that bytes below off are safely at the
+	// successor, making the chunks below off eligible for eviction.
+	SetLowWater(off uint64)
+	// ResetLowWater rebases the consumption mark when a *new* successor
+	// takes over at an older offset, protecting its unread chunks from
+	// eviction.
+	ResetLowWater(off uint64)
+	// ReleaseAll lifts back-pressure entirely (the node became the
+	// pipeline tail and has no successor to replay for).
+	ReleaseAll()
+	// Head returns the exclusive upper bound of available data.
+	Head() uint64
+	// End returns the total stream length, if known yet.
+	End() (uint64, bool)
+	// Abort poisons the store: blocked and future calls return cause.
+	Abort(cause error)
+	// AbortCause returns the abort cause, or nil.
+	AbortCause() error
+}
+
+// windowStore is the relay-side (and streamed-source-side) store: a ring of
+// the most recent chunks. Appending blocks once the window is full and the
+// successor has not consumed the oldest chunk yet — this is the engine's
+// back-pressure, equivalent to TCP's when the paper's Ruby implementation
+// stops reading. Keeping a window (rather than only the newest chunk) is
+// what lets a node replay data to a recovering successor (§III-D2).
+type windowStore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	chunkSize int
+	capBytes  uint64
+
+	base     uint64 // offset of chunks[0]
+	head     uint64 // next append offset (== total bytes received)
+	chunks   [][]byte
+	lowWater uint64 // bytes below this are consumed downstream
+	released bool   // no successor: never block appends
+
+	ended bool
+	end   uint64
+	abort error
+}
+
+func newWindowStore(chunkSize, windowChunks int) *windowStore {
+	s := &windowStore{
+		chunkSize: chunkSize,
+		capBytes:  uint64(chunkSize) * uint64(windowChunks),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Append adds the next chunk (all chunks are ChunkSize long except the
+// final one). It blocks while the window is full of unconsumed data.
+func (s *windowStore) Append(chunk []byte) error {
+	if len(chunk) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	need := uint64(len(chunk))
+	for {
+		if s.abort != nil {
+			return s.abort
+		}
+		if s.ended {
+			return fmt.Errorf("kascade: append after end of stream")
+		}
+		if s.released || s.head-s.base+need <= s.capBytes {
+			break
+		}
+		// Make room by evicting front chunks already consumed by the
+		// successor. Unconsumed chunks are never dropped: the appender
+		// waits instead, which is the pipeline's back-pressure.
+		for len(s.chunks) > 0 && s.head-s.base+need > s.capBytes {
+			first := uint64(len(s.chunks[0]))
+			if s.base+first > s.lowWater {
+				break
+			}
+			s.chunks = s.chunks[1:]
+			s.base += first
+		}
+		if s.head-s.base+need <= s.capBytes {
+			break
+		}
+		s.cond.Wait()
+	}
+	owned := make([]byte, len(chunk))
+	copy(owned, chunk)
+	s.chunks = append(s.chunks, owned)
+	s.head += uint64(len(owned))
+	s.cond.Broadcast()
+	return nil
+}
+
+// Finish marks the end of the stream at offset total.
+func (s *windowStore) Finish(total uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.end = total
+	}
+	s.cond.Broadcast()
+}
+
+func (s *windowStore) ChunkAt(off uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.abort != nil {
+			return nil, s.abort
+		}
+		if off < s.base {
+			return nil, &ForgetError{Base: s.base}
+		}
+		if off < s.head {
+			return s.chunkAtLocked(off)
+		}
+		if s.ended {
+			return nil, io.EOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// chunkAtLocked locates the chunk containing off. Offsets are always
+// chunk-aligned by construction (GET/PGET offsets advance by whole chunks).
+func (s *windowStore) chunkAtLocked(off uint64) ([]byte, error) {
+	idx := int((off - s.base) / uint64(s.chunkSize))
+	if idx < 0 || idx >= len(s.chunks) {
+		return nil, fmt.Errorf("kascade: internal: offset %d maps to chunk %d of %d", off, idx, len(s.chunks))
+	}
+	chunkStart := s.base + uint64(idx)*uint64(s.chunkSize)
+	if chunkStart != off {
+		return nil, fmt.Errorf("kascade: unaligned offset %d (chunk starts at %d)", off, chunkStart)
+	}
+	return s.chunks[idx], nil
+}
+
+func (s *windowStore) SetLowWater(off uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off > s.lowWater {
+		s.lowWater = off
+		s.cond.Broadcast()
+	}
+}
+
+func (s *windowStore) ResetLowWater(off uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lowWater = off
+	s.cond.Broadcast()
+}
+
+func (s *windowStore) ReleaseAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.released = true
+	s.cond.Broadcast()
+}
+
+func (s *windowStore) Head() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head
+}
+
+func (s *windowStore) End() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end, s.ended
+}
+
+func (s *windowStore) Abort(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abort == nil {
+		s.abort = cause
+	}
+	s.cond.Broadcast()
+}
+
+func (s *windowStore) AbortCause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abort
+}
+
+// Base returns the smallest retained offset (for tests and diagnostics).
+func (s *windowStore) Base() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
+// fileStore is the random-access source store used when the input is a
+// file (io.ReaderAt): any offset can be served at any time, so recovering
+// successors never hit FORGET at node 1 — exactly the distinction §III-D2
+// draws between file-backed and streamed sources.
+type fileStore struct {
+	ra        io.ReaderAt
+	size      uint64
+	chunkSize int
+
+	mu    sync.Mutex
+	abort error
+	buf   sync.Pool
+}
+
+func newFileStore(ra io.ReaderAt, size int64, chunkSize int) *fileStore {
+	fs := &fileStore{ra: ra, size: uint64(size), chunkSize: chunkSize}
+	fs.buf.New = func() any { b := make([]byte, chunkSize); return &b }
+	return fs
+}
+
+func (s *fileStore) ChunkAt(off uint64) ([]byte, error) {
+	if err := s.AbortCause(); err != nil {
+		return nil, err
+	}
+	if off >= s.size {
+		return nil, io.EOF
+	}
+	n := uint64(s.chunkSize)
+	if off+n > s.size {
+		n = s.size - off
+	}
+	bp := s.buf.Get().(*[]byte)
+	buf := (*bp)[:n]
+	if _, err := s.ra.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("kascade: reading source file at %d: %w", off, err)
+	}
+	// The buffer is intentionally not returned to the pool: callers hold
+	// the slice across a network write. Chunks are small and short-lived;
+	// the pool only smooths allocation bursts between GC cycles.
+	return buf, nil
+}
+
+func (s *fileStore) SetLowWater(uint64)   {}
+func (s *fileStore) ResetLowWater(uint64) {}
+func (s *fileStore) ReleaseAll()          {}
+func (s *fileStore) Head() uint64         { return s.size }
+func (s *fileStore) End() (uint64, bool) {
+	return s.size, true
+}
+
+func (s *fileStore) Abort(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abort == nil {
+		s.abort = cause
+	}
+}
+
+func (s *fileStore) AbortCause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abort
+}

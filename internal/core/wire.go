@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// MsgType enumerates the protocol messages of Fig 4 of the paper, plus the
+// connection-open (HELLO) and liveness (PING/PONG) frames its §III-D1
+// failure detector implies.
+type MsgType byte
+
+const (
+	MsgHello  MsgType = iota + 1 // role + node index: opens every connection
+	MsgGet                       // offset: request stream data from offset
+	MsgPGet                      // [from,to): request a byte range (gap fetch)
+	MsgForget                    // min offset: requested data not available anymore
+	MsgData                      // length + payload: one chunk
+	MsgEnd                       // total length: end of stream
+	MsgQuit                      // reason: anticipated end of stream
+	MsgReport                    // length + JSON report
+	MsgPassed                    // report reached node 1; sender may exit
+	MsgPing                      // liveness probe
+	MsgPong                      // liveness answer
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgHello:
+		return "HELLO"
+	case MsgGet:
+		return "GET"
+	case MsgPGet:
+		return "PGET"
+	case MsgForget:
+		return "FORGET"
+	case MsgData:
+		return "DATA"
+	case MsgEnd:
+		return "END"
+	case MsgQuit:
+		return "QUIT"
+	case MsgReport:
+		return "REPORT"
+	case MsgPassed:
+		return "PASSED"
+	case MsgPing:
+		return "PING"
+	case MsgPong:
+		return "PONG"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(m))
+	}
+}
+
+// Role identifies the purpose of a connection, declared by the HELLO frame.
+type Role byte
+
+const (
+	RoleData   Role = iota + 1 // predecessor streaming the broadcast to a successor
+	RolePing                   // liveness probe (§III-D1)
+	RoleFetch                  // PGET gap fetch directed at node 1 (§III-D2)
+	RoleReport                 // ring-closing report delivery from the last node to node 1
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleData:
+		return "data"
+	case RolePing:
+		return "ping"
+	case RoleFetch:
+		return "fetch"
+	case RoleReport:
+		return "report"
+	default:
+		return fmt.Sprintf("Role(%d)", byte(r))
+	}
+}
+
+// QuitReason distinguishes the two uses of QUIT in the paper: a user
+// interruption (a report still follows and the pipeline closes its ring)
+// versus the abandon cascade after data was irrecoverably lost on a
+// streamed source (the receiving node gives up entirely).
+type QuitReason byte
+
+const (
+	QuitUser     QuitReason = iota + 1 // anticipated end of stream; report follows
+	QuitAbandon                        // unrecoverable loss; receiver must abandon
+	QuitExcluded                       // receiver excluded for low throughput (§V); step aside quietly
+)
+
+// maxFrameData bounds DATA/REPORT payload lengths accepted from the wire,
+// protecting against corrupted length prefixes.
+const maxFrameData = 1 << 28
+
+// wire frames messages over a transport connection. Reads are buffered;
+// writes go straight to the connection (optionally through a stall-detecting
+// writer) so that a partially timed-out write can be resumed byte-exactly.
+type wire struct {
+	conn transport.Conn
+	br   *bufio.Reader
+	out  io.Writer // conn, or a stallWriter wrapping it
+	hdr  [17]byte  // scratch header buffer
+}
+
+func newWire(c transport.Conn) *wire {
+	return &wire{conn: c, br: bufio.NewReaderSize(c, 64<<10), out: c}
+}
+
+func (w *wire) close() error { return w.conn.Close() }
+
+// readType reads the next frame's type byte, honouring the deadline set on
+// the connection by the caller.
+func (w *wire) readType() (MsgType, error) {
+	b, err := w.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	return MsgType(b), nil
+}
+
+func (w *wire) readFull(p []byte) error {
+	_, err := io.ReadFull(w.br, p)
+	return err
+}
+
+func (w *wire) readUint64() (uint64, error) {
+	var b [8]byte
+	if err := w.readFull(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func (w *wire) readUint32() (uint32, error) {
+	var b [4]byte
+	if err := w.readFull(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// readHello parses the payload of a HELLO frame (after its type byte).
+func (w *wire) readHello() (Role, int, error) {
+	var b [5]byte
+	if err := w.readFull(b[:]); err != nil {
+		return 0, 0, err
+	}
+	return Role(b[0]), int(binary.BigEndian.Uint32(b[1:])), nil
+}
+
+// readDataInto reads a DATA payload (after the type byte) into buf,
+// growing it if needed, and returns the payload slice.
+func (w *wire) readDataInto(buf []byte) ([]byte, error) {
+	size, err := w.readUint32()
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameData {
+		return nil, fmt.Errorf("kascade: DATA frame of %d bytes exceeds limit", size)
+	}
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if err := w.readFull(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readQuit parses a QUIT payload (after the type byte).
+func (w *wire) readQuit() (QuitReason, error) {
+	b, err := w.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	return QuitReason(b), nil
+}
+
+// readPGet parses a PGET payload.
+func (w *wire) readPGet() (from, to uint64, err error) {
+	if from, err = w.readUint64(); err != nil {
+		return 0, 0, err
+	}
+	if to, err = w.readUint64(); err != nil {
+		return 0, 0, err
+	}
+	return from, to, nil
+}
+
+// readReport parses a REPORT payload.
+func (w *wire) readReport() (*Report, error) {
+	size, err := w.readUint32()
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameData {
+		return nil, fmt.Errorf("kascade: REPORT frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if err := w.readFull(payload); err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, fmt.Errorf("kascade: bad report payload: %w", err)
+	}
+	return &r, nil
+}
+
+func (w *wire) writeAll(p []byte) error {
+	_, err := w.out.Write(p)
+	return err
+}
+
+func (w *wire) writeHello(role Role, index int) error {
+	w.hdr[0] = byte(MsgHello)
+	w.hdr[1] = byte(role)
+	binary.BigEndian.PutUint32(w.hdr[2:6], uint32(index))
+	return w.writeAll(w.hdr[:6])
+}
+
+func (w *wire) writeGet(offset uint64) error {
+	w.hdr[0] = byte(MsgGet)
+	binary.BigEndian.PutUint64(w.hdr[1:9], offset)
+	return w.writeAll(w.hdr[:9])
+}
+
+func (w *wire) writePGet(from, to uint64) error {
+	w.hdr[0] = byte(MsgPGet)
+	binary.BigEndian.PutUint64(w.hdr[1:9], from)
+	binary.BigEndian.PutUint64(w.hdr[9:17], to)
+	return w.writeAll(w.hdr[:17])
+}
+
+func (w *wire) writeForget(minOffset uint64) error {
+	w.hdr[0] = byte(MsgForget)
+	binary.BigEndian.PutUint64(w.hdr[1:9], minOffset)
+	return w.writeAll(w.hdr[:9])
+}
+
+func (w *wire) writeData(chunk []byte) error {
+	w.hdr[0] = byte(MsgData)
+	binary.BigEndian.PutUint32(w.hdr[1:5], uint32(len(chunk)))
+	if err := w.writeAll(w.hdr[:5]); err != nil {
+		return err
+	}
+	return w.writeAll(chunk)
+}
+
+func (w *wire) writeEnd(total uint64) error {
+	w.hdr[0] = byte(MsgEnd)
+	binary.BigEndian.PutUint64(w.hdr[1:9], total)
+	return w.writeAll(w.hdr[:9])
+}
+
+func (w *wire) writeQuit(reason QuitReason) error {
+	w.hdr[0] = byte(MsgQuit)
+	w.hdr[1] = byte(reason)
+	return w.writeAll(w.hdr[:2])
+}
+
+func (w *wire) writeReport(r *Report) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("kascade: encoding report: %w", err)
+	}
+	w.hdr[0] = byte(MsgReport)
+	binary.BigEndian.PutUint32(w.hdr[1:5], uint32(len(payload)))
+	if err := w.writeAll(w.hdr[:5]); err != nil {
+		return err
+	}
+	return w.writeAll(payload)
+}
+
+func (w *wire) writeType(t MsgType) error {
+	w.hdr[0] = byte(t)
+	return w.writeAll(w.hdr[:1])
+}
+
+func (w *wire) writePassed() error { return w.writeType(MsgPassed) }
+func (w *wire) writePing() error   { return w.writeType(MsgPing) }
+func (w *wire) writePong() error   { return w.writeType(MsgPong) }
+
+// setReadDeadlineIn sets the connection read deadline d from now
+// (zero d clears it).
+func (w *wire) setReadDeadlineIn(d time.Duration) {
+	if d <= 0 {
+		_ = w.conn.SetReadDeadline(time.Time{})
+		return
+	}
+	_ = w.conn.SetReadDeadline(time.Now().Add(d))
+}

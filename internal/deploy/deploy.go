@@ -1,0 +1,114 @@
+// Package deploy models the node startup phase the paper attributes to
+// TakTuk/ClusterShell (§III-B): before any data flows, Kascade copies
+// itself and the node list to every destination and starts itself there.
+// That cost is what separates the methods on small files (Fig 14), where
+// transmission finishes in under a second and "methods that have efficient
+// start-up are clearly better".
+//
+// Two connection strategies are modelled: the windowed mode (the root opens
+// at most Window concurrent connections; Kascade's default, because the
+// adaptive tree cannot survive mid-tree failures) and the adaptive tree
+// (already-reached nodes connect onward; faster, not fault-tolerant). The
+// package also provides the windowed concurrency primitive itself, which
+// the CLI uses to contact its agents.
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Strategy selects a connection fan-out discipline.
+type Strategy int
+
+const (
+	// Windowed: the root connects to every node itself, at most Window
+	// in flight (TakTuk's windowed mode, Kascade's default §III-B).
+	Windowed Strategy = iota
+	// AdaptiveTree: nodes already reached connect to further nodes
+	// (TakTuk's adaptive tree; faster, but a mid-tree failure orphans a
+	// subtree, which is why Kascade avoids it).
+	AdaptiveTree
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Windowed:
+		return "windowed"
+	case AdaptiveTree:
+		return "adaptive-tree"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Params tunes the startup cost model.
+type Params struct {
+	// Window bounds concurrent connections in Windowed mode (default 50).
+	Window int
+	// Arity is the adaptive tree fan-out (default 2).
+	Arity int
+	// ConnectTime is the cost of reaching and starting one node
+	// (ssh handshake + remote spawn; default 0.35 s).
+	ConnectTime float64
+	// SelfCopyTime is the one-off cost of shipping the tool and node
+	// list before starting (Kascade copies itself; default 0.5 s).
+	SelfCopyTime float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Window <= 0 {
+		p.Window = 50
+	}
+	if p.Arity <= 0 {
+		p.Arity = 2
+	}
+	if p.ConnectTime <= 0 {
+		p.ConnectTime = 0.35
+	}
+	return p
+}
+
+// StartupTime estimates the seconds needed to reach and start n nodes.
+func StartupTime(s Strategy, n int, p Params) float64 {
+	p = p.withDefaults()
+	if n <= 0 {
+		return p.SelfCopyTime
+	}
+	switch s {
+	case Windowed:
+		rounds := math.Ceil(float64(n) / float64(p.Window))
+		return p.SelfCopyTime + rounds*p.ConnectTime
+	case AdaptiveTree:
+		// Reached nodes recruit arity more each round: coverage grows
+		// by a factor of (arity+1) per round.
+		rounds := math.Ceil(math.Log(float64(n+1)) / math.Log(float64(p.Arity+1)))
+		return p.SelfCopyTime + rounds*p.ConnectTime
+	default:
+		return p.SelfCopyTime
+	}
+}
+
+// ParallelWindow runs fn(0..n-1) with at most window concurrent calls —
+// the execution primitive behind Windowed startup. It returns the per-index
+// errors.
+func ParallelWindow(n, window int, fn func(i int) error) []error {
+	if window <= 0 {
+		window = 1
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}

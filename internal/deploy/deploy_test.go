@@ -1,0 +1,82 @@
+package deploy
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWindowedStartupScalesWithRounds(t *testing.T) {
+	p := Params{Window: 50, ConnectTime: 0.4, SelfCopyTime: 0.5}
+	if got := StartupTime(Windowed, 50, p); got != 0.9 {
+		t.Fatalf("one round: %v", got)
+	}
+	if got := StartupTime(Windowed, 51, p); got != 1.3 {
+		t.Fatalf("two rounds: %v", got)
+	}
+	if got := StartupTime(Windowed, 200, p); got != 0.5+4*0.4 {
+		t.Fatalf("four rounds: %v", got)
+	}
+}
+
+func TestAdaptiveTreeIsLogarithmic(t *testing.T) {
+	p := Params{Arity: 2, ConnectTime: 0.3}
+	small := StartupTime(AdaptiveTree, 8, p)
+	big := StartupTime(AdaptiveTree, 512, p)
+	if big >= StartupTime(Windowed, 512, Params{Window: 50, ConnectTime: 0.3}) {
+		t.Fatalf("adaptive tree (%v) should beat windowed at scale", big)
+	}
+	if big <= small {
+		t.Fatal("startup must grow with n")
+	}
+}
+
+func TestStartupTimeDegenerate(t *testing.T) {
+	p := Params{SelfCopyTime: 0.5}
+	if got := StartupTime(Windowed, 0, p); got != 0.5 {
+		t.Fatalf("zero nodes: %v", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Windowed.String() != "windowed" || AdaptiveTree.String() != "adaptive-tree" {
+		t.Fatal("strategy names")
+	}
+	if Strategy(7).String() == "" {
+		t.Fatal("unknown strategy must format")
+	}
+}
+
+func TestParallelWindowRunsAllAndBoundsConcurrency(t *testing.T) {
+	const n, window = 40, 4
+	var running, peak, total atomic.Int64
+	errs := ParallelWindow(n, window, func(i int) error {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		total.Add(1)
+		running.Add(-1)
+		if i == 7 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if total.Load() != n {
+		t.Fatalf("ran %d of %d", total.Load(), n)
+	}
+	if peak.Load() > window {
+		t.Fatalf("concurrency %d exceeded window %d", peak.Load(), window)
+	}
+	if errs[7] == nil {
+		t.Fatal("error not propagated")
+	}
+	for i, err := range errs {
+		if i != 7 && err != nil {
+			t.Fatalf("unexpected error at %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package distem rebuilds the paper's fault-tolerance testbed (§IV-G): the
+// Distem emulator folding 100 virtual nodes onto 20 physical machines of a
+// 1 GbE cluster, five vnodes per physical node, with failures injected at
+// scheduled instants.
+//
+// The folding is what pushes the no-failure reference down to ~80 MB/s
+// (instead of the 112 MB/s a physical pipeline reaches): each vnode pays a
+// virtualization overhead, and five pipeline positions share each physical
+// NIC. Both effects are modelled directly as simulator links.
+package distem
+
+import (
+	"fmt"
+
+	"kascade/internal/simbcast"
+	"kascade/internal/simnet"
+)
+
+// PlatformParams sizes the emulated platform.
+type PlatformParams struct {
+	// PhysNodes is the number of physical machines (paper: 20).
+	PhysNodes int
+	// Fold is the number of virtual nodes per physical one (paper: 5).
+	Fold int
+	// PhysCapacity is the physical NIC rate in bytes/s (1 GbE payload).
+	PhysCapacity float64
+	// LoopCapacity is the intra-host vnode-to-vnode rate.
+	LoopCapacity float64
+	// VnodeRelayRate is the per-vnode forwarding ceiling (virtualization
+	// overhead; calibrated to the paper's 80 MB/s reference).
+	VnodeRelayRate float64
+	// EdgeLatencySec is the per-hop latency.
+	EdgeLatencySec float64
+}
+
+// DefaultPlatform returns the paper's setup.
+func DefaultPlatform() PlatformParams {
+	return PlatformParams{
+		PhysNodes:      20,
+		Fold:           5,
+		PhysCapacity:   112e6,
+		LoopCapacity:   400e6,
+		VnodeRelayRate: 84e6,
+		EdgeLatencySec: 0.0002,
+	}
+}
+
+// Platform is the folded virtual cluster; it implements simbcast.World
+// over virtual node indices 0..PhysNodes*Fold-1. Virtual node v runs on
+// physical node v/Fold, so consecutive pipeline positions mostly talk over
+// loopback and each physical NIC carries exactly one inbound and one
+// outbound pipeline stream — the layout Distem uses in the paper.
+type Platform struct {
+	params   PlatformParams
+	network  *simnet.Network
+	physUp   []*simnet.Link
+	physDown []*simnet.Link
+	loop     []*simnet.Link
+	relay    []*simnet.Link // per vnode
+}
+
+// NewPlatform builds the folded platform on a fresh simulation.
+func NewPlatform(net *simnet.Network, p PlatformParams) *Platform {
+	if p.PhysNodes <= 0 || p.Fold <= 0 {
+		panic("distem: platform needs positive sizes")
+	}
+	pl := &Platform{params: p, network: net}
+	for i := 0; i < p.PhysNodes; i++ {
+		pl.physUp = append(pl.physUp, net.NewLink(fmt.Sprintf("p%d/up", i+1), p.PhysCapacity))
+		pl.physDown = append(pl.physDown, net.NewLink(fmt.Sprintf("p%d/down", i+1), p.PhysCapacity))
+		pl.loop = append(pl.loop, net.NewLink(fmt.Sprintf("p%d/lo", i+1), p.LoopCapacity))
+	}
+	for v := 0; v < p.PhysNodes*p.Fold; v++ {
+		pl.relay = append(pl.relay, net.NewLink(fmt.Sprintf("v%d/relay", v+1), p.VnodeRelayRate))
+	}
+	return pl
+}
+
+// Nodes returns the virtual node count.
+func (pl *Platform) Nodes() int { return pl.params.PhysNodes * pl.params.Fold }
+
+// Net returns the flow network.
+func (pl *Platform) Net() *simnet.Network { return pl.network }
+
+// Disk returns nil: the paper's Distem experiment measures the transfer
+// itself (the folded nodes share disks, so payloads go to memory).
+func (pl *Platform) Disk(int) *simnet.Link { return nil }
+
+// Phys returns the physical host of virtual node v.
+func (pl *Platform) Phys(v int) int { return v / pl.params.Fold }
+
+// Path routes vnode i to vnode j: over the host loopback when co-located,
+// through both physical NICs otherwise, always paying the receiving
+// vnode's virtualization ceiling.
+func (pl *Platform) Path(i, j int) (links []*simnet.Link, latency, maxRate float64) {
+	if i == j {
+		panic(fmt.Sprintf("distem: self-path for vnode %d", i))
+	}
+	pi, pj := pl.Phys(i), pl.Phys(j)
+	if pi == pj {
+		links = append(links, pl.loop[pi])
+		latency = pl.params.EdgeLatencySec / 4
+	} else {
+		links = append(links, pl.physUp[pi], pl.physDown[pj])
+		latency = 2 * pl.params.EdgeLatencySec
+	}
+	links = append(links, pl.relay[j])
+	return links, latency, 0
+}
+
+// Scenario is one of the paper's §IV-G fault-injection cases: a named set
+// of timed kills over the 100-vnode pipeline (vnode n1 is the sender).
+type Scenario struct {
+	Name     string
+	Failures []simbcast.NodeFailure
+}
+
+// Scenarios returns the paper's seven cases verbatim. Failure positions
+// are pipeline indices of the paper's n<k> names (n1 = position 0), and
+// times are seconds after transfer start.
+func Scenarios() []Scenario {
+	pos := func(n int) int { return n - 1 }
+	at := func(t float64, nodes ...int) []simbcast.NodeFailure {
+		var out []simbcast.NodeFailure
+		for _, n := range nodes {
+			out = append(out, simbcast.NodeFailure{Pos: pos(n), At: t})
+		}
+		return out
+	}
+	seq := func(start, step float64, nodes ...int) []simbcast.NodeFailure {
+		var out []simbcast.NodeFailure
+		for i, n := range nodes {
+			out = append(out, simbcast.NodeFailure{Pos: pos(n), At: start + float64(i)*step})
+		}
+		return out
+	}
+	return []Scenario{
+		{Name: "no failure"},
+		{Name: "2% sim. failures", Failures: at(10, 29, 69)},
+		{Name: "5% sim. failures", Failures: at(10, 9, 29, 49, 69, 89)},
+		{Name: "10% sim. failures", Failures: at(10, 9, 19, 29, 39, 49, 59, 69, 79, 89, 99)},
+		{Name: "2% seq. failures", Failures: seq(10, 10, 29, 69)},
+		{Name: "5% seq. failures", Failures: seq(10, 4, 9, 29, 49, 69, 89)},
+		{Name: "10% seq. failures", Failures: seq(10, 2, 9, 19, 29, 39, 49, 59, 69, 79, 89, 99)},
+	}
+}

@@ -1,0 +1,128 @@
+package distem
+
+import (
+	"testing"
+
+	"kascade/internal/simbcast"
+	"kascade/internal/simnet"
+)
+
+func newWorld() *Platform {
+	sim := simnet.New()
+	net := simnet.NewNetwork(sim)
+	return NewPlatform(net, DefaultPlatform())
+}
+
+func TestPlatformShape(t *testing.T) {
+	pl := newWorld()
+	if pl.Nodes() != 100 {
+		t.Fatalf("vnodes = %d", pl.Nodes())
+	}
+	if pl.Phys(0) != 0 || pl.Phys(4) != 0 || pl.Phys(5) != 1 || pl.Phys(99) != 19 {
+		t.Fatal("folding layout wrong")
+	}
+	// Co-located vnodes ride loopback (2 links incl. relay).
+	links, _, _ := pl.Path(0, 1)
+	if len(links) != 2 {
+		t.Fatalf("loopback path: %d links", len(links))
+	}
+	// Cross-host vnodes ride both NICs (3 links incl. relay).
+	links, _, _ = pl.Path(4, 5)
+	if len(links) != 3 {
+		t.Fatalf("cross-host path: %d links", len(links))
+	}
+}
+
+func identityOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+func TestNoFailureReferenceNear80(t *testing.T) {
+	pl := newWorld()
+	bytes := int64(5 << 30)
+	res := simbcast.Kascade(pl, identityOrder(100), bytes, simbcast.KascadeParams{ChunkSize: 64 << 20}, nil)
+	tput := res.Throughput(bytes) / 1e6
+	// The paper's reference value is ~80 MB/s (folding + virtualization
+	// overhead, §IV-G).
+	if tput < 70 || tput > 90 {
+		t.Fatalf("no-failure reference %.1f MB/s, want ~80", tput)
+	}
+}
+
+func TestScenariosMatchPaper(t *testing.T) {
+	sc := Scenarios()
+	if len(sc) != 7 {
+		t.Fatalf("%d scenarios, want 7", len(sc))
+	}
+	counts := map[string]int{
+		"no failure": 0, "2% sim. failures": 2, "5% sim. failures": 5,
+		"10% sim. failures": 10, "2% seq. failures": 2,
+		"5% seq. failures": 5, "10% seq. failures": 10,
+	}
+	for _, s := range sc {
+		want, ok := counts[s.Name]
+		if !ok {
+			t.Fatalf("unexpected scenario %q", s.Name)
+		}
+		if len(s.Failures) != want {
+			t.Fatalf("%s: %d failures, want %d", s.Name, len(s.Failures), want)
+		}
+	}
+	// The 10% sequential case kills n9..n99 every 2 s from t=10 (§IV-G).
+	var seq10 Scenario
+	for _, s := range sc {
+		if s.Name == "10% seq. failures" {
+			seq10 = s
+		}
+	}
+	if seq10.Failures[0].Pos != 8 || seq10.Failures[0].At != 10 {
+		t.Fatalf("first failure: %+v", seq10.Failures[0])
+	}
+	if seq10.Failures[9].Pos != 98 || seq10.Failures[9].At != 28 {
+		t.Fatalf("last failure: %+v", seq10.Failures[9])
+	}
+}
+
+func TestFailureScenariosCompleteAndRank(t *testing.T) {
+	bytes := int64(5 << 30)
+	results := map[string]float64{}
+	for _, sc := range Scenarios() {
+		pl := newWorld()
+		res := simbcast.Kascade(pl, identityOrder(100), bytes, simbcast.KascadeParams{ChunkSize: 64 << 20}, sc.Failures)
+		// Every survivor holds the file (the paper: "in all the cases,
+		// the file was transferred correctly").
+		dead := map[int]bool{}
+		for _, f := range sc.Failures {
+			dead[f.Pos] = true
+		}
+		for i, ok := range res.Completed {
+			if !dead[i] && !ok {
+				t.Fatalf("%s: survivor %d incomplete", sc.Name, i)
+			}
+		}
+		results[sc.Name] = res.Throughput(bytes)
+	}
+	ref := results["no failure"]
+	// Failures always cost something.
+	for name, tput := range results {
+		if name != "no failure" && tput >= ref {
+			t.Errorf("%s (%.1f MB/s) should be below the reference (%.1f)", name, tput/1e6, ref/1e6)
+		}
+	}
+	// Sequential failures cost more than the same number of simultaneous
+	// ones (detection is pipelined when failures are simultaneous, §IV-G).
+	for _, pct := range []string{"2%", "5%", "10%"} {
+		if results[pct+" seq. failures"] >= results[pct+" sim. failures"] {
+			t.Errorf("%s: sequential (%.1f) should cost more than simultaneous (%.1f)",
+				pct, results[pct+" seq. failures"]/1e6, results[pct+" sim. failures"]/1e6)
+		}
+	}
+	// More failures cost more, within each mode.
+	if results["10% seq. failures"] >= results["2% seq. failures"] {
+		t.Error("10% sequential should be slower than 2% sequential")
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kascade/internal/deploy"
+	"kascade/internal/distem"
+	"kascade/internal/simbcast"
+	"kascade/internal/simnet"
+	"kascade/internal/stats"
+	"kascade/internal/topology"
+)
+
+// Ablations probe the design choices DESIGN.md calls out, beyond what the
+// paper itself measured. They use the same calibrated worlds as the
+// figures, so numbers are directly comparable.
+
+// AblationTimeout sweeps the §III-D1 detection timeout under the paper's
+// worst fault scenario (10% sequential failures). The paper's conclusion —
+// "Kascade ... could be tuned according to the network used in order to
+// reduce timeouts" — predicts throughput recovering as the timer shrinks.
+func AblationTimeout() Experiment {
+	run := func(cfg Config) *stats.Table {
+		cfg = cfg.withDefaults()
+		bytes := scaleBytes(cfg, 5<<30)
+		timeouts := []float64{0.25, 0.5, 1.0, 2.0, 4.0}
+		table := &stats.Table{
+			Title:   "Ablation: detection timeout under 10% sequential failures",
+			XLabel:  "timeout (s)",
+			YLabel:  "Throughput (MB/s)",
+			Columns: []string{"Kascade"},
+		}
+		var scenario distem.Scenario
+		for _, sc := range distem.Scenarios() {
+			if sc.Name == "10% seq. failures" {
+				scenario = sc
+			}
+		}
+		order := make([]int, 100)
+		for i := range order {
+			order[i] = i
+		}
+		for ti, d := range timeouts {
+			var sample stats.Sample
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(ti)*104729))
+				params := distem.DefaultPlatform()
+				params.VnodeRelayRate = jitter(rng, params.VnodeRelayRate, 0.03)
+				sim := simnet.New()
+				pl := distem.NewPlatform(simnet.NewNetwork(sim), params)
+				res := simbcast.Kascade(pl, order, bytes, simbcast.KascadeParams{
+					ChunkSize: 32 << 20, DetectTimeout: d,
+				}, scenario.Failures)
+				sample.Add(res.Throughput(bytes) / 1e6)
+			}
+			table.AddRow(fmt.Sprintf("%.2f", d), stats.FromSample(&sample))
+		}
+		return table
+	}
+	return Experiment{ID: "abl-timeout", Title: "Detection timeout sweep", Run: run}
+}
+
+// AblationWindow sweeps the replay window (§III-D2): a small window forces
+// recovering successors onto the PGET path; throughput should be nearly
+// window-independent (recovery is rare) while the gap-fetch count falls as
+// the window grows.
+func AblationWindow() Experiment {
+	run := func(cfg Config) *stats.Table {
+		cfg = cfg.withDefaults()
+		bytes := scaleBytes(cfg, 2<<30)
+		windows := []int{2, 4, 8, 16, 32}
+		table := &stats.Table{
+			Title:   "Ablation: replay window under one mid-transfer failure",
+			XLabel:  "window (chunks)",
+			YLabel:  "Throughput (MB/s)",
+			Columns: []string{"Kascade", "gap fetches"},
+		}
+		for wi, wch := range windows {
+			var tput, fetches stats.Sample
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(wi)*104729))
+				topo := fatTreeN(51, 35, jitter(rng, eth1G, 0.02), eth1GUp)
+				sim := simnet.New()
+				cluster := simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{
+					DiskRate: jitter(rng, diskKascade, 0.05), // disks build pipeline lag
+				})
+				res := simbcast.Kascade(cluster, topo.TopologyOrder(), bytes, simbcast.KascadeParams{
+					WindowChunks: wch,
+				}, []simbcast.NodeFailure{{Pos: 25, At: 2.0}})
+				tput.Add(res.Throughput(bytes) / 1e6)
+				fetches.Add(float64(res.GapFetches))
+			}
+			table.AddRow(fmt.Sprintf("%d", wch), stats.FromSample(&tput), stats.FromSample(&fetches))
+		}
+		return table
+	}
+	return Experiment{ID: "abl-window", Title: "Replay window sweep", Run: run}
+}
+
+// AblationArity sweeps the arity of a *naive* (topology-unaware) heap tree
+// on the Fig 7 setup. Unlike TakTuk's adaptive tree — which stays topology-
+// local and therefore flat (Fig 7) — a naive heap crosses more switch
+// uplinks as arity grows, so throughput falls with arity: a quantified
+// argument for why tree shape must follow the topology (§II-A2).
+func AblationArity() Experiment {
+	run := func(cfg Config) *stats.Table {
+		cfg = cfg.withDefaults()
+		bytes := scaleBytes(cfg, 2<<30)
+		arities := []int{1, 2, 4, 8}
+		table := &stats.Table{
+			Title:   "Ablation: TakTuk tree arity (Fig 7 setup, 100 clients)",
+			XLabel:  "arity",
+			YLabel:  "Throughput (MB/s)",
+			Columns: []string{"TakTuk"},
+		}
+		for ai, k := range arities {
+			var sample stats.Sample
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(ai)*104729))
+				topo := fatTreeN(101, 35, jitter(rng, eth1G, 0.02), eth1GUp)
+				sim := simnet.New()
+				cluster := simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{
+					RelayRate: jitter(rng, relayTakTuk, 0.03),
+				})
+				res := simbcast.Tree(cluster, topo.TopologyOrder(), bytes, simbcast.TreeParams{
+					Children: simbcast.HeapChildren(k), PerChunkAck: true,
+				})
+				sample.Add(res.Throughput(bytes) / 1e6)
+			}
+			table.AddRow(fmt.Sprintf("%d", k), stats.FromSample(&sample))
+		}
+		return table
+	}
+	return Experiment{ID: "abl-arity", Title: "TakTuk arity sweep", Run: run}
+}
+
+// AblationStartup sweeps the windowed-startup window (§III-B) on the small-
+// file experiment: larger windows amortize the connection rounds, which is
+// the lever behind Kascade's Fig 14 deficit.
+func AblationStartup() Experiment {
+	run := func(cfg Config) *stats.Table {
+		cfg = cfg.withDefaults()
+		bytes := int64(50e6)
+		windows := []int{10, 25, 50, 100, 200}
+		table := &stats.Table{
+			Title:   "Ablation: startup window (50 MB, 200 clients)",
+			XLabel:  "window",
+			YLabel:  "Throughput (MB/s)",
+			Columns: []string{"Kascade"},
+		}
+		for wi, w := range windows {
+			var sample stats.Sample
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(wi)*104729))
+				topo := fatTreeN(201, 35, jitter(rng, eth1G, 0.02), eth1GUp)
+				sim := simnet.New()
+				cluster := simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{})
+				startup := deploy.StartupTime(deploy.Windowed, 200, deploy.Params{
+					Window: w, ConnectTime: 0.45, SelfCopyTime: 0.8,
+				})
+				res := simbcast.Kascade(cluster, topo.TopologyOrder(), bytes, simbcast.KascadeParams{
+					StartupTime: jitter(rng, startup, 0.05),
+				}, nil)
+				sample.Add(res.Throughput(bytes) / 1e6)
+			}
+			table.AddRow(fmt.Sprintf("%d", w), stats.FromSample(&sample))
+		}
+		return table
+	}
+	return Experiment{ID: "abl-startup", Title: "Startup window sweep", Run: run}
+}
+
+// AblationDepth sweeps the per-hop pipelining depth on the Fig 13 WAN
+// chain: with 16 ms hops, depth 1 serializes chunk round trips while
+// deeper pipelines hide the latency until the TCP-window cap takes over.
+func AblationDepth() Experiment {
+	run := func(cfg Config) *stats.Table {
+		cfg = cfg.withDefaults()
+		bytes := scaleBytes(cfg, 1<<30)
+		depths := []int{1, 2, 4, 8}
+		table := &stats.Table{
+			Title:   "Ablation: pipeline depth on the 6-site WAN chain",
+			XLabel:  "depth (chunks in flight)",
+			YLabel:  "Throughput (MB/s)",
+			Columns: []string{"Kascade"},
+		}
+		for di, d := range depths {
+			var sample stats.Sample
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(di)*104729))
+				sample.Add(runWANDepth(rng, bytes, d))
+			}
+			table.AddRow(fmt.Sprintf("%d", d), stats.FromSample(&sample))
+		}
+		return table
+	}
+	return Experiment{ID: "abl-depth", Title: "WAN pipeline depth sweep", Run: run}
+}
+
+// runWANDepth runs one Kascade broadcast over the full Fig 13 chain with
+// the given pipelining depth and returns MB/s.
+func runWANDepth(rng *rand.Rand, bytes int64, depth int) float64 {
+	specs := []topology.SiteSpec{{Name: "nancy", Nodes: 2, LatencySec: 0.002}}
+	specs = append(specs, fig13Sites...)
+	topo := topology.MultiSite(specs, jitter(rng, eth1G, 0.02), eth1GUp, 0.008)
+	sim := simnet.New()
+	cluster := simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{
+		TCPWindow: tcpWindow,
+	})
+	res := simbcast.Kascade(cluster, topo.TopologyOrder(), bytes, simbcast.KascadeParams{
+		ChunkSize: 1 << 20, Depth: depth,
+	}, nil)
+	return res.Throughput(bytes) / 1e6
+}

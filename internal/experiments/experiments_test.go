@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kascade/internal/stats"
+)
+
+// quickCfg keeps the shape tests fast: small files, 2 repetitions.
+func quickCfg() Config { return Config{Reps: 2, Seed: 42, Scale: 0.05} }
+
+// cell fetches the mean of (xLabel, column) from a table.
+func cell(t *testing.T, tab *stats.Table, x, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range tab.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("column %q not in %v", col, tab.Columns)
+	}
+	for _, r := range tab.Rows {
+		if r.X == x {
+			return r.Cells[ci].Mean
+		}
+	}
+	t.Fatalf("row %q not found", x)
+	return 0
+}
+
+func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15"} {
+		if _, ok := Find(id); !ok {
+			t.Errorf("figure %s missing", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tab := Figure7().Run(quickCfg())
+	// Kascade nearly saturates and stays flat to 200 clients.
+	k1, k200 := cell(t, tab, "1", "Kascade"), cell(t, tab, "200", "Kascade")
+	if k200 < 95 || k200 > 118 {
+		t.Errorf("Kascade at 200 clients: %.1f MB/s, want near link speed", k200)
+	}
+	if k200 < 0.9*k1 {
+		t.Errorf("Kascade degrades with scale: %.1f -> %.1f", k1, k200)
+	}
+	// MPI/Eth matches Kascade (both pipelined chains).
+	m200 := cell(t, tab, "200", "MPI/Eth")
+	if m200 < 0.9*k200 || m200 > 1.1*k200 {
+		t.Errorf("MPI/Eth at 200: %.1f vs Kascade %.1f", m200, k200)
+	}
+	// UDPCast degrades past 100 clients.
+	u50, u200 := cell(t, tab, "50", "UDPCast"), cell(t, tab, "200", "UDPCast")
+	if u200 > 0.85*u50 {
+		t.Errorf("UDPCast should degrade: %.1f at 50 vs %.1f at 200", u50, u200)
+	}
+	// Both TakTuk variants are flat and low (about a third of the link).
+	for _, col := range []string{"TakTuk/chain", "TakTuk/tree"} {
+		v := cell(t, tab, "100", col)
+		if v < 25 || v > 45 {
+			t.Errorf("%s at 100 clients: %.1f MB/s, want ~35", col, v)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	tab := Figure8().Run(quickCfg())
+	k, m := cell(t, tab, "13", "Kascade"), cell(t, tab, "13", "MPI/Eth")
+	u, tt := cell(t, tab, "13", "UDPCast"), cell(t, tab, "13", "TakTuk/chain")
+	// Nobody saturates 10 GbE (1120 MB/s)...
+	for _, v := range []float64{k, m, u, tt} {
+		if v > 700 {
+			t.Errorf("method exceeds the paper's 10 GbE ceiling: %.1f", v)
+		}
+	}
+	// ...and the ranking is MPI > UDPCast > Kascade > TakTuk.
+	if !(m > u && u > k && k > tt) {
+		t.Errorf("ranking broken: MPI %.1f, UDPCast %.1f, Kascade %.1f, TakTuk %.1f", m, u, k, tt)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	tab := Figure9().Run(quickCfg())
+	// MPI/IB is fastest at small scale...
+	m40, k40 := cell(t, tab, "40", "MPI/IB"), cell(t, tab, "40", "Kascade")
+	if m40 < k40 {
+		t.Errorf("MPI/IB should win at 40 nodes: %.1f vs %.1f", m40, k40)
+	}
+	// ...but collapses once two switches are involved (>120 clients).
+	m100, m200 := cell(t, tab, "100", "MPI/IB"), cell(t, tab, "200", "MPI/IB")
+	if m200 > 0.5*m100 {
+		t.Errorf("MPI/IB should collapse past 120 nodes: %.1f at 100 vs %.1f at 200", m100, m200)
+	}
+	// Kascade stays flat across the switch boundary.
+	k200 := cell(t, tab, "200", "Kascade")
+	if k200 < 0.85*k40 {
+		t.Errorf("Kascade should scale: %.1f at 40 vs %.1f at 200", k40, k200)
+	}
+	// And past the boundary Kascade beats MPI.
+	if k200 < m200 {
+		t.Errorf("Kascade (%.1f) should beat MPI/IB (%.1f) at 200", k200, m200)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tab := Figure10().Run(quickCfg())
+	krand, kord := cell(t, tab, "150", "Kascade"), cell(t, tab, "150", "Kascade/ordered")
+	if krand > 0.6*kord {
+		t.Errorf("random order should hurt Kascade: %.1f vs ordered %.1f", krand, kord)
+	}
+	if kord < 95 {
+		t.Errorf("ordered reference fell: %.1f", kord)
+	}
+	// MPI's chain suffers the same way.
+	mrand := cell(t, tab, "150", "MPI/Eth")
+	if mrand > 0.6*kord {
+		t.Errorf("random order should hurt MPI too: %.1f", mrand)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tab := Figure11().Run(quickCfg())
+	k := cell(t, tab, "30", "Kascade")
+	if k < 38 || k > 55 {
+		t.Errorf("disk-bound Kascade: %.1f MB/s, want ~45", k)
+	}
+	// Kascade leads every other method.
+	for _, col := range []string{"TakTuk/chain", "TakTuk/tree", "UDPCast", "MPI/Eth"} {
+		if v := cell(t, tab, "30", col); v >= k {
+			t.Errorf("%s (%.1f) should trail Kascade (%.1f) on disks", col, v, k)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	tab := Figure13().Run(quickCfg())
+	k0, k6 := cell(t, tab, "0", "Kascade"), cell(t, tab, "6", "Kascade")
+	if k6 >= k0 {
+		t.Errorf("WAN hops must cost Kascade something: %.1f -> %.1f", k0, k6)
+	}
+	if k6 < 30 {
+		t.Errorf("Kascade over 6 sites too slow: %.1f", k6)
+	}
+	// Kascade offers the best overall WAN performance; MPI is overtaken
+	// by TakTuk (the paper's headline for this figure).
+	m6, t6 := cell(t, tab, "6", "MPI/Eth"), cell(t, tab, "6", "TakTuk/chain")
+	if k6 <= m6 || k6 <= t6 {
+		t.Errorf("Kascade should lead on WAN: K %.1f, MPI %.1f, TakTuk %.1f", k6, m6, t6)
+	}
+	if m6 >= t6 {
+		t.Errorf("MPI (%.1f) should fall below TakTuk (%.1f) on WAN", m6, t6)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	tab := Figure14().Run(quickCfg())
+	k, m := cell(t, tab, "200", "Kascade"), cell(t, tab, "200", "MPI/Eth")
+	u := cell(t, tab, "200", "UDPCast")
+	// Efficient-startup methods win on small files.
+	if m <= k || u <= k {
+		t.Errorf("MPI (%.1f) and UDPCast (%.1f) should beat Kascade (%.1f) on 50 MB", m, u, k)
+	}
+	// Everyone is far below link speed (startup dominates).
+	if k > 60 || m > 90 {
+		t.Errorf("small-file throughputs too high: K %.1f, MPI %.1f", k, m)
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scale = 0.6 // the latest failure (t=28s) must land mid-transfer
+	tab := Figure15().Run(cfg)
+	ref := cell(t, tab, "no failure", "Kascade")
+	if ref < 70 || ref > 90 {
+		t.Errorf("no-failure reference %.1f MB/s, want ~80", ref)
+	}
+	for _, pct := range []string{"2%", "5%", "10%"} {
+		sim := cell(t, tab, pct+" sim. failures", "Kascade")
+		seq := cell(t, tab, pct+" seq. failures", "Kascade")
+		if sim >= ref || seq >= ref {
+			t.Errorf("%s: failures must cost throughput (ref %.1f, sim %.1f, seq %.1f)", pct, ref, sim, seq)
+		}
+		if seq >= sim {
+			t.Errorf("%s: sequential (%.1f) should cost more than simultaneous (%.1f)", pct, seq, sim)
+		}
+	}
+}
+
+func TestAblationsProduceTables(t *testing.T) {
+	cfg := quickCfg()
+	for _, e := range []Experiment{AblationTimeout(), AblationWindow(), AblationArity(), AblationStartup(), AblationDepth()} {
+		tab := e.Run(cfg)
+		if len(tab.Rows) < 2 {
+			t.Errorf("%s: too few rows", e.ID)
+		}
+		var sb strings.Builder
+		tab.Render(&sb)
+		if !strings.Contains(sb.String(), tab.Columns[0]) {
+			t.Errorf("%s: render missing columns", e.ID)
+		}
+	}
+}
+
+func TestAblationTimeoutMonotone(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scale = 0.6
+	tab := AblationTimeout().Run(cfg)
+	// Shorter detection timeouts recover more throughput under the 10%
+	// sequential scenario.
+	fast := cell(t, tab, "0.25", "Kascade")
+	slow := cell(t, tab, "4.00", "Kascade")
+	if fast <= slow {
+		t.Errorf("shrinking the timeout should help: 0.25s %.1f vs 4s %.1f", fast, slow)
+	}
+}

@@ -1,0 +1,135 @@
+package mpibcast
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kascade/internal/transport"
+)
+
+type safeBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *safeBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *safeBuf) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+func TestBinomialTreeShape(t *testing.T) {
+	// Classic 8-rank binomial tree rooted at 0.
+	want := map[int][]int{
+		0: {1, 2, 4},
+		1: {3, 5},
+		2: {6},
+		3: {7},
+		4: nil, 5: nil, 6: nil, 7: nil,
+	}
+	for r, w := range want {
+		if got := BinomialChildren(r, 8); !reflect.DeepEqual(got, w) {
+			t.Errorf("children(%d) = %v, want %v", r, got, w)
+		}
+	}
+	for r, w := range map[int]int{1: 0, 2: 0, 3: 1, 4: 0, 5: 1, 6: 2, 7: 3} {
+		if got := BinomialParent(r); got != w {
+			t.Errorf("parent(%d) = %d, want %d", r, got, w)
+		}
+	}
+	if BinomialParent(0) != -1 {
+		t.Error("root must have no parent")
+	}
+}
+
+// Property: the binomial parent/children relations are mutually consistent
+// and every non-root rank has exactly one parent that lists it as a child.
+func TestBinomialTreeConsistencyQuick(t *testing.T) {
+	f := func(szRaw uint8) bool {
+		n := int(szRaw)%60 + 2
+		seen := make(map[int]int)
+		for r := 0; r < n; r++ {
+			for _, c := range BinomialChildren(r, n) {
+				if c <= r || c >= n {
+					return false
+				}
+				seen[c]++
+				if BinomialParent(c) != r {
+					return false
+				}
+			}
+		}
+		for r := 1; r < n; r++ {
+			if seen[r] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runBcast(t *testing.T, n, size int, algo Algorithm) {
+	t.Helper()
+	fabric := transport.NewFabric(0)
+	names := make([]string, n)
+	addrs := make([]string, n)
+	sinks := make([]*safeBuf, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+		addrs[i] = names[i] + ":8200"
+		sinks[i] = &safeBuf{}
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(int64(size + n))).Read(data)
+	res, err := Broadcast(context.Background(), Config{
+		Names:       names,
+		Addrs:       addrs,
+		Algorithm:   algo,
+		SegmentSize: 8 << 10,
+		NetworkFor:  func(i int) transport.Network { return fabric.Host(names[i]) },
+		Input:       bytes.NewReader(data),
+		SinkFor:     func(i int) io.Writer { return sinks[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != uint64(size) {
+		t.Fatalf("total %d, want %d", res.Total, size)
+	}
+	for i := 1; i < n; i++ {
+		if sha256.Sum256(sinks[i].Bytes()) != sha256.Sum256(data) {
+			t.Errorf("rank %d corrupted payload (algo %v)", i, algo)
+		}
+	}
+}
+
+func TestChainBcast(t *testing.T)        { runBcast(t, 7, 120<<10, Chain) }
+func TestBinomialBcast(t *testing.T)     { runBcast(t, 12, 120<<10, Binomial) }
+func TestBinomialNonPow2(t *testing.T)   { runBcast(t, 11, 64<<10, Binomial) }
+func TestTwoRanks(t *testing.T)          { runBcast(t, 2, 20<<10, Binomial) }
+func TestUnalignedSegments(t *testing.T) { runBcast(t, 5, 24<<10+99, Chain) }
+func TestAlgorithmString(t *testing.T) {
+	if Chain.String() != "chain" || Binomial.String() != "binomial" {
+		t.Fatal("algorithm names")
+	}
+	if Algorithm(9).String() == "" {
+		t.Fatal("unknown algorithm must format")
+	}
+}

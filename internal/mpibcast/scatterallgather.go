@@ -1,0 +1,260 @@
+package mpibcast
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"kascade/internal/blockio"
+	"kascade/internal/transport"
+)
+
+// Connection tag bytes: every dialer announces what the connection carries,
+// so accepting ranks never have to guess.
+const (
+	tagScatter byte = 'S' // root -> rank: that rank's part, then close
+	tagRing    byte = 'R' // left ring neighbour -> rank: allgather parts
+)
+
+// ScatterAllgatherConfig describes the third classic large-message
+// broadcast (van de Geijn): the root scatters one part of the file to each
+// rank, then a ring allgather circulates the parts until everyone holds the
+// whole file. Open MPI's tuned collective selects it for very large
+// messages on fully connected networks; it moves ~2x the bytes of a
+// pipelined chain but spreads the load across every link, which is why it
+// shines on non-blocking fabrics and suffers on oversubscribed ones.
+//
+// Unlike Chain/Binomial this needs the payload size upfront (parts are
+// size/N), so the configuration takes the full payload instead of a reader.
+type ScatterAllgatherConfig struct {
+	Names []string
+	Addrs []string
+	// Payload is the full broadcast content, available at the root.
+	Payload []byte
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+
+	NetworkFor func(i int) transport.Network
+	// SinkFor receives each rank's assembled copy, in order, at the end
+	// (the allgather delivers parts out of order, so assembly is in
+	// memory).
+	SinkFor func(i int) io.Writer
+}
+
+// partRange returns the [lo,hi) byte range of part p among n parts.
+func partRange(total, n, p int) (lo, hi int) {
+	base := total / n
+	rem := total % n
+	lo = p * base
+	if p < rem {
+		lo += p
+	} else {
+		lo += rem
+	}
+	size := base
+	if p < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// BroadcastScatterAllgather runs the collective in-process and returns the
+// bytes delivered to every rank.
+func BroadcastScatterAllgather(ctx context.Context, cfg ScatterAllgatherConfig) (uint64, error) {
+	n := len(cfg.Names)
+	if n == 0 || n != len(cfg.Addrs) {
+		return 0, fmt.Errorf("mpibcast: need matching Names and Addrs")
+	}
+	if cfg.NetworkFor == nil {
+		return 0, fmt.Errorf("mpibcast: NetworkFor is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if n == 1 {
+		return uint64(len(cfg.Payload)), nil
+	}
+
+	listeners := make([]transport.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := cfg.NetworkFor(i).Listen(cfg.Addrs[i])
+		if err != nil {
+			for _, b := range listeners[:i] {
+				if b != nil {
+					b.Close()
+				}
+			}
+			return 0, fmt.Errorf("mpibcast: binding %s: %w", cfg.Addrs[i], err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = runSAGRank(ctx, &cfg, listeners[r], addrs, r)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("mpibcast: rank %d: %w", r, err)
+		}
+	}
+	return uint64(len(cfg.Payload)), nil
+}
+
+// runSAGRank executes one rank: scatter phase, then N-1 ring rounds where
+// round k sends part (r-k mod n) rightward and receives part (r-1-k mod n)
+// from the left.
+func runSAGRank(ctx context.Context, cfg *ScatterAllgatherConfig, l transport.Listener, addrs []string, r int) error {
+	n := len(addrs)
+	total := len(cfg.Payload)
+	parts := make([][]byte, n)
+	mod := func(x int) int { return ((x % n) + n) % n }
+
+	// Accept inbound connections (tagged) until we have the ring conn
+	// and, on non-root ranks, the scatter part.
+	type tagged struct {
+		conn transport.Conn
+		br   *bufio.Reader
+		tag  byte
+	}
+	expect := 1
+	if r != 0 {
+		expect++
+	}
+	acceptC := make(chan tagged, 2)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < expect; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			br := bufio.NewReaderSize(c, 64<<10)
+			tag, err := br.ReadByte()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			acceptC <- tagged{conn: c, br: br, tag: tag}
+		}
+	}()
+
+	// Dial the right ring neighbour.
+	right, err := cfg.NetworkFor(r).Dial(addrs[mod(r+1)], cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dialing ring successor: %w", err)
+	}
+	defer right.Close()
+	if _, err := right.Write([]byte{tagRing}); err != nil {
+		return err
+	}
+
+	// Root: scatter every part.
+	if r == 0 {
+		lo, hi := partRange(total, n, 0)
+		parts[0] = cfg.Payload[lo:hi]
+		for dst := 1; dst < n; dst++ {
+			c, err := cfg.NetworkFor(0).Dial(addrs[dst], cfg.DialTimeout)
+			if err != nil {
+				return fmt.Errorf("scatter dial %d: %w", dst, err)
+			}
+			lo, hi := partRange(total, n, dst)
+			_, werr := c.Write([]byte{tagScatter})
+			if werr == nil {
+				werr = blockio.WriteBlock(c, cfg.Payload[lo:hi])
+			}
+			c.Close()
+			if werr != nil {
+				return fmt.Errorf("scatter to %d: %w", dst, werr)
+			}
+		}
+	}
+
+	var leftReader *bufio.Reader
+	for got := 0; got < expect; got++ {
+		select {
+		case err := <-acceptErr:
+			return err
+		case tc := <-acceptC:
+			switch tc.tag {
+			case tagScatter:
+				f, err := blockio.Read(tc.br, nil)
+				if err != nil {
+					return fmt.Errorf("receiving scatter part: %w", err)
+				}
+				parts[r] = append([]byte(nil), f.Payload...)
+				tc.conn.Close()
+			case tagRing:
+				leftReader = tc.br
+				defer tc.conn.Close()
+			default:
+				return fmt.Errorf("unknown connection tag %q", tc.tag)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if leftReader == nil {
+		return fmt.Errorf("ring predecessor never connected")
+	}
+	if parts[r] == nil && r != 0 {
+		return fmt.Errorf("scatter part never arrived")
+	}
+
+	// Ring allgather.
+	for k := 0; k < n-1; k++ {
+		sendIdx := mod(r - k)
+		var payload []byte
+		if r == 0 {
+			lo, hi := partRange(total, n, sendIdx)
+			payload = cfg.Payload[lo:hi]
+		} else {
+			payload = parts[sendIdx]
+			if payload == nil {
+				return fmt.Errorf("round %d: part %d not yet received", k, sendIdx)
+			}
+		}
+		if err := blockio.WriteBlock(right, payload); err != nil {
+			return fmt.Errorf("ring send round %d: %w", k, err)
+		}
+		f, err := blockio.Read(leftReader, nil)
+		if err != nil {
+			return fmt.Errorf("ring recv round %d: %w", k, err)
+		}
+		if r != 0 {
+			parts[mod(r-1-k)] = append([]byte(nil), f.Payload...)
+		}
+	}
+
+	// Assemble in order into the sink.
+	if cfg.SinkFor != nil && r != 0 {
+		if sink := cfg.SinkFor(r); sink != nil {
+			for p := 0; p < n; p++ {
+				if parts[p] == nil {
+					return fmt.Errorf("part %d missing after allgather", p)
+				}
+				if _, err := sink.Write(parts[p]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

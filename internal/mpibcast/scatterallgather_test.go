@@ -1,0 +1,110 @@
+package mpibcast
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kascade/internal/transport"
+)
+
+func TestPartRangeCoversPayloadExactly(t *testing.T) {
+	for _, tc := range []struct{ total, n int }{
+		{100, 4}, {101, 4}, {7, 3}, {5, 8}, {0, 3}, {1, 1},
+	} {
+		prevHi := 0
+		for p := 0; p < tc.n; p++ {
+			lo, hi := partRange(tc.total, tc.n, p)
+			if lo != prevHi {
+				t.Fatalf("total=%d n=%d part %d: gap/overlap at %d (want %d)", tc.total, tc.n, p, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("negative part size")
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.total {
+			t.Fatalf("total=%d n=%d: parts cover %d", tc.total, tc.n, prevHi)
+		}
+	}
+}
+
+// Property: parts partition any payload for any rank count.
+func TestPartRangePartitionQuick(t *testing.T) {
+	f := func(totalRaw uint16, nRaw uint8) bool {
+		total := int(totalRaw)
+		n := int(nRaw)%32 + 1
+		prevHi := 0
+		for p := 0; p < n; p++ {
+			lo, hi := partRange(total, n, p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runSAG(t *testing.T, n, size int) {
+	t.Helper()
+	fabric := transport.NewFabric(0)
+	names := make([]string, n)
+	addrs := make([]string, n)
+	sinks := make([]*safeBuf, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+		addrs[i] = names[i] + ":8300"
+		sinks[i] = &safeBuf{}
+	}
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(int64(n*size + 1))).Read(payload)
+	total, err := BroadcastScatterAllgather(context.Background(), ScatterAllgatherConfig{
+		Names:      names,
+		Addrs:      addrs,
+		Payload:    payload,
+		NetworkFor: func(i int) transport.Network { return fabric.Host(names[i]) },
+		SinkFor:    func(i int) io.Writer { return sinks[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != uint64(size) {
+		t.Fatalf("total %d, want %d", total, size)
+	}
+	want := sha256.Sum256(payload)
+	for i := 1; i < n; i++ {
+		if sha256.Sum256(sinks[i].Bytes()) != want {
+			t.Errorf("rank %d assembled a corrupt copy (%d bytes)", i, len(sinks[i].Bytes()))
+		}
+	}
+}
+
+func TestScatterAllgatherSmallRing(t *testing.T)   { runSAG(t, 3, 90<<10) }
+func TestScatterAllgatherLargerRing(t *testing.T)  { runSAG(t, 8, 200<<10) }
+func TestScatterAllgatherUnevenParts(t *testing.T) { runSAG(t, 7, 100<<10+13) }
+func TestScatterAllgatherTwoRanks(t *testing.T)    { runSAG(t, 2, 64<<10) }
+
+func TestScatterAllgatherValidation(t *testing.T) {
+	if _, err := BroadcastScatterAllgather(context.Background(), ScatterAllgatherConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	// Single rank degenerates to a no-op.
+	fabric := transport.NewFabric(0)
+	total, err := BroadcastScatterAllgather(context.Background(), ScatterAllgatherConfig{
+		Names:      []string{"a"},
+		Addrs:      []string{"a:1"},
+		Payload:    []byte("xyz"),
+		NetworkFor: func(int) transport.Network { return fabric.Host("a") },
+	})
+	if err != nil || total != 3 {
+		t.Fatalf("single rank: %d %v", total, err)
+	}
+}

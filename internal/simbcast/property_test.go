@@ -1,0 +1,103 @@
+package simbcast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kascade/internal/simnet"
+	"kascade/internal/topology"
+)
+
+// Property: for any random set of receiver failures at any times, the
+// Kascade model completes every survivor, the sender included, with no
+// livelock — the model-level counterpart of the paper's "in all the cases,
+// the file was transferred correctly" (§IV-G).
+func TestKascadeAnyFailureSetCompletesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := rng.Intn(30) + 5
+		switches := rng.Intn(3) + 1
+		perSwitch := (nodes + switches - 1) / switches
+		topo := topology.FatTree("n", switches, perSwitch, gig, topology.TenGigabit)
+		topo.Nodes = topo.Nodes[:nodes]
+		sim := simnet.New()
+		w := simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{})
+
+		bytes := int64(rng.Intn(192)+64) << 20
+		// Kill up to a third of the receivers at random times within
+		// the plausible transfer window.
+		var failures []NodeFailure
+		dead := map[int]bool{}
+		for i := 0; i < rng.Intn(nodes/3+1); i++ {
+			pos := rng.Intn(nodes-1) + 1 // never the sender
+			if dead[pos] {
+				continue
+			}
+			dead[pos] = true
+			failures = append(failures, NodeFailure{
+				Pos: pos,
+				At:  rng.Float64() * float64(bytes) / gig,
+			})
+		}
+		params := KascadeParams{
+			WindowChunks:  rng.Intn(14) + 2,
+			Depth:         rng.Intn(3) + 1,
+			DetectTimeout: 0.2,
+		}
+		res := Kascade(w, topo.TopologyOrder(), bytes, params, failures)
+		if res.Duration <= 0 {
+			return false
+		}
+		for pos, ok := range res.Completed {
+			if dead[pos] && ok {
+				return false // dead nodes must not be marked complete
+			}
+			if !dead[pos] && !ok {
+				return false // survivors must complete
+			}
+		}
+		// Sanity: the transfer cannot beat the link speed.
+		if res.Throughput(bytes) > gig*1.02 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the tree model completes everyone for any arity and shape.
+func TestTreeAnyShapeCompletesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := rng.Intn(40) + 2
+		topo := topology.FatTree("n", 1, nodes, gig, topology.TenGigabit)
+		sim := simnet.New()
+		w := simnet.BuildCluster(simnet.NewNetwork(sim), topo, simnet.NodeRates{})
+		var children func(int, int) []int
+		switch rng.Intn(3) {
+		case 0:
+			children = ChainChildren
+		case 1:
+			children = HeapChildren(rng.Intn(4) + 1)
+		default:
+			children = BinomialChildrenFn
+		}
+		bytes := int64(rng.Intn(128)+32) << 20
+		res := Tree(w, topo.TopologyOrder(), bytes, TreeParams{
+			Children: children,
+			Depth:    rng.Intn(3) + 1,
+		})
+		for _, ok := range res.Completed {
+			if !ok {
+				return false
+			}
+		}
+		return res.Duration > 0 && res.Throughput(bytes) <= gig*1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package simbcast models each broadcast method of the paper's evaluation
+// on the simulator (internal/simnet), at chunk granularity:
+//
+//   - Kascade: the topology-ordered pipeline with the full §III-D recovery
+//     machinery (detection timeout, successor skipping, window replay, gap
+//     fetch from node 0).
+//   - Tree: the generic store-and-forward tree used for TakTuk (arity 1 or
+//     2, with its relay-processing ceiling and per-block ack round trip)
+//     and for MPI's segmented collectives (pipelined chain and binomial).
+//   - UDPCast: sender-synchronized slices with an ACK-collection cost that
+//     grows with the receiver count.
+//
+// Each model consumes a World (a simulated cluster) and a pipeline order,
+// and reports the broadcast duration exactly the way the paper measures it:
+// file size divided by completion time.
+package simbcast
+
+import (
+	"fmt"
+
+	"kascade/internal/simnet"
+)
+
+// World abstracts the simulated cluster the models run on.
+type World interface {
+	// Nodes returns the number of physical nodes.
+	Nodes() int
+	// Path returns links, one-way latency and per-connection rate cap
+	// for a transfer between physical nodes i and j.
+	Path(i, j int) (links []*simnet.Link, latency, maxRate float64)
+	// Disk returns node i's disk stage (nil = payload discarded).
+	Disk(i int) *simnet.Link
+	// Net returns the flow network.
+	Net() *simnet.Network
+}
+
+// Result summarises one simulated broadcast.
+type Result struct {
+	// Duration is the wall-clock completion time in seconds, including
+	// the startup cost.
+	Duration float64
+	// Completed flags, per pipeline position, whether the node holds the
+	// full payload at the end.
+	Completed []bool
+	// Recoveries counts successor rewires (Kascade only).
+	Recoveries int
+	// GapFetches counts PGET gap fetches from node 0 (Kascade only).
+	GapFetches int
+}
+
+// Throughput returns the paper's metric: payload bytes over completion
+// time, in bytes/second.
+func (r Result) Throughput(bytes int64) float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(bytes) / r.Duration
+}
+
+// chunkCount returns the number of chunks and the size of the last one.
+func chunkCount(bytes, chunkSize int64) (n int, last int64) {
+	if bytes <= 0 {
+		return 0, 0
+	}
+	n = int((bytes + chunkSize - 1) / chunkSize)
+	last = bytes - int64(n-1)*chunkSize
+	return n, last
+}
+
+func chunkBytes(idx, total int, chunkSize, last int64) float64 {
+	if idx == total-1 {
+		return float64(last)
+	}
+	return float64(chunkSize)
+}
+
+// validateOrder panics on malformed pipeline orders (programming errors in
+// experiment definitions, not runtime conditions).
+func validateOrder(w World, order []int) {
+	if len(order) == 0 {
+		panic("simbcast: empty pipeline order")
+	}
+	seen := make(map[int]bool, len(order))
+	for _, p := range order {
+		if p < 0 || p >= w.Nodes() {
+			panic(fmt.Sprintf("simbcast: order entry %d out of range", p))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("simbcast: order repeats node %d", p))
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,281 @@
+package simbcast
+
+import (
+	"testing"
+
+	"kascade/internal/simnet"
+	"kascade/internal/topology"
+)
+
+// world builds a simulated fat tree with the given rates.
+func world(switches, perSwitch int, edgeCap float64, rates simnet.NodeRates) (*simnet.Cluster, *topology.Cluster) {
+	topo := topology.FatTree("n", switches, perSwitch, edgeCap, topology.TenGigabit)
+	sim := simnet.New()
+	net := simnet.NewNetwork(sim)
+	return simnet.BuildCluster(net, topo, rates), topo
+}
+
+const gig = 112e6 // calibrated effective 1 GbE payload rate (bytes/s)
+
+func TestKascadePipelineSaturatesLink(t *testing.T) {
+	w, topo := world(2, 10, gig, simnet.NodeRates{})
+	order := topo.TopologyOrder()
+	bytes := int64(512 << 20)
+	res := Kascade(w, order, bytes, KascadeParams{}, nil)
+	tput := res.Throughput(bytes)
+	// A well-ordered pipeline should deliver close to the edge rate
+	// regardless of node count (Fig 7's key property).
+	if tput < 0.85*gig || tput > gig*1.01 {
+		t.Fatalf("pipeline throughput %.1f MB/s, want near %.1f", tput/1e6, gig/1e6)
+	}
+	for i, ok := range res.Completed {
+		if !ok {
+			t.Fatalf("node %d incomplete", i)
+		}
+	}
+}
+
+func TestKascadeScalesFlatWithNodes(t *testing.T) {
+	bytes := int64(256 << 20)
+	var t20, t200 float64
+	for _, n := range []int{20, 200} {
+		w, topo := world(n/10, 10, gig, simnet.NodeRates{})
+		res := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+		if n == 20 {
+			t20 = res.Throughput(bytes)
+		} else {
+			t200 = res.Throughput(bytes)
+		}
+	}
+	if t200 < 0.9*t20 {
+		t.Fatalf("throughput degraded with scale: %v -> %v MB/s", t20/1e6, t200/1e6)
+	}
+}
+
+func TestKascadeRandomOrderCollapses(t *testing.T) {
+	// Fig 10: a random order crosses the uplinks many times and the
+	// pipeline collapses to uplink/(crossings) territory.
+	bytes := int64(256 << 20)
+	w, topo := world(7, 30, gig, simnet.NodeRates{})
+	ordered := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+
+	w2, topo2 := world(7, 30, gig, simnet.NodeRates{})
+	random := Kascade(w2, topo2.RandomOrder(1), bytes, KascadeParams{}, nil)
+
+	to, tr := ordered.Throughput(bytes), random.Throughput(bytes)
+	if tr > 0.6*to {
+		t.Fatalf("random order should collapse: ordered %.1f vs random %.1f MB/s", to/1e6, tr/1e6)
+	}
+}
+
+func TestKascadeRelayCeiling(t *testing.T) {
+	// Fig 8: on 10 GbE the per-node copy rate is the ceiling.
+	relay := 280e6
+	w, topo := world(1, 14, 10*gig, simnet.NodeRates{RelayRate: relay})
+	bytes := int64(1 << 30)
+	res := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+	tput := res.Throughput(bytes)
+	if tput < 0.85*relay || tput > relay*1.01 {
+		t.Fatalf("throughput %.1f MB/s, want near relay cap %.1f", tput/1e6, relay/1e6)
+	}
+}
+
+func TestKascadeDiskBound(t *testing.T) {
+	// Fig 11: with disks in the path, the pipeline runs at disk speed.
+	disk := 45e6
+	w, topo := world(1, 10, gig, simnet.NodeRates{DiskRate: disk})
+	bytes := int64(256 << 20)
+	res := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+	tput := res.Throughput(bytes)
+	if tput < 0.8*disk || tput > disk*1.01 {
+		t.Fatalf("throughput %.1f MB/s, want near disk rate %.1f", tput/1e6, disk/1e6)
+	}
+}
+
+func TestKascadeSingleFailureCostsOneTimeout(t *testing.T) {
+	bytes := int64(512 << 20)
+	w, topo := world(2, 10, gig, simnet.NodeRates{})
+	base := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+
+	w2, topo2 := world(2, 10, gig, simnet.NodeRates{})
+	failed := Kascade(w2, topo2.TopologyOrder(), bytes, KascadeParams{}, []NodeFailure{{Pos: 5, At: 1.0}})
+
+	if failed.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", failed.Recoveries)
+	}
+	delta := failed.Duration - base.Duration
+	// One detection timeout (1 s) plus modest replay; the transfer must
+	// still complete for every survivor.
+	if delta < 0.5 || delta > 3.0 {
+		t.Fatalf("failure cost %.2f s, want ~1s", delta)
+	}
+	for i, ok := range failed.Completed {
+		if i != 5 && !ok {
+			t.Fatalf("survivor %d incomplete", i)
+		}
+	}
+	if failed.Completed[5] {
+		t.Fatal("dead node marked complete")
+	}
+}
+
+func TestKascadeSequentialCostsMoreThanSimultaneous(t *testing.T) {
+	// Fig 15's headline: simultaneous failures pipeline their detection,
+	// sequential ones pay one timeout each.
+	bytes := int64(1 << 30)
+	positions := []int{9, 19, 29, 39, 49}
+
+	var sim []NodeFailure
+	for _, p := range positions {
+		sim = append(sim, NodeFailure{Pos: p, At: 2.0})
+	}
+	w1, topo1 := world(10, 10, gig, simnet.NodeRates{})
+	simRes := Kascade(w1, topo1.TopologyOrder(), bytes, KascadeParams{}, sim)
+
+	var seq []NodeFailure
+	for i, p := range positions {
+		seq = append(seq, NodeFailure{Pos: p, At: 2.0 + float64(i)*1.5})
+	}
+	w2, topo2 := world(10, 10, gig, simnet.NodeRates{})
+	seqRes := Kascade(w2, topo2.TopologyOrder(), bytes, KascadeParams{}, seq)
+
+	if !(seqRes.Duration > simRes.Duration) {
+		t.Fatalf("sequential (%.2fs) should cost more than simultaneous (%.2fs)",
+			seqRes.Duration, simRes.Duration)
+	}
+}
+
+func TestKascadeAdjacentSimultaneousFailures(t *testing.T) {
+	bytes := int64(256 << 20)
+	w, topo := world(2, 10, gig, simnet.NodeRates{})
+	res := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{},
+		[]NodeFailure{{Pos: 7, At: 0.5}, {Pos: 8, At: 0.5}})
+	for i, ok := range res.Completed {
+		if i != 7 && i != 8 && !ok {
+			t.Fatalf("survivor %d incomplete", i)
+		}
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("adjacent simultaneous failures should rewire once, got %d", res.Recoveries)
+	}
+}
+
+func TestKascadeGapFetchAfterLaggingRewire(t *testing.T) {
+	// A tiny window plus a failure forces the new successor below the
+	// predecessor's window: the model must take the PGET path and still
+	// complete everyone.
+	bytes := int64(256 << 20)
+	w, topo := world(1, 8, gig, simnet.NodeRates{DiskRate: 20e6}) // slow disks build lag
+	res := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{WindowChunks: 2},
+		[]NodeFailure{{Pos: 3, At: 3.0}})
+	for i, ok := range res.Completed {
+		if i != 3 && !ok {
+			t.Fatalf("survivor %d incomplete", i)
+		}
+	}
+	if res.GapFetches == 0 {
+		t.Fatal("expected at least one gap fetch with a 2-chunk window")
+	}
+}
+
+func TestTreeChainMatchesKascadeThroughput(t *testing.T) {
+	bytes := int64(256 << 20)
+	w, topo := world(2, 10, gig, simnet.NodeRates{})
+	k := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+	w2, topo2 := world(2, 10, gig, simnet.NodeRates{})
+	c := Tree(w2, topo2.TopologyOrder(), bytes, TreeParams{Children: ChainChildren})
+	rk, rc := k.Throughput(bytes), c.Throughput(bytes)
+	if rc < 0.9*rk || rc > 1.1*rk {
+		t.Fatalf("chain tree %.1f vs kascade %.1f MB/s should be close", rc/1e6, rk/1e6)
+	}
+}
+
+func TestTreeRelayCapDominates(t *testing.T) {
+	// TakTuk's perl relay cap makes arity irrelevant on 1 GbE (Fig 7:
+	// chain and tree both flat around 35 MB/s).
+	relay := 38e6
+	bytes := int64(256 << 20)
+	var rates [2]float64
+	for i, children := range []func(int, int) []int{ChainChildren, HeapChildren(2)} {
+		w, topo := world(2, 10, gig, simnet.NodeRates{RelayRate: relay})
+		res := Tree(w, topo.TopologyOrder(), bytes, TreeParams{Children: children, PerChunkAck: true})
+		rates[i] = res.Throughput(bytes)
+	}
+	for i, r := range rates {
+		if r < 0.7*relay || r > relay*1.01 {
+			t.Fatalf("variant %d: %.1f MB/s, want near relay cap %.1f", i, r/1e6, relay/1e6)
+		}
+	}
+}
+
+func TestBinomialRootDividesBandwidth(t *testing.T) {
+	// A binomial root feeds ~log2(N) children through one NIC: per-child
+	// rate divides, so the pipelined throughput falls well below a chain.
+	bytes := int64(256 << 20)
+	w, topo := world(2, 32, gig, simnet.NodeRates{})
+	b := Tree(w, topo.TopologyOrder(), bytes, TreeParams{Children: BinomialChildrenFn})
+	w2, topo2 := world(2, 32, gig, simnet.NodeRates{})
+	c := Tree(w2, topo2.TopologyOrder(), bytes, TreeParams{Children: ChainChildren})
+	rb, rc := b.Throughput(bytes), c.Throughput(bytes)
+	if rb > 0.5*rc {
+		t.Fatalf("binomial %.1f vs chain %.1f MB/s: root NIC division missing", rb/1e6, rc/1e6)
+	}
+}
+
+func TestBinomialChildrenLayoutMatchesMPI(t *testing.T) {
+	got := BinomialChildrenFn(0, 8)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("root children %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("root children %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUDPCastSyncCostGrowsWithReceivers(t *testing.T) {
+	bytes := int64(512 << 20)
+	var small, large float64
+	for _, n := range []int{20, 200} {
+		w, topo := world(n/10, 10, gig, simnet.NodeRates{})
+		res := UDPCast(w, topo.TopologyOrder(), bytes, UDPCastParams{})
+		if n == 20 {
+			small = res.Throughput(bytes)
+		} else {
+			large = res.Throughput(bytes)
+		}
+	}
+	if large > 0.85*small {
+		t.Fatalf("ACK implosion missing: %.1f MB/s at 20 nodes vs %.1f at 200", small/1e6, large/1e6)
+	}
+	if small < 0.7*gig {
+		t.Fatalf("small-N UDPCast too slow: %.1f MB/s", small/1e6)
+	}
+}
+
+func TestStartupTimeDominatesSmallFiles(t *testing.T) {
+	// Fig 14's mechanism: 50 MB at wire speed takes ~0.45 s; a 2 s
+	// startup must roughly quarter the effective throughput.
+	bytes := int64(50e6)
+	w, topo := world(2, 10, gig, simnet.NodeRates{})
+	fast := Kascade(w, topo.TopologyOrder(), bytes, KascadeParams{}, nil)
+	w2, topo2 := world(2, 10, gig, simnet.NodeRates{})
+	slow := Kascade(w2, topo2.TopologyOrder(), bytes, KascadeParams{StartupTime: 2.0}, nil)
+	if slow.Duration-fast.Duration < 1.9 {
+		t.Fatalf("startup not charged: %.2f vs %.2f", slow.Duration, fast.Duration)
+	}
+}
+
+func TestZeroByteBroadcasts(t *testing.T) {
+	w, topo := world(1, 4, gig, simnet.NodeRates{})
+	res := Kascade(w, topo.TopologyOrder(), 0, KascadeParams{}, nil)
+	if res.Duration != 0 {
+		t.Fatalf("zero-byte kascade took %v", res.Duration)
+	}
+	w2, topo2 := world(1, 4, gig, simnet.NodeRates{})
+	if res := Tree(w2, topo2.TopologyOrder(), 0, TreeParams{}); res.Duration != 0 {
+		t.Fatalf("zero-byte tree took %v", res.Duration)
+	}
+}

@@ -1,0 +1,256 @@
+package simbcast
+
+import (
+	"kascade/internal/simnet"
+)
+
+// TreeParams tunes the generic store-and-forward tree model, which covers
+// the TakTuk baselines (arity-1 chain and arity-2 tree, §IV) and the MPI
+// segmented collectives (pipelined chain and binomial tree).
+type TreeParams struct {
+	// ChunkSize is the simulation granularity in bytes.
+	ChunkSize int64
+	// Depth is the number of chunks in flight per tree edge.
+	Depth int
+	// PerChunkAck adds a full path round trip to every chunk (TakTuk's
+	// windowed command-channel forwarding waits for acknowledgements;
+	// MPI's segmented collectives do not).
+	PerChunkAck bool
+	// StartupTime is the deployment cost added before data flows.
+	StartupTime float64
+	// Children maps a pipeline position to its children positions.
+	Children func(pos, n int) []int
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.ChunkSize <= 0 {
+		p.ChunkSize = 8 << 20
+	}
+	if p.Depth <= 0 {
+		p.Depth = 2
+	}
+	return p
+}
+
+// ChainChildren is the arity-1 tree (the pipelined chain).
+func ChainChildren(pos, n int) []int {
+	if pos+1 < n {
+		return []int{pos + 1}
+	}
+	return nil
+}
+
+// HeapChildren returns the arity-k heap layout used by TakTuk.
+func HeapChildren(k int) func(pos, n int) []int {
+	return func(pos, n int) []int {
+		var out []int
+		for c := pos*k + 1; c <= pos*k+k && c < n; c++ {
+			out = append(out, c)
+		}
+		return out
+	}
+}
+
+// LocalityHeapChildren builds TakTuk's adaptive-tree shape: TakTuk reaches
+// nearby nodes first, so its tree is largely topology-local — an arity-k
+// heap inside each node group (switch), with group roots chained. Each
+// switch uplink then carries the stream once, like Kascade's ordered chain,
+// which is why the paper's TakTuk/tree stays flat with node count (Fig 7).
+// groupOf maps a pipeline position to its group id; positions of one group
+// must be contiguous and groups ascending (the topology order guarantees
+// this).
+func LocalityHeapChildren(k int, groupOf func(pos int) int) func(pos, n int) []int {
+	return func(pos, n int) []int {
+		g := groupOf(pos)
+		// Find the group's contiguous span [lo, hi).
+		lo := pos
+		for lo > 0 && groupOf(lo-1) == g {
+			lo--
+		}
+		hi := pos + 1
+		for hi < n && groupOf(hi) == g {
+			hi++
+		}
+		// Heap children within the group.
+		rel := pos - lo
+		var out []int
+		for c := rel*k + 1; c <= rel*k+k && lo+c < hi; c++ {
+			out = append(out, lo+c)
+		}
+		// The group root also feeds the next group's root.
+		if rel == 0 && hi < n {
+			out = append(out, hi)
+		}
+		return out
+	}
+}
+
+// BinomialChildrenFn returns the binomial-tree layout used by MPI bcast.
+func BinomialChildrenFn(pos, n int) []int {
+	if n <= 1 {
+		return nil
+	}
+	k := 0
+	for 1<<k <= pos {
+		k++
+	}
+	var out []int
+	for ; 1<<k < n; k++ {
+		c := pos | 1<<k
+		if c < n && c != pos {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+type treeSim struct {
+	w      World
+	order  []int
+	p      TreeParams
+	nTotal int
+	chunks int
+	last   int64
+
+	received []int
+	written  []int
+	inFlight []int
+	diskBusy []bool
+	children [][]int
+	parent   []int
+
+	finished bool
+	doneAt   float64
+}
+
+// Tree simulates one store-and-forward tree broadcast (no failures: the
+// paper's baselines have no fault tolerance to exercise).
+func Tree(w World, order []int, bytes int64, p TreeParams) Result {
+	validateOrder(w, order)
+	p = p.withDefaults()
+	if p.Children == nil {
+		p.Children = ChainChildren
+	}
+	n := len(order)
+	ts := &treeSim{
+		w: w, order: order, p: p, nTotal: n,
+		received: make([]int, n),
+		written:  make([]int, n),
+		inFlight: make([]int, n),
+		diskBusy: make([]bool, n),
+		children: make([][]int, n),
+		parent:   make([]int, n),
+	}
+	ts.chunks, ts.last = chunkCount(bytes, p.ChunkSize)
+	for i := 0; i < n; i++ {
+		ts.children[i] = p.Children(i, n)
+		for _, c := range ts.children[i] {
+			ts.parent[c] = i
+		}
+	}
+	ts.received[0] = ts.chunks
+
+	sim := w.Net().Sim
+	sim.At(p.StartupTime, func() { ts.pumpAll() })
+	sim.Run()
+	ts.checkDone()
+
+	res := Result{Duration: ts.doneAt, Completed: make([]bool, n)}
+	for i := range res.Completed {
+		res.Completed[i] = ts.nodeDone(i)
+	}
+	if !ts.finished {
+		res.Duration = sim.Now()
+	}
+	return res
+}
+
+// disk returns node k's disk stage; the root (position 0) never writes.
+func (ts *treeSim) disk(k int) *simnet.Link {
+	if k == 0 {
+		return nil
+	}
+	return ts.w.Disk(ts.order[k])
+}
+
+// availTo returns the highest chunk node k can start forwarding
+// (cut-through; see the Kascade model for rationale).
+func (ts *treeSim) availTo(k int) int {
+	if k == 0 {
+		return ts.received[0]
+	}
+	return ts.received[k] + ts.inFlight[k]
+}
+
+func (ts *treeSim) nodeDone(k int) bool {
+	if ts.received[k] < ts.chunks {
+		return false
+	}
+	if ts.disk(k) != nil && ts.written[k] < ts.chunks {
+		return false
+	}
+	return true
+}
+
+func (ts *treeSim) checkDone() {
+	if ts.finished {
+		return
+	}
+	for i := 0; i < ts.nTotal; i++ {
+		if !ts.nodeDone(i) {
+			return
+		}
+	}
+	ts.finished = true
+	ts.doneAt = ts.w.Net().Sim.Now()
+}
+
+func (ts *treeSim) pumpAll() {
+	for k := 0; k < ts.nTotal; k++ {
+		ts.pump(k)
+	}
+	ts.checkDone()
+}
+
+func (ts *treeSim) pump(k int) {
+	for _, c := range ts.children[k] {
+		for ts.inFlight[c] < ts.p.Depth {
+			next := ts.received[c] + ts.inFlight[c]
+			if next >= ts.chunks || next >= ts.availTo(k) {
+				break
+			}
+			links, lat, maxRate := ts.w.Path(ts.order[k], ts.order[c])
+			if ts.p.PerChunkAck {
+				// Windowed store-and-forward: each chunk costs an
+				// extra round trip before the next may start.
+				lat += 2 * lat
+			}
+			size := chunkBytes(next, ts.chunks, ts.p.ChunkSize, ts.last)
+			ts.inFlight[c]++
+			child := c
+			fl := ts.w.Net().Start(size, lat, links, func(*simnet.Flow) {
+				ts.inFlight[child]--
+				ts.received[child]++
+				ts.enqueueDisk(child)
+				ts.pumpAll()
+			})
+			fl.MaxRate = maxRate
+		}
+	}
+}
+
+func (ts *treeSim) enqueueDisk(k int) {
+	disk := ts.disk(k)
+	if disk == nil || ts.diskBusy[k] || ts.written[k] >= ts.received[k] {
+		return
+	}
+	ts.diskBusy[k] = true
+	idx := ts.written[k]
+	size := chunkBytes(idx, ts.chunks, ts.p.ChunkSize, ts.last)
+	ts.w.Net().Start(size, 0, []*simnet.Link{disk}, func(*simnet.Flow) {
+		ts.diskBusy[k] = false
+		ts.written[k]++
+		ts.enqueueDisk(k)
+		ts.pumpAll()
+	})
+}

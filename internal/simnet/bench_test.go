@@ -1,0 +1,82 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"kascade/internal/topology"
+)
+
+// BenchmarkRebalance measures the max-min allocator on a loaded pipeline:
+// the hot path of every figure regeneration.
+func BenchmarkRebalance(b *testing.B) {
+	for _, hops := range []int{20, 100, 200} {
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			topo := topology.FatTree("n", (hops+34)/35, 35, topology.Gigabit, topology.TenGigabit)
+			s := New()
+			n := NewNetwork(s)
+			c := BuildCluster(n, topo, NodeRates{})
+			order := topo.TopologyOrder()
+			var flows []*Flow
+			for i := 1; i <= hops && i < len(order); i++ {
+				p, _, _ := c.Path(order[i-1], order[i])
+				// Zero latency: flows activate synchronously so the
+				// benchmark measures a loaded allocator.
+				flows = append(flows, n.Start(1e12, 0, p, nil))
+			}
+			if n.ActiveFlows() != len(flows) {
+				b.Fatalf("flows not active: %d of %d", n.ActiveFlows(), len(flows))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.rebalance()
+			}
+			b.StopTimer()
+			for _, f := range flows {
+				n.Cancel(f)
+			}
+			s.Run()
+		})
+	}
+}
+
+// BenchmarkFullBroadcastSim measures a complete 200-node figure-7-style
+// broadcast end to end in the simulator.
+func BenchmarkFullBroadcastSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo := topology.FatTree("n", 6, 35, topology.Gigabit, topology.TenGigabit)
+		s := New()
+		n := NewNetwork(s)
+		c := BuildCluster(n, topo, NodeRates{})
+		order := topo.TopologyOrder()
+		// Chunked chain: 64 chunks of 8 MB through 209 hops.
+		const chunks = 64
+		received := make([]int, len(order))
+		inFlight := make([]int, len(order))
+		received[0] = chunks
+		var pump func()
+		pump = func() {
+			for k := 0; k+1 < len(order); k++ {
+				succ := k + 1
+				for inFlight[succ] < 2 {
+					next := received[succ] + inFlight[succ]
+					if next >= chunks || next >= received[k]+inFlight[k] {
+						break
+					}
+					p, lat, _ := c.Path(order[k], order[succ])
+					inFlight[succ]++
+					n.Start(8<<20, lat, p, func(*Flow) {
+						inFlight[succ]--
+						received[succ]++
+						pump()
+					})
+				}
+			}
+		}
+		pump()
+		s.Run()
+		if received[len(order)-1] != chunks {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}

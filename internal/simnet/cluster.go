@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"fmt"
+
+	"kascade/internal/topology"
+)
+
+// NodeRates tunes the per-node stages of a simulated cluster.
+type NodeRates struct {
+	// RelayRate is the per-node forwarding ceiling in bytes/s (memory
+	// copies, protocol CPU). 0 means unlimited. This is what keeps any
+	// single-threaded tool below 10 GbE line rate in Fig 8, and what
+	// models TakTuk's perl command-channel encoding cost.
+	RelayRate float64
+	// DiskRate is the local storage write throughput in bytes/s
+	// (0 = payload discarded, the paper's /dev/null runs).
+	DiskRate float64
+	// TCPWindow is the per-connection window in bytes; over a path with
+	// RTT, a single connection cannot exceed TCPWindow/RTT (Fig 13).
+	// 0 disables the cap.
+	TCPWindow float64
+}
+
+// Cluster is a topology.Cluster realised as simulator links.
+type Cluster struct {
+	Network *Network
+	Topo    *topology.Cluster
+	Rates   NodeRates
+
+	Up, Down []*Link // per-node edge links (egress, ingress)
+	Relay    []*Link // per-node forwarding ceiling (nil entries = unlimited)
+	DiskL    []*Link // per-node disk stage (nil entries = discard)
+	TorUp    []*Link // per-switch uplink toward the core
+	TorDown  []*Link // per-switch downlink from the core
+}
+
+// BuildCluster realises topo on net with the given per-node rates.
+func BuildCluster(net *Network, topo *topology.Cluster, rates NodeRates) *Cluster {
+	c := &Cluster{Network: net, Topo: topo, Rates: rates}
+	n := len(topo.Nodes)
+	c.Up = make([]*Link, n)
+	c.Down = make([]*Link, n)
+	c.Relay = make([]*Link, n)
+	c.DiskL = make([]*Link, n)
+	for i, node := range topo.Nodes {
+		c.Up[i] = net.NewLink(fmt.Sprintf("%s/up", node.Name), topo.EdgeCapacity)
+		c.Down[i] = net.NewLink(fmt.Sprintf("%s/down", node.Name), topo.EdgeCapacity)
+		if rates.RelayRate > 0 {
+			c.Relay[i] = net.NewLink(fmt.Sprintf("%s/relay", node.Name), rates.RelayRate)
+		}
+		if rates.DiskRate > 0 {
+			c.DiskL[i] = net.NewLink(fmt.Sprintf("%s/disk", node.Name), rates.DiskRate)
+		}
+	}
+	if topo.Switches > 1 {
+		c.TorUp = make([]*Link, topo.Switches)
+		c.TorDown = make([]*Link, topo.Switches)
+		for s := 0; s < topo.Switches; s++ {
+			c.TorUp[s] = net.NewLink(fmt.Sprintf("tor%d/up", s), topo.UplinkCapacity)
+			c.TorDown[s] = net.NewLink(fmt.Sprintf("tor%d/down", s), topo.UplinkCapacity)
+		}
+	}
+	return c
+}
+
+// Path returns the link sequence, one-way latency, and per-connection rate
+// cap for a transfer from node i to node j. Within a switch the path is
+// egress edge + ingress edge; across switches it adds both uplinks; across
+// sites it adds WAN latency and the TCP-window cap bites.
+//
+// The per-node relay ceiling sits on the receiver side: a relaying process
+// pays its CPU/memory cost once per byte it ingests, independently of how
+// many children it later forwards to. This is what keeps TakTuk's chain
+// and arity-2 tree at the same plateau in Fig 7, and what caps Kascade and
+// MPI below line rate on 10 GbE in Fig 8.
+func (c *Cluster) Path(i, j int) (links []*Link, latency, maxRate float64) {
+	if i == j {
+		panic(fmt.Sprintf("simnet: self-path for node %d", i))
+	}
+	links = append(links, c.Up[i])
+	latency = 2 * c.Topo.EdgeLatencySec
+	ni, nj := c.Topo.Nodes[i], c.Topo.Nodes[j]
+	if ni.Switch != nj.Switch && c.TorUp != nil {
+		links = append(links, c.TorUp[ni.Switch], c.TorDown[nj.Switch])
+		latency += c.Topo.EdgeLatencySec
+	}
+	if ni.Site != nj.Site {
+		latency += c.Topo.SiteLatency(ni.Site) + c.Topo.SiteLatency(nj.Site)
+	}
+	links = append(links, c.Down[j])
+	if c.Relay[j] != nil {
+		links = append(links, c.Relay[j])
+	}
+	if c.Rates.TCPWindow > 0 {
+		rtt := 2 * latency
+		if rtt > 0 {
+			maxRate = c.Rates.TCPWindow / rtt
+		}
+	}
+	return links, latency, maxRate
+}
+
+// Disk returns node i's disk stage link (nil when payloads are discarded).
+func (c *Cluster) Disk(i int) *Link { return c.DiskL[i] }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.Topo.Nodes) }
+
+// Net returns the underlying flow network.
+func (c *Cluster) Net() *Network { return c.Network }

@@ -1,0 +1,304 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// epsilon below which a flow's remaining bytes count as delivered.
+const epsilon = 1e-6
+
+// Link is a directional capacity: one side of a full-duplex cable, a
+// switch uplink, or a per-node stage (memory-copy ceiling, disk).
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second
+
+	flows map[*Flow]struct{}
+
+	// computeRates scratch state, validated by generation counter.
+	gen      uint64
+	residual float64
+	count    int
+}
+
+// Flow is one in-flight transfer over a fixed path of links.
+type Flow struct {
+	Path []*Link
+	Meta any // caller tag, untouched by the engine
+	// MaxRate caps the flow's allocation in bytes/s regardless of link
+	// shares (0 = unlimited). It models end-to-end limits that are not a
+	// shared resource, chiefly the TCP window over high-latency WAN paths
+	// (rate <= window/RTT), which drives Fig 13.
+	MaxRate float64
+	onDone  func(*Flow)
+
+	remaining float64
+	rate      float64
+	settledAt float64
+	active    bool
+	ended     bool
+	frozenGen uint64 // computeRates scratch
+}
+
+// Remaining returns the bytes not yet delivered.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the current max-min allocation in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Network owns links and flows and keeps the allocation max-min fair.
+type Network struct {
+	Sim *Sim
+
+	links  []*Link
+	flows  map[*Flow]struct{}
+	nextup *Timer // pending earliest-completion event
+
+	gen     uint64  // computeRates generation
+	touched []*Link // computeRates scratch: links carrying flows
+}
+
+// NewNetwork returns an empty network bound to sim.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{Sim: sim, flows: make(map[*Flow]struct{})}
+}
+
+// NewLink creates a directional link with the given capacity in bytes/s.
+func (n *Network) NewLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: link %q must have positive capacity", name))
+	}
+	l := &Link{Name: name, Capacity: capacity, flows: make(map[*Flow]struct{})}
+	n.links = append(n.links, l)
+	return l
+}
+
+// Start launches a transfer of the given size over path, first waiting
+// latency seconds (propagation + connection establishment). onDone fires
+// when the last byte is delivered. A zero-byte flow completes after the
+// latency alone.
+func (n *Network) Start(bytes, latency float64, path []*Link, onDone func(*Flow)) *Flow {
+	if len(path) == 0 {
+		panic("simnet: flow needs at least one link")
+	}
+	f := &Flow{Path: path, onDone: onDone, remaining: bytes}
+	activate := func() {
+		if f.ended {
+			return
+		}
+		if f.remaining <= epsilon {
+			f.ended = true
+			if f.onDone != nil {
+				f.onDone(f)
+			}
+			return
+		}
+		f.active = true
+		f.settledAt = n.Sim.Now()
+		n.flows[f] = struct{}{}
+		for _, l := range f.Path {
+			l.flows[f] = struct{}{}
+		}
+		n.rebalance()
+	}
+	if latency > 0 {
+		n.Sim.After(latency, activate)
+	} else {
+		activate()
+	}
+	return f
+}
+
+// Cancel aborts a flow (node death, user interruption).
+func (n *Network) Cancel(f *Flow) {
+	if f == nil || f.ended {
+		return
+	}
+	f.ended = true
+	if f.active {
+		n.detach(f)
+		n.rebalance()
+	}
+}
+
+func (n *Network) detach(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.Path {
+		delete(l.flows, f)
+	}
+	f.active = false
+}
+
+// settle charges elapsed time against every active flow at its current rate.
+func (n *Network) settle() {
+	now := n.Sim.Now()
+	for f := range n.flows {
+		if dt := now - f.settledAt; dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.settledAt = now
+	}
+}
+
+// rebalance recomputes the max-min fair allocation and re-arms the
+// earliest-completion event.
+func (n *Network) rebalance() {
+	n.settle()
+	n.computeRates()
+
+	if n.nextup != nil {
+		n.nextup.Cancel()
+		n.nextup = nil
+	}
+	soonest := math.Inf(1)
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	n.nextup = n.Sim.After(soonest, n.completeDue)
+}
+
+// completeDue finishes every flow that has drained and rebalances.
+func (n *Network) completeDue() {
+	n.nextup = nil
+	n.settle()
+	var done []*Flow
+	for f := range n.flows {
+		if f.remaining <= epsilon {
+			done = append(done, f)
+		}
+	}
+	for _, f := range done {
+		f.ended = true
+		n.detach(f)
+	}
+	n.rebalance()
+	for _, f := range done {
+		if f.onDone != nil {
+			f.onDone(f)
+		}
+	}
+}
+
+// computeRates performs progressive filling (water-filling): repeatedly
+// find the most contended link, give its flows their fair share, freeze
+// them, and continue with the residual capacities. Links tied with the
+// bottleneck (within a relative epsilon) freeze in the same round, which
+// collapses the homogeneous-pipeline case to a single round. Scratch state
+// lives on the links themselves (validated by a generation counter) so the
+// hot path allocates nothing.
+func (n *Network) computeRates() {
+	if len(n.flows) == 0 {
+		return
+	}
+	n.gen++
+	n.touched = n.touched[:0]
+	unfrozen := 0
+	for f := range n.flows {
+		f.frozenGen = 0
+		unfrozen++
+		for _, l := range f.Path {
+			if l.gen != n.gen {
+				l.gen = n.gen
+				l.residual = l.Capacity
+				l.count = 0
+				n.touched = append(n.touched, l)
+			}
+			l.count++
+		}
+	}
+	freeze := func(f *Flow, rate float64) {
+		f.rate = rate
+		f.frozenGen = n.gen
+		unfrozen--
+		for _, pl := range f.Path {
+			pl.residual -= rate
+			if pl.residual < 0 {
+				pl.residual = 0
+			}
+			pl.count--
+		}
+	}
+	for unfrozen > 0 {
+		best := math.Inf(1)
+		for _, l := range n.touched {
+			if l.count <= 0 {
+				continue
+			}
+			if share := l.residual / float64(l.count); share < best {
+				best = share
+			}
+		}
+		if math.IsInf(best, 1) {
+			// No constraining link left (should not happen: every
+			// flow traverses at least one link).
+			for f := range n.flows {
+				if f.frozenGen != n.gen {
+					f.rate = math.Inf(1)
+					f.frozenGen = n.gen
+				}
+			}
+			return
+		}
+		if best < 0 {
+			best = 0
+		}
+		threshold := best * (1 + 1e-9)
+		// Rate-capped flows that cannot even use the fair share freeze
+		// first at their own cap, releasing capacity for the rest.
+		capped := false
+		for f := range n.flows {
+			if f.frozenGen != n.gen && f.MaxRate > 0 && f.MaxRate <= threshold {
+				freeze(f, f.MaxRate)
+				capped = true
+			}
+		}
+		if capped {
+			continue
+		}
+		frozeAny := false
+		for _, l := range n.touched {
+			if l.count <= 0 || l.residual/float64(l.count) > threshold {
+				continue
+			}
+			for f := range l.flows {
+				if f.frozenGen == n.gen {
+					continue
+				}
+				freeze(f, best)
+				frozeAny = true
+			}
+		}
+		if !frozeAny {
+			// Numerical corner: freeze everything at best.
+			for f := range n.flows {
+				if f.frozenGen != n.gen {
+					freeze(f, best)
+				}
+			}
+		}
+	}
+}
+
+// TotalCapacity reports the sum of link capacities (diagnostics).
+func (n *Network) TotalCapacity() float64 {
+	var sum float64
+	for _, l := range n.links {
+		sum += l.Capacity
+	}
+	return sum
+}
+
+// ActiveFlows reports how many flows are currently consuming bandwidth.
+func (n *Network) ActiveFlows() int { return len(n.flows) }

@@ -1,0 +1,123 @@
+// Package simnet is a flow-level discrete-event network simulator: the
+// substrate standing in for the paper's Grid'5000 testbed (see DESIGN.md §2).
+//
+// Byte streams are modelled as fluid flows over directional links;
+// concurrent flows share link capacity max–min fairly, which reproduces the
+// contention effects the paper's evaluation hinges on: saturated inter-
+// switch uplinks under topology-unaware orders (Fig 9, Fig 10), full-duplex
+// pipelines that cross each link once per direction (Fig 3/7), per-node
+// memory-copy ceilings on 10 GbE (Fig 8) and disk-bound pipelines (Fig 11).
+//
+// The engine is deliberately simple: a virtual clock, an event heap, and a
+// progressive-filling bandwidth allocator re-run whenever the flow set
+// changes. internal/simbcast builds the per-algorithm broadcast models on
+// top of it.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at    float64
+	seq   int64
+	fn    func()
+	index int // heap index; -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	sim *Sim
+	ev  *event
+}
+
+// Cancel prevents the timer from firing (no-op if it already fired).
+func (t *Timer) Cancel() {
+	if t == nil || t.ev == nil {
+		return
+	}
+	if t.ev.index >= 0 {
+		heap.Remove(&t.sim.pq, t.ev.index)
+	}
+	t.ev.fn = nil
+}
+
+// Sim is the virtual-time event engine.
+type Sim struct {
+	now float64
+	seq int64
+	pq  eventHeap
+}
+
+// New returns an empty simulation at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (>= now).
+func (s *Sim) At(t float64, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.pq, ev)
+	return &Timer{sim: s, ev: ev}
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue is empty. It panics if the event
+// count exceeds a safety bound (runaway model bug) rather than spinning
+// forever.
+func (s *Sim) Run() {
+	const maxEvents = 200_000_000
+	for n := 0; len(s.pq) > 0; n++ {
+		if n > maxEvents {
+			panic(fmt.Sprintf("simnet: more than %d events; model livelock?", maxEvents))
+		}
+		ev := heap.Pop(&s.pq).(*event)
+		s.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+}

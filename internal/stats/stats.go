@@ -1,0 +1,208 @@
+// Package stats provides the statistical helpers the paper's evaluation
+// methodology calls for: sample means with 95% confidence intervals from
+// the Student t-distribution (§IV: "results are presented with their
+// respective 95% confidence intervals according to the Student's
+// t-distribution"), plus the table/series containers the experiment
+// harness renders.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations of one measured quantity.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations (Welford)
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min and Max return the observed extremes.
+func (s *Sample) Min() float64 { return s.min }
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// using the Student t-distribution with n-1 degrees of freedom.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return TValue95(s.n-1) * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String formats the sample as "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean(), s.CI95())
+}
+
+// tTable95 holds two-sided 95% critical values (0.975 quantile) of the
+// Student t-distribution indexed by degrees of freedom.
+var tTable95 = []struct {
+	df int
+	t  float64
+}{
+	{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+	{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+	{11, 2.201}, {12, 2.179}, {13, 2.160}, {14, 2.145}, {15, 2.131},
+	{16, 2.120}, {17, 2.110}, {18, 2.101}, {19, 2.093}, {20, 2.086},
+	{21, 2.080}, {22, 2.074}, {23, 2.069}, {24, 2.064}, {25, 2.060},
+	{26, 2.056}, {27, 2.052}, {28, 2.048}, {29, 2.045}, {30, 2.042},
+	{40, 2.021}, {50, 2.009}, {60, 2.000}, {80, 1.990}, {100, 1.984},
+	{120, 1.980},
+}
+
+// TValue95 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom, interpolating between tabulated values and converging
+// to the normal quantile 1.960 for large df.
+func TValue95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	i := sort.Search(len(tTable95), func(i int) bool { return tTable95[i].df >= df })
+	if i < len(tTable95) && tTable95[i].df == df {
+		return tTable95[i].t
+	}
+	if i >= len(tTable95) {
+		return 1.960
+	}
+	if i == 0 {
+		return tTable95[0].t
+	}
+	lo, hi := tTable95[i-1], tTable95[i]
+	frac := float64(df-lo.df) / float64(hi.df-lo.df)
+	return lo.t + frac*(hi.t-lo.t)
+}
+
+// Cell is one table entry: an aggregated measurement.
+type Cell struct {
+	Mean float64
+	CI   float64
+	N    int
+}
+
+// FromSample converts a Sample into a Cell.
+func FromSample(s *Sample) Cell {
+	return Cell{Mean: s.Mean(), CI: s.CI95(), N: s.N()}
+}
+
+// Row is one x-axis point of a figure: the x label plus one cell per series.
+type Row struct {
+	X     string
+	Cells []Cell
+}
+
+// Table is a rendered figure: one column per method (series), one row per
+// x-axis point. It is the textual equivalent of the paper's plots.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// AddRow appends a row; the number of cells must match Columns.
+func (t *Table) AddRow(x string, cells ...Cell) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %q has %d cells for %d columns", x, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Cells: cells})
+}
+
+// Render writes an aligned plain-text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.YLabel != "" {
+		fmt.Fprintf(w, "y: %s\n", t.YLabel)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	cellText := func(c Cell) string {
+		if c.N > 1 && c.CI > 0 {
+			return fmt.Sprintf("%.1f ±%.1f", c.Mean, c.CI)
+		}
+		return fmt.Sprintf("%.1f", c.Mean)
+	}
+	for i, col := range t.Columns {
+		widths[i+1] = len(col)
+	}
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+		for i, c := range r.Cells {
+			if n := len(cellText(c)); n > widths[i+1] {
+				widths[i+1] = n
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		if len(s) >= w {
+			return s
+		}
+		return s + strings.Repeat(" ", w-len(s))
+	}
+	header := pad(t.XLabel, widths[0])
+	for i, col := range t.Columns {
+		header += "  " + pad(col, widths[i+1])
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, r := range t.Rows {
+		line := pad(r.X, widths[0])
+		for i, c := range r.Cells {
+			line += "  " + pad(cellText(c), widths[i+1])
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// MBps converts bytes and seconds into the paper's throughput unit
+// (megabytes per second, SI: 1 MB = 1e6 bytes).
+func MBps(bytes float64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return bytes / 1e6 / seconds
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %g", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=5, sd=2: half-width = t(4)*2/sqrt(5) = 2.776*0.8944 = 2.4829
+	var s Sample
+	for _, v := range []float64{8, 9, 10, 11, 12} {
+		s.Add(v)
+	}
+	want := 2.776 * s.StdDev() / math.Sqrt(5)
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Fatalf("ci = %g, want %g", s.CI95(), want)
+	}
+}
+
+func TestCI95DegenerateSamples(t *testing.T) {
+	var s Sample
+	if s.CI95() != 0 {
+		t.Fatal("empty sample should have 0 CI")
+	}
+	s.Add(3)
+	if s.CI95() != 0 {
+		t.Fatal("singleton sample should have 0 CI")
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+}
+
+func TestTValue95TableAndInterpolation(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {5, 2.571}, {30, 2.042}, {120, 1.980}, {10000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TValue95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TValue95(%d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+	// Interpolated value sits strictly between neighbours.
+	if v := TValue95(35); v >= TValue95(30) || v <= TValue95(40) {
+		t.Errorf("TValue95(35) = %g not between table neighbours", v)
+	}
+	if !math.IsInf(TValue95(0), 1) {
+		t.Error("df=0 should be +Inf")
+	}
+}
+
+// Property: TValue95 is monotonically non-increasing in df and bounded
+// below by the normal critical value.
+func TestTValueMonotoneQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		d1, d2 := int(a)%500+1, int(b)%500+1
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		v1, v2 := TValue95(d1), TValue95(d2)
+		return v1 >= v2-1e-12 && v2 >= 1.960-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Welford accumulation matches the two-pass formulas.
+func TestWelfordMatchesTwoPassQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(50) + 2
+		vals := make([]float64, n)
+		var s Sample
+		for i := range vals {
+			vals[i] = rnd.NormFloat64()*10 + 50
+			s.Add(vals[i])
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, v := range vals {
+			m2 += (v - mean) * (v - mean)
+		}
+		variance := m2 / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Figure X",
+		XLabel:  "clients",
+		YLabel:  "Throughput (MB/s)",
+		Columns: []string{"kascade", "taktuk"},
+	}
+	var a, b Sample
+	for _, v := range []float64{110, 112, 111} {
+		a.Add(v)
+	}
+	for _, v := range []float64{34, 36, 35} {
+		b.Add(v)
+	}
+	tab.AddRow("50", FromSample(&a), FromSample(&b))
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure X", "clients", "kascade", "taktuk", "111.0", "35.0", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cell/column mismatch")
+		}
+	}()
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("x", Cell{})
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(2e9, 20); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("MBps = %g", got)
+	}
+	if MBps(100, 0) != 0 {
+		t.Fatal("zero duration must give 0")
+	}
+}

@@ -1,0 +1,284 @@
+// Package taktuk reimplements the TakTuk-style tree broadcast the paper
+// evaluates as a baseline (§IV: TakTuk/chain is a tree of arity 1,
+// TakTuk/tree a tree of arity 2).
+//
+// TakTuk distributes files through its remote-execution command channel:
+// each node receives blocks from its parent and forwards them to its
+// children, store-and-forward, in heap order over the node list. The real
+// tool's throughput is capped by its perl encoding pipeline rather than the
+// network — that cost is modelled in the simulator (internal/simbcast); this
+// package provides the functionally equivalent overlay used by tests,
+// examples, and the CLI.
+package taktuk
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"kascade/internal/blockio"
+	"kascade/internal/transport"
+)
+
+// Config describes one tree broadcast.
+type Config struct {
+	// Names and Addrs list the participants; index 0 is the root
+	// (sender). Children of node i are i*Arity+1 .. i*Arity+Arity.
+	Names []string
+	Addrs []string
+	// Arity is the tree fan-out: 1 gives the chain variant, 2 the tree
+	// variant of the paper.
+	Arity int
+	// BlockSize is the store-and-forward granularity (default 64 KiB —
+	// TakTuk forwards small command-channel buffers).
+	BlockSize int
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+
+	// NetworkFor returns node i's network surface.
+	NetworkFor func(i int) transport.Network
+	// Input is the root's payload.
+	Input io.Reader
+	// SinkFor returns node i's local sink (nil discards).
+	SinkFor func(i int) io.Writer
+}
+
+func (c *Config) withDefaults() error {
+	if len(c.Names) == 0 || len(c.Names) != len(c.Addrs) {
+		return fmt.Errorf("taktuk: need matching Names and Addrs")
+	}
+	if c.Arity <= 0 {
+		c.Arity = 1
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.NetworkFor == nil {
+		return fmt.Errorf("taktuk: NetworkFor is required")
+	}
+	if c.Input == nil {
+		return fmt.Errorf("taktuk: root needs an Input")
+	}
+	return nil
+}
+
+// Children returns the child indices of node i in an n-node, arity-k heap.
+func Children(i, n, k int) []int {
+	var out []int
+	for c := i*k + 1; c <= i*k+k && c < n; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Parent returns the parent index of node i (i>0) in an arity-k heap.
+func Parent(i, k int) int { return (i - 1) / k }
+
+// Depth returns the depth of node i in an arity-k heap (root = 0).
+func Depth(i, k int) int {
+	d := 0
+	for i > 0 {
+		i = Parent(i, k)
+		d++
+	}
+	return d
+}
+
+// Result summarises one broadcast.
+type Result struct {
+	Total   uint64
+	Elapsed time.Duration
+}
+
+// Broadcast runs the full tree broadcast in-process: one goroutine per
+// node, connected through cfg.NetworkFor. It returns once every node has
+// confirmed completion up the tree.
+func Broadcast(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.Names)
+
+	listeners := make([]transport.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := cfg.NetworkFor(i).Listen(cfg.Addrs[i])
+		if err != nil {
+			for _, b := range listeners[:i] {
+				if b != nil {
+					b.Close()
+				}
+			}
+			return Result{}, fmt.Errorf("taktuk: binding %s: %w", cfg.Addrs[i], err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
+	start := time.Now()
+	errs := make([]error, n)
+	var total uint64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				total, errs[0] = runRoot(ctx, &cfg, addrs)
+			} else {
+				errs[i] = runRelay(ctx, &cfg, addrs, listeners[i], i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("taktuk: node %s: %w", cfg.Names[i], err)
+		}
+	}
+	return Result{Total: total, Elapsed: time.Since(start)}, nil
+}
+
+// dialChildren connects node i to each of its children.
+func dialChildren(cfg *Config, addrs []string, i int) ([]transport.Conn, error) {
+	var conns []transport.Conn
+	for _, c := range Children(i, len(addrs), cfg.Arity) {
+		conn, err := cfg.NetworkFor(i).Dial(addrs[c], cfg.DialTimeout)
+		if err != nil {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("dialing child %d: %w", c, err)
+		}
+		conns = append(conns, conn)
+	}
+	return conns, nil
+}
+
+func runRoot(ctx context.Context, cfg *Config, addrs []string) (uint64, error) {
+	children, err := dialChildren(cfg, addrs, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer closeAll(children)
+
+	buf := make([]byte, cfg.BlockSize)
+	var total uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		nr, rerr := io.ReadFull(cfg.Input, buf)
+		if nr > 0 {
+			for _, c := range children {
+				if err := blockio.WriteBlock(c, buf[:nr]); err != nil {
+					return total, err
+				}
+			}
+			total += uint64(nr)
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+	for _, c := range children {
+		if err := blockio.WriteEnd(c, total); err != nil {
+			return total, err
+		}
+	}
+	// Wait for every subtree to finish.
+	for _, c := range children {
+		if err := awaitDone(c); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func runRelay(ctx context.Context, cfg *Config, addrs []string, l transport.Listener, i int) error {
+	conn, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	children, err := dialChildren(cfg, addrs, i)
+	if err != nil {
+		return err
+	}
+	defer closeAll(children)
+
+	var sink io.Writer
+	if cfg.SinkFor != nil {
+		sink = cfg.SinkFor(i)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	buf := make([]byte, cfg.BlockSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := blockio.Read(br, buf)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case blockio.TypeData:
+			if sink != nil {
+				if _, err := sink.Write(f.Payload); err != nil {
+					return err
+				}
+			}
+			for _, c := range children {
+				if err := blockio.WriteBlock(c, f.Payload); err != nil {
+					return err
+				}
+			}
+		case blockio.TypeEnd:
+			for _, c := range children {
+				if err := blockio.WriteEnd(c, f.Offset); err != nil {
+					return err
+				}
+			}
+			for _, c := range children {
+				if err := awaitDone(c); err != nil {
+					return err
+				}
+			}
+			return blockio.WriteDone(conn)
+		default:
+			return fmt.Errorf("unexpected frame %d", f.Type)
+		}
+	}
+}
+
+func awaitDone(c transport.Conn) error {
+	br := bufio.NewReader(c)
+	f, err := blockio.Read(br, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != blockio.TypeDone {
+		return fmt.Errorf("expected DONE, got frame %d", f.Type)
+	}
+	return nil
+}
+
+func closeAll(conns []transport.Conn) {
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,114 @@
+package taktuk
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kascade/internal/transport"
+)
+
+type safeBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *safeBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *safeBuf) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+func TestTreeShapeHelpers(t *testing.T) {
+	// Arity 1 degrades into a chain.
+	if got := Children(0, 5, 1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("chain children of 0: %v", got)
+	}
+	if got := Children(4, 5, 1); got != nil {
+		t.Fatalf("chain tail children: %v", got)
+	}
+	// Arity 2 heap.
+	if got := Children(0, 7, 2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("root children: %v", got)
+	}
+	if got := Children(2, 7, 2); !reflect.DeepEqual(got, []int{5, 6}) {
+		t.Fatalf("node 2 children: %v", got)
+	}
+	if Parent(5, 2) != 2 || Parent(1, 2) != 0 {
+		t.Fatal("parent computation wrong")
+	}
+	if Depth(0, 2) != 0 || Depth(6, 2) != 2 || Depth(4, 1) != 4 {
+		t.Fatal("depth computation wrong")
+	}
+}
+
+func runTree(t *testing.T, n, arity, size int) {
+	t.Helper()
+	fabric := transport.NewFabric(0)
+	names := make([]string, n)
+	addrs := make([]string, n)
+	sinks := make([]*safeBuf, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+		addrs[i] = names[i] + ":8000"
+		sinks[i] = &safeBuf{}
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(int64(n*arity + size))).Read(data)
+	res, err := Broadcast(context.Background(), Config{
+		Names:      names,
+		Addrs:      addrs,
+		Arity:      arity,
+		BlockSize:  4 << 10,
+		NetworkFor: func(i int) transport.Network { return fabric.Host(names[i]) },
+		Input:      bytes.NewReader(data),
+		SinkFor:    func(i int) io.Writer { return sinks[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != uint64(size) {
+		t.Fatalf("total %d, want %d", res.Total, size)
+	}
+	for i := 1; i < n; i++ {
+		if sha256.Sum256(sinks[i].Bytes()) != sha256.Sum256(data) {
+			t.Errorf("node %d corrupted payload", i)
+		}
+	}
+}
+
+func TestChainBroadcast(t *testing.T)      { runTree(t, 6, 1, 100<<10) }
+func TestBinaryTreeBroadcast(t *testing.T) { runTree(t, 9, 2, 100<<10) }
+func TestWideTreeBroadcast(t *testing.T)   { runTree(t, 13, 4, 64<<10) }
+func TestTwoNodeTree(t *testing.T)         { runTree(t, 2, 2, 10<<10) }
+func TestUnalignedPayload(t *testing.T)    { runTree(t, 5, 2, 4<<10+37) }
+func TestEmptyPayload(t *testing.T)        { runTree(t, 4, 2, 0) }
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Broadcast(context.Background(), Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Broadcast(context.Background(), Config{Names: []string{"a"}, Addrs: []string{"a:1", "b:1"}}); err == nil {
+		t.Error("mismatched names/addrs accepted")
+	}
+	fabric := transport.NewFabric(0)
+	if _, err := Broadcast(context.Background(), Config{
+		Names:      []string{"a"},
+		Addrs:      []string{"a:1"},
+		NetworkFor: func(int) transport.Network { return fabric.Host("a") },
+	}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package topology describes cluster and grid network topologies and the
+// node orderings that the broadcast methods depend on.
+//
+// The paper's key observation (§II-A2, §III-A) is that most cluster networks
+// are hierarchical fat trees whose core links are under-provisioned, so a
+// pipelined broadcast must order nodes to match the physical topology: with
+// the right order each link is crossed once per direction; with a random
+// order the chain bounces across the inter-switch links and saturates them
+// (Fig 10).
+//
+// This package is pure description — it has no simulation or networking
+// code. internal/simnet consumes a Cluster to build its link graph, and the
+// real engine uses the ordering helpers to sort destination nodes.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Node is one machine in a cluster.
+type Node struct {
+	// Name is the host name, e.g. "n42". Kascade assumes the number in
+	// the host name reflects the physical topology (§III-A).
+	Name string
+	// Switch is the index of the top-of-the-rack switch the node hangs
+	// off. Nodes with equal Switch share an edge switch.
+	Switch int
+	// Site is the geographical site for multi-site (WAN) topologies;
+	// single-cluster topologies use site 0.
+	Site int
+}
+
+// Cluster is a set of nodes plus the shape of the network between them.
+type Cluster struct {
+	Nodes    []Node
+	Switches int
+	Sites    int
+
+	// EdgeCapacity is the node<->switch link capacity in bytes/s.
+	EdgeCapacity float64
+	// UplinkCapacity is the switch<->core capacity in bytes/s.
+	UplinkCapacity float64
+	// EdgeLatency is the one-way latency of a node<->switch hop.
+	EdgeLatencySec float64
+	// InterSiteCapacity and InterSiteLatencySec describe the WAN links
+	// between site cores; unused when Sites <= 1.
+	InterSiteCapacity   float64
+	InterSiteLatencySec float64
+	// SiteLatenciesSec holds each site's one-way latency to the backbone
+	// core; the latency between two sites is the sum of their entries.
+	// When empty, InterSiteLatencySec/2 applies to every site.
+	SiteLatenciesSec []float64
+}
+
+// SiteLatency returns the one-way backbone latency of site s.
+func (c *Cluster) SiteLatency(s int) float64 {
+	if s < len(c.SiteLatenciesSec) {
+		return c.SiteLatenciesSec[s]
+	}
+	return c.InterSiteLatencySec / 2
+}
+
+// Gigabit and related constants express link speeds in bytes per second.
+const (
+	Gigabit     = 1e9 / 8 // 125 MB/s
+	TenGigabit  = 10 * Gigabit
+	TwentyGigE  = 20 * Gigabit // the paper's IP-over-InfiniBand rate
+	HundredMBps = 100e6
+)
+
+// FatTree builds the paper's experimental shape (Fig 1): `switches`
+// top-of-the-rack switches with nodesPerSwitch nodes each, every node on an
+// edge link of edgeCap bytes/s, every switch connected to a single core
+// switch by an uplink of uplinkCap bytes/s. Host names are prefix+1-based
+// index, assigned switch-major so that host numbering matches the topology,
+// exactly the assumption Kascade's default ordering makes.
+func FatTree(prefix string, switches, nodesPerSwitch int, edgeCap, uplinkCap float64) *Cluster {
+	c := &Cluster{
+		Switches:       switches,
+		Sites:          1,
+		EdgeCapacity:   edgeCap,
+		UplinkCapacity: uplinkCap,
+		EdgeLatencySec: 0.0001, // 0.1 ms intra-cluster, per the paper's <0.2 ms ping
+	}
+	for s := 0; s < switches; s++ {
+		for i := 0; i < nodesPerSwitch; i++ {
+			c.Nodes = append(c.Nodes, Node{
+				Name:   fmt.Sprintf("%s%d", prefix, len(c.Nodes)+1),
+				Switch: s,
+			})
+		}
+	}
+	return c
+}
+
+// SiteSpec describes one site of a multi-site (Grid'5000-like) topology.
+type SiteSpec struct {
+	Name  string
+	Nodes int
+	// LatencySec is the site's one-way latency to the backbone core
+	// (0 = use the topology-wide default).
+	LatencySec float64
+}
+
+// MultiSite builds the Fig 12 shape: each site is a small cluster (one
+// switch) and all site cores hang off a routed backbone with interCap
+// bytes/s and interLatencySec one-way latency (the paper measures ~16 ms
+// RTT between sites, i.e. 8 ms one way).
+func MultiSite(sites []SiteSpec, edgeCap, interCap, interLatencySec float64) *Cluster {
+	c := &Cluster{
+		Switches:            len(sites),
+		Sites:               len(sites),
+		EdgeCapacity:        edgeCap,
+		UplinkCapacity:      interCap,
+		EdgeLatencySec:      0.0001,
+		InterSiteCapacity:   interCap,
+		InterSiteLatencySec: interLatencySec,
+	}
+	for s, site := range sites {
+		lat := site.LatencySec
+		if lat <= 0 {
+			lat = interLatencySec / 2
+		}
+		c.SiteLatenciesSec = append(c.SiteLatenciesSec, lat)
+		for i := 0; i < site.Nodes; i++ {
+			c.Nodes = append(c.Nodes, Node{
+				Name:   fmt.Sprintf("%s-%d", site.Name, i+1),
+				Switch: s,
+				Site:   s,
+			})
+		}
+	}
+	return c
+}
+
+// HostNumber extracts the trailing integer of a host name ("graphene-42"
+// -> 42). It returns -1 when the name has no trailing digits. Kascade sorts
+// destination nodes by this number by default (§III-A).
+func HostNumber(name string) int {
+	end := len(name)
+	start := end
+	for start > 0 && name[start-1] >= '0' && name[start-1] <= '9' {
+		start--
+	}
+	if start == end {
+		return -1
+	}
+	n := 0
+	for _, ch := range name[start:end] {
+		n = n*10 + int(ch-'0')
+	}
+	return n
+}
+
+// SortByHostNumber orders host names by their trailing number, falling back
+// to lexicographic order for names without one. The sort is stable so equal
+// numbers keep their input order.
+func SortByHostNumber(names []string) {
+	sort.SliceStable(names, func(i, j int) bool {
+		ni, nj := HostNumber(names[i]), HostNumber(names[j])
+		switch {
+		case ni >= 0 && nj >= 0 && ni != nj:
+			return ni < nj
+		case ni >= 0 && nj < 0:
+			return true
+		case ni < 0 && nj >= 0:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+}
+
+// Order is a pipeline order: a permutation of node indices into
+// Cluster.Nodes. Element 0 is the sending node.
+type Order []int
+
+// TopologyOrder returns the optimal pipeline order: nodes sorted by
+// (switch, index), so each edge link is used once per direction and the
+// chain crosses every uplink exactly once in each direction (Fig 3).
+func (c *Cluster) TopologyOrder() Order {
+	o := make(Order, len(c.Nodes))
+	for i := range o {
+		o[i] = i
+	}
+	sort.SliceStable(o, func(a, b int) bool {
+		na, nb := c.Nodes[o[a]], c.Nodes[o[b]]
+		if na.Switch != nb.Switch {
+			return na.Switch < nb.Switch
+		}
+		return o[a] < o[b]
+	})
+	return o
+}
+
+// RandomOrder returns a seeded random permutation, keeping element 0 (the
+// sender) fixed — this is the Fig 10 scenario where the logical order no
+// longer matches the topology.
+func (c *Cluster) RandomOrder(seed int64) Order {
+	o := c.TopologyOrder()
+	rnd := rand.New(rand.NewSource(seed))
+	rnd.Shuffle(len(o)-1, func(i, j int) {
+		o[i+1], o[j+1] = o[j+1], o[i+1]
+	})
+	return o
+}
+
+// Validate checks that o is a permutation of the cluster's node indices.
+func (c *Cluster) Validate(o Order) error {
+	if len(o) != len(c.Nodes) {
+		return fmt.Errorf("topology: order has %d entries for %d nodes", len(o), len(c.Nodes))
+	}
+	seen := make([]bool, len(c.Nodes))
+	for _, idx := range o {
+		if idx < 0 || idx >= len(c.Nodes) {
+			return fmt.Errorf("topology: order entry %d out of range", idx)
+		}
+		if seen[idx] {
+			return fmt.Errorf("topology: order repeats node %d", idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+// UplinkCrossings counts how many consecutive pipeline hops cross a
+// switch boundary under order o. The topology order of a k-switch cluster
+// crosses k-1 times; a random order crosses ~(1-1/k) of all hops, which is
+// what saturates the core (Fig 10).
+func (c *Cluster) UplinkCrossings(o Order) int {
+	crossings := 0
+	for i := 1; i < len(o); i++ {
+		if c.Nodes[o[i-1]].Switch != c.Nodes[o[i]].Switch {
+			crossings++
+		}
+	}
+	return crossings
+}
+
+// MaxUplinkLoad returns, for the pipeline order o, the maximum number of
+// hops that traverse any single switch uplink (in one direction). The
+// sustainable pipeline throughput is roughly
+// min(edgeCap, uplinkCap/MaxUplinkLoad).
+func (c *Cluster) MaxUplinkLoad(o Order) int {
+	up := make(map[int]int)   // switch -> hops leaving it via core
+	down := make(map[int]int) // switch -> hops entering it via core
+	for i := 1; i < len(o); i++ {
+		a, b := c.Nodes[o[i-1]], c.Nodes[o[i]]
+		if a.Switch != b.Switch {
+			up[a.Switch]++
+			down[b.Switch]++
+		}
+	}
+	maxLoad := 0
+	for _, v := range up {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	for _, v := range down {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	return maxLoad
+}
+
+// Names returns the node names in order o.
+func (c *Cluster) Names(o Order) []string {
+	out := make([]string, len(o))
+	for i, idx := range o {
+		out[i] = c.Nodes[idx].Name
+	}
+	return out
+}

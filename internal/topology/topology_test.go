@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHostNumber(t *testing.T) {
+	cases := map[string]int{
+		"n1":           1,
+		"n042":         42,
+		"graphene-107": 107,
+		"node":         -1,
+		"":             -1,
+		"12":           12,
+	}
+	for name, want := range cases {
+		if got := HostNumber(name); got != want {
+			t.Errorf("HostNumber(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestSortByHostNumber(t *testing.T) {
+	names := []string{"n10", "n2", "n1", "zeta", "n30", "alpha"}
+	SortByHostNumber(names)
+	want := []string{"n1", "n2", "n10", "n30", "alpha", "zeta"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	c := FatTree("n", 4, 30, Gigabit, TenGigabit)
+	if len(c.Nodes) != 120 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if c.Nodes[0].Name != "n1" || c.Nodes[119].Name != "n120" {
+		t.Fatalf("naming: %s .. %s", c.Nodes[0].Name, c.Nodes[119].Name)
+	}
+	// Node 30 (0-based 29) is the last of switch 0, node 31 first of switch 1.
+	if c.Nodes[29].Switch != 0 || c.Nodes[30].Switch != 1 {
+		t.Fatalf("switch assignment: %d, %d", c.Nodes[29].Switch, c.Nodes[30].Switch)
+	}
+}
+
+func TestTopologyOrderCrossesEachUplinkOnce(t *testing.T) {
+	c := FatTree("n", 7, 30, Gigabit, TenGigabit)
+	o := c.TopologyOrder()
+	if err := c.Validate(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UplinkCrossings(o); got != 6 {
+		t.Fatalf("ordered crossings = %d, want switches-1 = 6", got)
+	}
+	if got := c.MaxUplinkLoad(o); got != 1 {
+		t.Fatalf("ordered max uplink load = %d, want 1", got)
+	}
+}
+
+func TestRandomOrderKeepsSenderAndIsPermutation(t *testing.T) {
+	c := FatTree("n", 6, 33, Gigabit, TenGigabit)
+	o := c.RandomOrder(42)
+	if err := c.Validate(o); err != nil {
+		t.Fatal(err)
+	}
+	if o[0] != c.TopologyOrder()[0] {
+		t.Fatal("random order moved the sender")
+	}
+	if got := c.UplinkCrossings(o); got < 20 {
+		t.Fatalf("random order crossings = %d, expected heavy crossing", got)
+	}
+	if got := c.MaxUplinkLoad(o); got < 4 {
+		t.Fatalf("random order max uplink load = %d, expected contention", got)
+	}
+}
+
+func TestValidateRejectsBadOrders(t *testing.T) {
+	c := FatTree("n", 2, 3, Gigabit, TenGigabit)
+	if err := c.Validate(Order{0, 1, 2}); err == nil {
+		t.Error("short order accepted")
+	}
+	if err := c.Validate(Order{0, 1, 2, 3, 4, 4}); err == nil {
+		t.Error("repeated entry accepted")
+	}
+	if err := c.Validate(Order{0, 1, 2, 3, 4, 9}); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+}
+
+func TestMultiSite(t *testing.T) {
+	sites := []SiteSpec{{Name: "nancy", Nodes: 2}, {Name: "lille", Nodes: 1}, {Name: "lyon", Nodes: 1, LatencySec: 0.012}}
+	c := MultiSite(sites, Gigabit, TenGigabit, 0.008)
+	if len(c.Nodes) != 4 || c.Sites != 3 {
+		t.Fatalf("shape: %d nodes, %d sites", len(c.Nodes), c.Sites)
+	}
+	if c.Nodes[0].Site != 0 || c.Nodes[3].Site != 2 {
+		t.Fatalf("site assignment wrong")
+	}
+	if c.Nodes[0].Name != "nancy-1" {
+		t.Fatalf("name %q", c.Nodes[0].Name)
+	}
+	// Explicit per-site latency is kept; default is half the inter-site one.
+	if c.SiteLatency(2) != 0.012 {
+		t.Fatalf("lyon latency %v", c.SiteLatency(2))
+	}
+	if c.SiteLatency(0) != 0.004 {
+		t.Fatalf("default latency %v", c.SiteLatency(0))
+	}
+}
+
+// Property: RandomOrder always yields a valid permutation with the sender
+// fixed, for any cluster shape and seed.
+func TestRandomOrderQuick(t *testing.T) {
+	f := func(seed int64, sw, per uint8) bool {
+		switches := int(sw)%6 + 1
+		perSwitch := int(per)%20 + 1
+		c := FatTree("n", switches, perSwitch, Gigabit, TenGigabit)
+		o := c.RandomOrder(seed)
+		return c.Validate(o) == nil && o[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sorting by host number is idempotent and a permutation.
+func TestSortByHostNumberQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(40) + 1
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "n" + string(rune('0'+rnd.Intn(10))) + string(rune('0'+rnd.Intn(10)))
+		}
+		a := append([]string(nil), names...)
+		SortByHostNumber(a)
+		b := append([]string(nil), a...)
+		SortByHostNumber(b)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		// Same multiset.
+		count := map[string]int{}
+		for _, s := range names {
+			count[s]++
+		}
+		for _, s := range a {
+			count[s]--
+		}
+		for _, v := range count {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

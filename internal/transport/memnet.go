@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fabric is an in-memory network of named hosts. It exists so that the
+// protocol engines can be exercised — including their failure handling —
+// without real sockets: tests script node kills, connection resets and
+// link profiles while the engines run unmodified.
+//
+// A Fabric hands out one Network per host via Host. Connections between
+// hosts are buffered full-duplex pipes (pipe.go) with optional per-link
+// shaping (shaper.go).
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener // bound address -> listener
+	down      map[string]bool         // hosts that were killed
+	conns     map[*pipeConn]string    // open endpoints -> owning host
+	profiles  map[string]Profile      // "src->dst" host pair -> shaping
+	bufSize   int
+}
+
+// NewFabric returns an empty fabric. bufSize is the per-direction pipe
+// buffer in bytes; 0 selects the default (256 KiB).
+func NewFabric(bufSize int) *Fabric {
+	return &Fabric{
+		listeners: make(map[string]*memListener),
+		down:      make(map[string]bool),
+		conns:     make(map[*pipeConn]string),
+		profiles:  make(map[string]Profile),
+		bufSize:   bufSize,
+	}
+}
+
+// SetLinkProfile shapes traffic flowing from host src to host dst.
+// Direction matters: shape both directions with two calls.
+func (f *Fabric) SetLinkProfile(src, dst string, p Profile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.profiles[src+"->"+dst] = p
+}
+
+// SetDefaultProfile shapes all links that have no specific profile.
+func (f *Fabric) SetDefaultProfile(p Profile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.profiles["*->*"] = p
+}
+
+// Host returns the Network as seen from the named host.
+func (f *Fabric) Host(name string) Network {
+	return &hostNet{fabric: f, host: name}
+}
+
+// Kill abruptly removes a host: its listeners stop accepting, every open
+// connection touching it is reset (both endpoints observe ErrReset), and
+// future dials to it are refused. This models a node crash as the paper's
+// fault-injection experiments require.
+func (f *Fabric) Kill(host string) {
+	f.mu.Lock()
+	f.down[host] = true
+	var toBreak []*pipeConn
+	for c, owner := range f.conns {
+		if owner == host || c.remote == host || hostOf(c.remote) == host || hostOf(c.local) == host {
+			toBreak = append(toBreak, c)
+		}
+	}
+	var toClose []*memListener
+	for addr, l := range f.listeners {
+		if hostOf(addr) == host {
+			toClose = append(toClose, l)
+			delete(f.listeners, addr)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range toBreak {
+		c.breakConn(ErrReset)
+	}
+	for _, l := range toClose {
+		l.close()
+	}
+}
+
+// Revive clears the killed flag so the host may listen and dial again
+// (used by tests that model node reboot).
+func (f *Fabric) Revive(host string) {
+	f.mu.Lock()
+	delete(f.down, host)
+	f.mu.Unlock()
+}
+
+// Down reports whether the host has been killed.
+func (f *Fabric) Down(host string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down[host]
+}
+
+// hostOf extracts the host component of "host:port".
+func hostOf(addr string) string {
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+func (f *Fabric) profileFor(src, dst string) (Profile, bool) {
+	if p, ok := f.profiles[src+"->"+dst]; ok {
+		return p, true
+	}
+	p, ok := f.profiles["*->*"]
+	return p, ok
+}
+
+type hostNet struct {
+	fabric *Fabric
+	host   string
+}
+
+func (hn *hostNet) Listen(addr string) (Listener, error) {
+	full := hn.qualify(addr)
+	f := hn.fabric
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[hn.host] {
+		return nil, fmt.Errorf("memnet listen %s: host %s is down: %w", full, hn.host, ErrRefused)
+	}
+	if _, exists := f.listeners[full]; exists {
+		return nil, fmt.Errorf("memnet listen %s: address in use", full)
+	}
+	l := &memListener{
+		fabric:  f,
+		addr:    full,
+		pending: make(chan *pipeConn, 64),
+		done:    make(chan struct{}),
+	}
+	f.listeners[full] = l
+	return l, nil
+}
+
+func (hn *hostNet) Dial(addr string, timeout time.Duration) (Conn, error) {
+	f := hn.fabric
+	f.mu.Lock()
+	if f.down[hn.host] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("memnet dial from dead host %s: %w", hn.host, ErrRefused)
+	}
+	target, ok := f.listeners[addr]
+	if !ok || f.down[hostOf(addr)] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("memnet dial %s: %w", addr, ErrRefused)
+	}
+	localAddr := hn.host + ":0"
+	cLocal, cRemote := newPipePair(localAddr, addr, f.bufSize)
+	if p, ok := f.profileFor(hn.host, hostOf(addr)); ok {
+		cLocal.writeShape = newShaper(p)
+	}
+	if p, ok := f.profileFor(hostOf(addr), hn.host); ok {
+		cRemote.writeShape = newShaper(p)
+	}
+	f.conns[cLocal] = hn.host
+	f.conns[cRemote] = hostOf(addr)
+	cLocal.onClose = func() { f.forget(cLocal) }
+	cRemote.onClose = func() { f.forget(cRemote) }
+	f.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case target.pending <- cRemote:
+		return cLocal, nil
+	case <-target.done:
+		return nil, fmt.Errorf("memnet dial %s: %w", addr, ErrRefused)
+	case <-timer:
+		return nil, &timeoutError{"dial " + addr}
+	}
+}
+
+func (hn *hostNet) qualify(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return hn.host + addr
+	}
+	return addr
+}
+
+func (f *Fabric) forget(c *pipeConn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
+}
+
+type memListener struct {
+	fabric    *Fabric
+	addr      string
+	pending   chan *pipeConn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("memnet accept %s: %w", l.addr, ErrClosed)
+	}
+}
+
+func (l *memListener) Close() error {
+	l.fabric.mu.Lock()
+	if l.fabric.listeners[l.addr] == l {
+		delete(l.fabric.listeners, l.addr)
+	}
+	l.fabric.mu.Unlock()
+	l.close()
+	return nil
+}
+
+func (l *memListener) close() {
+	l.closeOnce.Do(func() { close(l.done) })
+}
+
+func (l *memListener) Addr() string { return l.addr }

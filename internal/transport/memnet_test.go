@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFabricDialListen(t *testing.T) {
+	f := NewFabric(0)
+	l, err := f.Host("n1").Listen(":9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() != "n1:9000" {
+		t.Fatalf("listener addr %q", l.Addr())
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		c.Write([]byte("pong:"))
+		c.Write(buf)
+	}()
+
+	c, err := f.Host("n2").Dial("n1:9000", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("ping!"))
+	reply := make([]byte, 10)
+	if _, err := io.ReadFull(c, reply); err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "pong:ping!" {
+		t.Fatalf("reply %q", reply)
+	}
+	wg.Wait()
+}
+
+func TestFabricDialRefusedWhenNoListener(t *testing.T) {
+	f := NewFabric(0)
+	if _, err := f.Host("n2").Dial("n1:9000", time.Second); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want ErrRefused, got %v", err)
+	}
+}
+
+func TestFabricKillResetsConnsAndRefusesDials(t *testing.T) {
+	f := NewFabric(0)
+	l, err := f.Host("n1").Listen(":9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := f.Host("n2").Dial("n1:9000", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+
+	f.Kill("n1")
+
+	if _, err := c.Read(make([]byte, 1)); !IsReset(err) {
+		t.Fatalf("surviving peer read: want reset, got %v", err)
+	}
+	if _, err := server.Write([]byte("x")); !IsReset(err) {
+		t.Fatalf("dead host write: want reset, got %v", err)
+	}
+	if _, err := f.Host("n2").Dial("n1:9000", 100*time.Millisecond); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to dead host: want refused, got %v", err)
+	}
+	if !f.Down("n1") {
+		t.Fatal("n1 should be down")
+	}
+
+	f.Revive("n1")
+	if f.Down("n1") {
+		t.Fatal("n1 should be up after revive")
+	}
+	if _, err := f.Host("n1").Listen(":9000"); err != nil {
+		t.Fatalf("listen after revive: %v", err)
+	}
+}
+
+func TestFabricKillSeveredBothDirections(t *testing.T) {
+	// A connection dialed *from* the killed host must break too.
+	f := NewFabric(0)
+	l, _ := f.Host("n2").Listen(":9000")
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	if _, err := f.Host("n1").Dial("n2:9000", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	f.Kill("n1")
+	if _, err := server.Read(make([]byte, 1)); !IsReset(err) {
+		t.Fatalf("want reset on conn dialed from killed host, got %v", err)
+	}
+}
+
+func TestFabricListenerCloseUnblocksAccept(t *testing.T) {
+	f := NewFabric(0)
+	l, _ := f.Host("n1").Listen(":9000")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	l.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("accept after close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("accept did not unblock")
+	}
+	// Address is free again.
+	if _, err := f.Host("n1").Listen(":9000"); err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+}
+
+func TestFabricDuplicateListenRejected(t *testing.T) {
+	f := NewFabric(0)
+	if _, err := f.Host("n1").Listen(":9000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Host("n1").Listen(":9000"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+}
+
+func TestFabricLinkProfileAddsLatency(t *testing.T) {
+	f := NewFabric(0)
+	f.SetLinkProfile("n2", "n1", Profile{Latency: 50 * time.Millisecond})
+	l, _ := f.Host("n1").Listen(":9000")
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1)
+		io.ReadFull(c, buf)
+		c.Write(buf)
+	}()
+	c, err := f.Host("n2").Dial("n1:9000", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.Write([]byte("x"))
+	io.ReadFull(c, make([]byte, 1))
+	if rtt := time.Since(start); rtt < 40*time.Millisecond {
+		t.Fatalf("latency profile not applied: RTT %v", rtt)
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"n1:9000": "n1",
+		"n1":      "n1",
+		"a:b:c":   "a:b",
+	}
+	for in, want := range cases {
+		if got := hostOf(in); got != want {
+			t.Errorf("hostOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTCPLoopback(t *testing.T) {
+	var network TCP
+	l, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c)
+		c.Close()
+	}()
+	c, err := network.Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("over real sockets")
+	c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	var network TCP
+	// Port 1 on loopback is almost certainly closed.
+	_, err := network.Dial("127.0.0.1:1", 500*time.Millisecond)
+	if err == nil {
+		t.Skip("something listens on 127.0.0.1:1")
+	}
+	if !errors.Is(err, ErrRefused) && !IsTimeout(err) {
+		t.Fatalf("want refused/timeout classification, got %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// defaultPipeBuffer is the per-direction buffer of an in-memory connection.
+// It plays the role of the kernel socket buffer: writers block once it is
+// full, which is what propagates back-pressure through a broadcast pipeline.
+const defaultPipeBuffer = 256 << 10
+
+// halfPipe is one direction of an in-memory connection: a ring buffer with
+// blocking reads and writes, deadline support, and two failure modes
+// (graceful close-of-write and hard reset).
+type halfPipe struct {
+	mu       sync.Mutex
+	canRead  *sync.Cond // signalled when data arrives or state changes
+	canWrite *sync.Cond // signalled when space frees or state changes
+
+	buf  []byte // ring storage
+	r, w int    // read/write cursors
+	n    int    // bytes currently buffered
+
+	wClosed bool  // write end closed: drain then EOF
+	rClosed bool  // read end closed: writes fail immediately
+	hardErr error // reset/kill: both directions fail immediately
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+func newHalfPipe(size int) *halfPipe {
+	if size <= 0 {
+		size = defaultPipeBuffer
+	}
+	h := &halfPipe{buf: make([]byte, size)}
+	h.canRead = sync.NewCond(&h.mu)
+	h.canWrite = sync.NewCond(&h.mu)
+	return h
+}
+
+// waitWithDeadline blocks on cond until broadcast, honouring the deadline.
+// It returns false when the deadline has already expired. The caller must
+// hold h.mu and re-check its predicate afterwards.
+func (h *halfPipe) waitWithDeadline(cond *sync.Cond, deadline time.Time, op string) error {
+	if deadline.IsZero() {
+		cond.Wait()
+		return nil
+	}
+	now := time.Now()
+	if !now.Before(deadline) {
+		return &timeoutError{op}
+	}
+	timer := time.AfterFunc(deadline.Sub(now), cond.Broadcast)
+	cond.Wait()
+	timer.Stop()
+	return nil
+}
+
+func (h *halfPipe) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.hardErr != nil {
+			return 0, h.hardErr
+		}
+		if h.rClosed {
+			return 0, ErrClosed
+		}
+		if h.n > 0 {
+			n := copy(p, h.contiguousRead())
+			h.advanceRead(n)
+			h.canWrite.Broadcast()
+			return n, nil
+		}
+		if h.wClosed {
+			return 0, io.EOF
+		}
+		if len(p) == 0 {
+			return 0, nil
+		}
+		if err := h.waitWithDeadline(h.canRead, h.readDeadline, "read"); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (h *halfPipe) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		if h.hardErr != nil {
+			return total, h.hardErr
+		}
+		if h.wClosed {
+			return total, ErrClosed
+		}
+		if h.rClosed {
+			// Peer closed its read side: behave like a TCP RST.
+			return total, ErrReset
+		}
+		if space := len(h.buf) - h.n; space > 0 {
+			n := copy(h.contiguousWrite(), p)
+			h.advanceWrite(n)
+			p = p[n:]
+			total += n
+			h.canRead.Broadcast()
+			continue
+		}
+		if err := h.waitWithDeadline(h.canWrite, h.writeDeadline, "write"); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// contiguousRead returns the largest readable span without wrapping.
+func (h *halfPipe) contiguousRead() []byte {
+	if h.r+h.n <= len(h.buf) {
+		return h.buf[h.r : h.r+h.n]
+	}
+	return h.buf[h.r:]
+}
+
+// contiguousWrite returns the largest writable span without wrapping.
+func (h *halfPipe) contiguousWrite() []byte {
+	space := len(h.buf) - h.n
+	if h.w+space <= len(h.buf) {
+		return h.buf[h.w : h.w+space]
+	}
+	return h.buf[h.w:]
+}
+
+func (h *halfPipe) advanceRead(n int) {
+	h.r = (h.r + n) % len(h.buf)
+	h.n -= n
+}
+
+func (h *halfPipe) advanceWrite(n int) {
+	h.w = (h.w + n) % len(h.buf)
+	h.n += n
+}
+
+// closeWrite marks the writer side done: the reader drains buffered bytes
+// and then sees EOF (graceful FIN).
+func (h *halfPipe) closeWrite() {
+	h.mu.Lock()
+	h.wClosed = true
+	h.mu.Unlock()
+	h.canRead.Broadcast()
+	h.canWrite.Broadcast()
+}
+
+// closeRead marks the reader side done: subsequent peer writes fail.
+func (h *halfPipe) closeRead() {
+	h.mu.Lock()
+	h.rClosed = true
+	h.mu.Unlock()
+	h.canRead.Broadcast()
+	h.canWrite.Broadcast()
+}
+
+// breakWith poisons both directions with err (connection reset / host kill).
+func (h *halfPipe) breakWith(err error) {
+	h.mu.Lock()
+	if h.hardErr == nil {
+		h.hardErr = err
+	}
+	h.mu.Unlock()
+	h.canRead.Broadcast()
+	h.canWrite.Broadcast()
+}
+
+func (h *halfPipe) setReadDeadline(t time.Time) {
+	h.mu.Lock()
+	h.readDeadline = t
+	h.mu.Unlock()
+	h.canRead.Broadcast()
+}
+
+func (h *halfPipe) setWriteDeadline(t time.Time) {
+	h.mu.Lock()
+	h.writeDeadline = t
+	h.mu.Unlock()
+	h.canWrite.Broadcast()
+}
+
+// pipeConn is one endpoint of an in-memory connection: it reads from rx and
+// writes to tx. Two pipeConns sharing swapped halves form a full-duplex link.
+type pipeConn struct {
+	rx, tx     *halfPipe
+	local      string
+	remote     string
+	closeOnce  sync.Once
+	onClose    func()
+	writeShape *shaper // optional egress shaping (latency/rate)
+}
+
+func newPipePair(a, b string, bufSize int) (*pipeConn, *pipeConn) {
+	ab := newHalfPipe(bufSize) // a -> b
+	ba := newHalfPipe(bufSize) // b -> a
+	ca := &pipeConn{rx: ba, tx: ab, local: a, remote: b}
+	cb := &pipeConn{rx: ab, tx: ba, local: b, remote: a}
+	return ca, cb
+}
+
+func (c *pipeConn) Read(p []byte) (int, error) {
+	return c.rx.read(p)
+}
+
+func (c *pipeConn) Write(p []byte) (int, error) {
+	if c.writeShape != nil {
+		return c.writeShape.write(c.tx, p)
+	}
+	return c.tx.write(p)
+}
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.tx.closeWrite()
+		c.rx.closeRead()
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+	return nil
+}
+
+// breakConn hard-kills both directions, as seen from both endpoints.
+func (c *pipeConn) breakConn(err error) {
+	c.rx.breakWith(err)
+	c.tx.breakWith(err)
+}
+
+func (c *pipeConn) SetDeadline(t time.Time) error {
+	c.rx.setReadDeadline(t)
+	c.tx.setWriteDeadline(t)
+	return nil
+}
+
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.rx.setReadDeadline(t)
+	return nil
+}
+
+func (c *pipeConn) SetWriteDeadline(t time.Time) error {
+	c.tx.setWriteDeadline(t)
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() string  { return c.local }
+func (c *pipeConn) RemoteAddr() string { return c.remote }

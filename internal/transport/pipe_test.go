@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 0)
+	msg := []byte("hello, pipeline")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestPipeLargeTransferWrapsRing(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 1024)
+	src := make([]byte, 64<<10)
+	rnd := rand.New(rand.NewSource(1))
+	rnd.Read(src)
+	go func() {
+		if _, err := a.Write(src); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("read all: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("corrupted transfer: %d bytes vs %d", len(got), len(src))
+	}
+}
+
+func TestPipeEOFAfterClose(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 0)
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("expected drained EOF, got %v", err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("second read: want io.EOF, got %v", err)
+	}
+}
+
+func TestPipeWriteAfterPeerCloseFails(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 0)
+	b.Close()
+	if _, err := a.Write([]byte("x")); !IsReset(err) && !IsClosed(err) {
+		t.Fatalf("want reset/closed error, got %v", err)
+	}
+}
+
+func TestPipeReadDeadline(t *testing.T) {
+	_, b := newPipePair("a:0", "b:1", 0)
+	b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := b.Read(make([]byte, 1))
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not honoured: waited %v", elapsed)
+	}
+}
+
+func TestPipeWriteDeadlineOnFullBuffer(t *testing.T) {
+	a, _ := newPipePair("a:0", "b:1", 128)
+	a.SetWriteDeadline(time.Now().Add(20 * time.Millisecond))
+	_, err := a.Write(make([]byte, 4096)) // nobody reads; must time out
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+}
+
+func TestPipeDeadlineClearedByZero(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 0)
+	b.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	b.SetReadDeadline(time.Time{}) // clear
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("read after cleared deadline: %v", err)
+	}
+}
+
+func TestPipeBreakPoisonsBothDirections(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 0)
+	a.breakConn(ErrReset)
+	if _, err := a.Write([]byte("x")); !IsReset(err) {
+		t.Fatalf("local write after break: %v", err)
+	}
+	if _, err := b.Read(make([]byte, 1)); !IsReset(err) {
+		t.Fatalf("remote read after break: %v", err)
+	}
+	if _, err := b.Write([]byte("x")); !IsReset(err) {
+		t.Fatalf("remote write after break: %v", err)
+	}
+}
+
+// Property: any sequence of chunk sizes written through the pipe is read
+// back as the identical byte stream (ring-buffer wrap correctness).
+func TestPipeStreamIntegrityQuick(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		a, b := newPipePair("a:0", "b:1", 777) // odd size to force wrapping
+		rnd := rand.New(rand.NewSource(seed))
+		var want []byte
+		go func() {
+			for _, s := range sizes {
+				chunk := make([]byte, int(s)%4096)
+				rnd.Read(chunk)
+				want = append(want, chunk...)
+				if _, err := a.Write(chunk); err != nil {
+					return
+				}
+			}
+			a.Close()
+		}()
+		got, err := io.ReadAll(b)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShaperRateLimitsThroughput(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 1<<20)
+	a.writeShape = newShaper(Profile{Rate: 1 << 20}) // 1 MiB/s
+	go io.Copy(io.Discard, b)
+	start := time.Now()
+	payload := make([]byte, 128<<10) // 128 KiB at 1 MiB/s ≈ 125 ms
+	if _, err := a.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("shaper did not throttle: %v for 128KiB at 1MiB/s", elapsed)
+	}
+}
+
+func TestShaperHonoursWriteDeadline(t *testing.T) {
+	a, b := newPipePair("a:0", "b:1", 1<<20)
+	a.writeShape = newShaper(Profile{Rate: 1024}) // 1 KiB/s: hopelessly slow
+	go io.Copy(io.Discard, b)
+	a.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	_, err := a.Write(make([]byte, 1<<20))
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout from paced write, got %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"time"
+)
+
+// Profile describes the behaviour of a fabric link between two hosts:
+// one-way latency added before the first byte of every Write, and a rate
+// cap in bytes per second (0 means unlimited). Shaping is applied on the
+// sender side, which preserves blocking semantics and back-pressure.
+type Profile struct {
+	Latency time.Duration
+	Rate    float64 // bytes per second; 0 = unlimited
+}
+
+// shaper throttles writes into a halfPipe according to a Profile. It is a
+// token-bucket pacer: each write "spends" len(p)/Rate seconds, sleeping when
+// the sender runs ahead of the virtual drain time. Latency is charged once
+// per burst (an idle period longer than the latency resets the charge),
+// approximating the first-byte delay of a fresh TCP exchange.
+type shaper struct {
+	profile Profile
+
+	// drainAt is the time the previously written bytes will have fully
+	// left the shaped link; guarded by the pipe lock ordering being
+	// irrelevant here because each conn has exactly one logical writer
+	// in the protocols of this repository. A coarse mutex keeps it safe
+	// regardless.
+	mu      chan struct{} // 1-slot semaphore as a context-free mutex
+	drainAt time.Time
+}
+
+func newShaper(p Profile) *shaper {
+	s := &shaper{profile: p, mu: make(chan struct{}, 1)}
+	s.mu <- struct{}{}
+	return s
+}
+
+// write pushes p into tx, pacing according to the profile. The pacing sleep
+// happens before delivering each slice so a rate-limited connection exhibits
+// genuine write stalls (used by the failure-detector tests to exercise the
+// "slow but alive" case).
+func (s *shaper) write(tx *halfPipe, p []byte) (int, error) {
+	<-s.mu
+	defer func() { s.mu <- struct{}{} }()
+
+	now := time.Now()
+	if s.drainAt.Before(now) {
+		// Link went idle: next byte pays the propagation latency.
+		s.drainAt = now.Add(s.profile.Latency)
+	}
+	total := 0
+	const sliceSize = 32 << 10
+	for len(p) > 0 {
+		// Wait for previously charged bytes to drain; the charge for
+		// this slice happens only after it is actually written, so a
+		// timed-out attempt can be retried without double-paying.
+		if wait := time.Until(s.drainAt); wait > 0 {
+			// Honour the connection's write deadline while pacing, so a
+			// throttled write still times out instead of sleeping past
+			// its deadline.
+			tx.mu.Lock()
+			deadline := tx.writeDeadline
+			tx.mu.Unlock()
+			if !deadline.IsZero() {
+				if remain := time.Until(deadline); remain < wait {
+					if remain > 0 {
+						time.Sleep(remain)
+					}
+					return total, &timeoutError{"write"}
+				}
+			}
+			time.Sleep(wait)
+		}
+		n := len(p)
+		if n > sliceSize {
+			n = sliceSize
+		}
+		w, err := tx.write(p[:n])
+		if w > 0 && s.profile.Rate > 0 {
+			s.drainAt = s.drainAt.Add(time.Duration(float64(w) / s.profile.Rate * float64(time.Second)))
+		}
+		total += w
+		p = p[w:]
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,97 @@
+// Package transport defines the byte-stream network abstraction shared by
+// every broadcast implementation in this repository.
+//
+// The Kascade protocol engine (internal/core) and the baselines
+// (internal/taktuk, internal/udpcast, internal/mpibcast) are written against
+// the Network/Listener/Conn interfaces below, never against package net
+// directly. Two backends are provided:
+//
+//   - TCP (tcp.go): thin wrappers over the standard library's net package,
+//     used by the CLI, the examples, and the loopback integration tests.
+//   - Fabric (memnet.go): an in-memory network with named hosts, buffered
+//     full-duplex pipes, deadline support, per-link latency/rate shaping,
+//     and fault injection (node kill, connection reset). The protocol test
+//     suite runs on the fabric so failures can be scripted precisely.
+//
+// Addresses are plain strings of the form "host:port". The fabric resolves
+// them in its own namespace; the TCP backend passes them to net.Dial.
+package transport
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Conn is a reliable, ordered, full-duplex byte stream between two nodes.
+// It is a subset of net.Conn with string addresses, so both real TCP
+// connections and in-memory pipes satisfy it.
+type Conn interface {
+	io.Reader
+	io.Writer
+	io.Closer
+
+	// SetDeadline sets both the read and the write deadline.
+	SetDeadline(t time.Time) error
+	// SetReadDeadline sets the deadline for future Read calls. A zero
+	// value means Reads will not time out.
+	SetReadDeadline(t time.Time) error
+	// SetWriteDeadline sets the deadline for future Write calls.
+	SetWriteDeadline(t time.Time) error
+
+	// LocalAddr and RemoteAddr report the endpoints as "host:port".
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on one address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr reports the bound address as "host:port".
+	Addr() string
+}
+
+// Network is the dialing and listening surface a single node sees.
+type Network interface {
+	// Listen binds addr and starts accepting connections.
+	Listen(addr string) (Listener, error)
+	// Dial connects to addr, failing after timeout (0 means no timeout).
+	Dial(addr string, timeout time.Duration) (Conn, error)
+}
+
+// Sentinel errors shared by all backends. Backends may wrap these; use
+// errors.Is for classification.
+var (
+	// ErrClosed is returned by operations on a connection or listener
+	// that was closed locally.
+	ErrClosed = errors.New("transport: use of closed connection")
+	// ErrReset is returned when the peer vanished abruptly (node killed,
+	// connection reset).
+	ErrReset = errors.New("transport: connection reset by peer")
+	// ErrRefused is returned by Dial when nothing listens on the address
+	// or the target host is down.
+	ErrRefused = errors.New("transport: connection refused")
+)
+
+// timeoutError is the deadline-exceeded error for the in-memory backend.
+// It implements the Timeout() bool contract shared with net.Error so that
+// callers can classify it with IsTimeout.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string   { return "transport: " + e.op + " deadline exceeded" }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// IsTimeout reports whether err is a deadline-exceeded condition, from
+// either backend (net.Error or the in-memory pipe).
+func IsTimeout(err error) bool {
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}
+
+// IsClosed reports whether err indicates the local end was closed.
+func IsClosed(err error) bool { return errors.Is(err, ErrClosed) }
+
+// IsReset reports whether err indicates the remote end vanished.
+func IsReset(err error) bool { return errors.Is(err, ErrReset) }

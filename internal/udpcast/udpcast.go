@@ -1,0 +1,255 @@
+// Package udpcast reimplements the UDPCast-style synchronized broadcast the
+// paper evaluates as a baseline (§IV): the sender transmits a slice of the
+// file to all receivers "at once" and collects per-slice acknowledgements
+// before moving on — the feedback-coordinated default mode of the real tool.
+//
+// The real tool rides IP multicast, which the paper itself notes is often
+// disabled on switches and unusable in hosted environments; this
+// implementation preserves the protocol structure (slice transmission, ACK
+// collection, sender-side synchronization) over unicast fanout. The
+// performance consequence of the design — ACK collection cost growing with
+// the receiver count until it dominates past ~100 nodes (Fig 7) — is
+// modelled in internal/simbcast; this package provides the functional
+// engine for tests, examples, and the CLI.
+package udpcast
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"kascade/internal/blockio"
+	"kascade/internal/transport"
+)
+
+// Config describes one synchronized multicast-style broadcast.
+type Config struct {
+	// Names and Addrs list the participants; index 0 is the sender.
+	Names []string
+	Addrs []string
+	// SliceSize is the synchronization granularity: the sender waits for
+	// every receiver's ACK after each slice (default 16 MiB, UDPCast's
+	// default slice ballpark).
+	SliceSize int
+	// BlockSize is the write granularity within a slice (default 64 KiB).
+	BlockSize int
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+
+	NetworkFor func(i int) transport.Network
+	Input      io.Reader
+	SinkFor    func(i int) io.Writer
+}
+
+func (c *Config) withDefaults() error {
+	if len(c.Names) == 0 || len(c.Names) != len(c.Addrs) {
+		return fmt.Errorf("udpcast: need matching Names and Addrs")
+	}
+	if c.SliceSize <= 0 {
+		c.SliceSize = 16 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.BlockSize > c.SliceSize {
+		c.BlockSize = c.SliceSize
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.NetworkFor == nil {
+		return fmt.Errorf("udpcast: NetworkFor is required")
+	}
+	if c.Input == nil {
+		return fmt.Errorf("udpcast: sender needs an Input")
+	}
+	return nil
+}
+
+// Result summarises one broadcast.
+type Result struct {
+	Total   uint64
+	Elapsed time.Duration
+	Slices  int
+}
+
+// Broadcast runs the synchronized broadcast in-process.
+func Broadcast(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.Names)
+	if n == 1 {
+		return Result{}, fmt.Errorf("udpcast: no receivers")
+	}
+
+	listeners := make([]transport.Listener, n)
+	addrs := make([]string, n)
+	for i := 1; i < n; i++ {
+		l, err := cfg.NetworkFor(i).Listen(cfg.Addrs[i])
+		if err != nil {
+			for _, b := range listeners[:i] {
+				if b != nil {
+					b.Close()
+				}
+			}
+			return Result{}, fmt.Errorf("udpcast: binding %s: %w", cfg.Addrs[i], err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	defer func() {
+		for _, l := range listeners[1:] {
+			l.Close()
+		}
+	}()
+
+	start := time.Now()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runReceiver(ctx, &cfg, listeners[i], i)
+		}(i)
+	}
+	res, senderErr := runSender(ctx, &cfg, addrs)
+	wg.Wait()
+	if senderErr != nil {
+		return res, fmt.Errorf("udpcast: sender: %w", senderErr)
+	}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			return res, fmt.Errorf("udpcast: receiver %s: %w", cfg.Names[i], errs[i])
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func runSender(ctx context.Context, cfg *Config, addrs []string) (Result, error) {
+	var res Result
+	conns := make([]transport.Conn, 0, len(addrs)-1)
+	readers := make([]*bufio.Reader, 0, len(addrs)-1)
+	for i := 1; i < len(addrs); i++ {
+		c, err := cfg.NetworkFor(0).Dial(addrs[i], cfg.DialTimeout)
+		if err != nil {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return res, fmt.Errorf("dialing %s: %w", addrs[i], err)
+		}
+		conns = append(conns, c)
+		readers = append(readers, bufio.NewReader(c))
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	buf := make([]byte, cfg.BlockSize)
+	var total uint64
+	sliceRemaining := cfg.SliceSize
+	eof := false
+	for !eof {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		nr, rerr := io.ReadFull(cfg.Input, buf)
+		if nr > 0 {
+			// "Multicast" the block: one copy per receiver.
+			for _, c := range conns {
+				if err := blockio.WriteBlock(c, buf[:nr]); err != nil {
+					return res, err
+				}
+			}
+			total += uint64(nr)
+			sliceRemaining -= nr
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			eof = true
+		} else if rerr != nil {
+			return res, rerr
+		}
+		if sliceRemaining <= 0 || eof {
+			// Slice boundary: synchronize with every receiver. This
+			// is the feedback round whose cost grows with N.
+			for _, c := range conns {
+				if err := blockio.WriteAck(c, total); err != nil {
+					return res, err
+				}
+			}
+			for i, r := range readers {
+				f, err := blockio.Read(r, nil)
+				if err != nil {
+					return res, fmt.Errorf("ack from receiver %d: %w", i+1, err)
+				}
+				if f.Type != blockio.TypeAck || f.Offset != total {
+					return res, fmt.Errorf("bad ack from receiver %d: type %d offset %d (want %d)", i+1, f.Type, f.Offset, total)
+				}
+			}
+			res.Slices++
+			sliceRemaining = cfg.SliceSize
+		}
+	}
+	for _, c := range conns {
+		if err := blockio.WriteEnd(c, total); err != nil {
+			return res, err
+		}
+	}
+	res.Total = total
+	return res, nil
+}
+
+func runReceiver(ctx context.Context, cfg *Config, l transport.Listener, i int) error {
+	conn, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var sink io.Writer
+	if cfg.SinkFor != nil {
+		sink = cfg.SinkFor(i)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	buf := make([]byte, cfg.BlockSize)
+	var got uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := blockio.Read(br, buf)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case blockio.TypeData:
+			if sink != nil {
+				if _, err := sink.Write(f.Payload); err != nil {
+					return err
+				}
+			}
+			got += uint64(len(f.Payload))
+		case blockio.TypeAck:
+			// Slice boundary: confirm receipt up to the offset.
+			if f.Offset != got {
+				return fmt.Errorf("lost data: have %d, sender at %d", got, f.Offset)
+			}
+			if err := blockio.WriteAck(conn, got); err != nil {
+				return err
+			}
+		case blockio.TypeEnd:
+			if f.Offset != got {
+				return fmt.Errorf("truncated stream: have %d of %d", got, f.Offset)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unexpected frame %d", f.Type)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package udpcast
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kascade/internal/transport"
+)
+
+type safeBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *safeBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *safeBuf) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+func runBroadcast(t *testing.T, n, size, slice int) Result {
+	t.Helper()
+	fabric := transport.NewFabric(0)
+	names := make([]string, n)
+	addrs := make([]string, n)
+	sinks := make([]*safeBuf, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+		addrs[i] = names[i] + ":8100"
+		sinks[i] = &safeBuf{}
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(int64(size + n))).Read(data)
+	res, err := Broadcast(context.Background(), Config{
+		Names:      names,
+		Addrs:      addrs,
+		SliceSize:  slice,
+		BlockSize:  4 << 10,
+		NetworkFor: func(i int) transport.Network { return fabric.Host(names[i]) },
+		Input:      bytes.NewReader(data),
+		SinkFor:    func(i int) io.Writer { return sinks[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != uint64(size) {
+		t.Fatalf("total %d, want %d", res.Total, size)
+	}
+	for i := 1; i < n; i++ {
+		if sha256.Sum256(sinks[i].Bytes()) != sha256.Sum256(data) {
+			t.Errorf("receiver %d corrupted payload", i)
+		}
+	}
+	return res
+}
+
+func TestSynchronizedBroadcast(t *testing.T) {
+	res := runBroadcast(t, 6, 200<<10, 32<<10)
+	// 200 KiB in 32 KiB slices: at least 6 synchronization rounds.
+	if res.Slices < 6 {
+		t.Fatalf("slices = %d, synchronization not exercised", res.Slices)
+	}
+}
+
+func TestSingleSlice(t *testing.T) {
+	res := runBroadcast(t, 4, 10<<10, 1<<20)
+	if res.Slices != 1 {
+		t.Fatalf("slices = %d, want 1", res.Slices)
+	}
+}
+
+func TestManyReceivers(t *testing.T)    { runBroadcast(t, 20, 64<<10, 16<<10) }
+func TestUnalignedSlices(t *testing.T)  { runBroadcast(t, 3, 50<<10+7, 12<<10) }
+func TestEmptyPayloadCast(t *testing.T) { runBroadcast(t, 3, 0, 16<<10) }
+
+func TestNoReceiversRejected(t *testing.T) {
+	fabric := transport.NewFabric(0)
+	_, err := Broadcast(context.Background(), Config{
+		Names:      []string{"n1"},
+		Addrs:      []string{"n1:8100"},
+		NetworkFor: func(int) transport.Network { return fabric.Host("n1") },
+		Input:      bytes.NewReader(nil),
+	})
+	if err == nil {
+		t.Fatal("sender-only broadcast accepted")
+	}
+}
