@@ -13,11 +13,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
+	"kascade/internal/benchkit"
 	"kascade/internal/core"
 	"kascade/internal/experiments"
-	"kascade/internal/iolimit"
 	"kascade/internal/stats"
 	"kascade/internal/transport"
 )
@@ -64,88 +65,40 @@ func BenchmarkAblationArity(b *testing.B)            { benchFigure(b, "abl-arity
 func BenchmarkAblationStartupWindow(b *testing.B)    { benchFigure(b, "abl-startup", "Kascade") }
 func BenchmarkAblationPipelineDepth(b *testing.B)    { benchFigure(b, "abl-depth", "Kascade") }
 
-// engineOpts are protocol options sized for fast in-memory benchmarking.
-func engineOpts(chunk int) core.Options {
-	return core.Options{
-		ChunkSize:    chunk,
-		WindowChunks: 32,
+// benchEngine runs every benchkit spec under the given top-level prefix,
+// so these benchmarks and the BENCH_1.json rows emitted by
+// `kascade-bench -engine` share one matrix (names included).
+func benchEngine(b *testing.B, prefix string) {
+	for _, spec := range benchkit.EngineBenchmarks() {
+		name, ok := strings.CutPrefix(spec.Name, prefix+"/")
+		if !ok {
+			continue
+		}
+		spec := spec
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(spec.Size)
+			for i := 0; i < b.N; i++ {
+				if _, err := benchkit.EngineBroadcast(spec.Nodes, spec.Size, spec.Chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-}
-
-// runEngineBroadcast pushes size bytes through a real n-node pipeline over
-// the in-memory fabric and returns the byte count for throughput reporting.
-func runEngineBroadcast(b *testing.B, n int, size int64, chunk int) {
-	b.Helper()
-	fabric := transport.NewFabric(1 << 20)
-	peers := make([]core.Peer, n)
-	for i := range peers {
-		peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
-	}
-	payload := make([]byte, size)
-	iolimit.NewPattern(size, 99).Read(payload)
-	cfg := core.SessionConfig{
-		Peers:      peers,
-		Opts:       engineOpts(chunk),
-		NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
-		SinkFor:    func(int) io.Writer { return io.Discard },
-		InputFile:  newByteReaderAt(payload),
-		InputSize:  size,
-	}
-	res, err := core.RunSession(context.Background(), cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if len(res.Report.Failures) != 0 {
-		b.Fatalf("failures during benchmark: %v", res.Report)
-	}
-}
-
-type byteReaderAt struct{ p []byte }
-
-func newByteReaderAt(p []byte) *byteReaderAt { return &byteReaderAt{p} }
-
-func (r *byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
-	if off >= int64(len(r.p)) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.p[off:])
-	return n, nil
 }
 
 // BenchmarkEnginePipeline measures the real protocol engine end to end over
 // the in-memory fabric at several pipeline lengths.
-func BenchmarkEnginePipeline(b *testing.B) {
-	const size = 16 << 20
-	for _, nodes := range []int{2, 4, 8, 16} {
-		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
-			b.SetBytes(size)
-			for i := 0; i < b.N; i++ {
-				runEngineBroadcast(b, nodes, size, 256<<10)
-			}
-		})
-	}
-}
+func BenchmarkEnginePipeline(b *testing.B) { benchEngine(b, "EnginePipeline") }
 
 // BenchmarkEngineChunkSize sweeps the protocol chunk size (the §III-C
 // design knob) on a fixed 5-node pipeline.
-func BenchmarkEngineChunkSize(b *testing.B) {
-	const size = 16 << 20
-	for _, chunk := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
-		b.Run(fmt.Sprintf("chunk=%dKiB", chunk>>10), func(b *testing.B) {
-			b.SetBytes(size)
-			for i := 0; i < b.N; i++ {
-				runEngineBroadcast(b, 5, size, chunk)
-			}
-		})
-	}
-}
+func BenchmarkEngineChunkSize(b *testing.B) { benchEngine(b, "EngineChunkSize") }
 
 // BenchmarkEngineTCPLoopback measures the real engine over genuine TCP
 // sockets on the loopback interface.
 func BenchmarkEngineTCPLoopback(b *testing.B) {
 	const size = 16 << 20
-	payload := make([]byte, size)
-	iolimit.NewPattern(size, 7).Read(payload)
+	payload := benchkit.Payload(size, 7)
 	peers := make([]core.Peer, 4)
 	for i := range peers {
 		peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: "127.0.0.1:0"}
@@ -154,10 +107,10 @@ func BenchmarkEngineTCPLoopback(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.SessionConfig{
 			Peers:      peers,
-			Opts:       engineOpts(1 << 20),
+			Opts:       benchkit.EngineOptions(1 << 20),
 			NetworkFor: func(int) transport.Network { return transport.TCP{} },
 			SinkFor:    func(int) io.Writer { return io.Discard },
-			InputFile:  newByteReaderAt(payload),
+			InputFile:  benchkit.NewReaderAt(payload),
 			InputSize:  size,
 		}
 		if _, err := core.RunSession(context.Background(), cfg); err != nil {

@@ -1,24 +1,92 @@
 // Command kascade-bench regenerates the paper's evaluation tables (§IV,
-// Figures 7-15) and the design-choice ablations on the simulator.
+// Figures 7-15) and the design-choice ablations on the simulator, and
+// benchmarks the real protocol engine.
 //
 //	kascade-bench -list                 # show available experiments
 //	kascade-bench -run fig7             # regenerate one figure
 //	kascade-bench -run all -scale 1     # everything at paper file sizes
 //	kascade-bench -run fig15 -reps 10   # tighter confidence intervals
+//	kascade-bench -engine -json BENCH_1.json   # engine microbenchmarks
 //
 // Absolute throughputs come from a calibrated simulator (see DESIGN.md §2);
 // the shapes — who wins, by what factor, where the crossovers are — are the
-// reproduction targets, recorded against the paper in EXPERIMENTS.md.
+// reproduction targets, recorded against the paper in EXPERIMENTS.md. The
+// -engine mode instead runs real broadcasts over the in-memory fabric
+// (the same harness as `go test -bench Engine`) and writes a
+// machine-readable JSON file so successive PRs can track the hot-path
+// trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
+	"kascade/internal/benchkit"
 	"kascade/internal/experiments"
 )
+
+// engineResult is one row of the machine-readable engine benchmark file.
+type engineResult struct {
+	MBPerSec    float64 `json:"mb_per_s"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// runEngineBench benchmarks the real engine over the fabric and writes
+// name → metrics JSON to path. The matrix comes from benchkit, the same
+// table `go test -bench Engine` iterates.
+func runEngineBench(path string) error {
+	specs := benchkit.EngineBenchmarks()
+	out := make(map[string]engineResult, len(specs))
+	for _, spec := range specs {
+		spec := spec
+		var broadcastErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(spec.Size)
+			for i := 0; i < b.N; i++ {
+				if _, err := benchkit.EngineBroadcast(spec.Nodes, spec.Size, spec.Chunk); err != nil {
+					broadcastErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		// testing.Benchmark swallows b.Fatal into a zero result; surface
+		// it instead of writing zeroed rows with a success exit code.
+		if broadcastErr != nil {
+			return fmt.Errorf("%s: %w", spec.Name, broadcastErr)
+		}
+		if r.N == 0 || r.NsPerOp() <= 0 {
+			return fmt.Errorf("%s: benchmark produced no measurements", spec.Name)
+		}
+		res := engineResult{
+			MBPerSec:    float64(spec.Size) / 1e6 / (float64(r.NsPerOp()) / 1e9),
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		out[spec.Name] = res
+		fmt.Printf("%-32s %8.2f MB/s %10d ns/op %8d allocs/op\n",
+			spec.Name, res.MBPerSec, res.NsPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
@@ -26,7 +94,17 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per data point")
 	scale := flag.Float64("scale", 0.25, "file-size scale factor (1 = paper sizes)")
 	seed := flag.Int64("seed", 1, "jitter seed")
+	engine := flag.Bool("engine", false, "benchmark the real protocol engine instead of the simulator")
+	jsonPath := flag.String("json", "BENCH_1.json", "output path for -engine results")
 	flag.Parse()
+
+	if *engine {
+		if err := runEngineBench(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "kascade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

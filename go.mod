@@ -1,0 +1,3 @@
+module kascade
+
+go 1.24

@@ -1,0 +1,112 @@
+// Package benchkit is the shared harness behind the engine
+// microbenchmarks: the top-level bench_test.go and cmd/kascade-bench both
+// push real broadcasts through it, so the numbers in BENCH_1.json and the
+// numbers `go test -bench` prints come from the same code path.
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"kascade/internal/core"
+	"kascade/internal/iolimit"
+	"kascade/internal/transport"
+)
+
+// ReaderAt adapts an in-memory payload to io.ReaderAt with the full
+// contract: a short read at the tail carries io.EOF, as io.SectionReader
+// does.
+type ReaderAt struct{ p []byte }
+
+// NewReaderAt wraps p.
+func NewReaderAt(p []byte) *ReaderAt { return &ReaderAt{p} }
+
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r.p)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.p[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Payload generates size deterministic pattern bytes.
+func Payload(size int64, seed uint64) []byte {
+	p := make([]byte, size)
+	iolimit.NewPattern(size, seed).Read(p)
+	return p
+}
+
+// Spec is one engine microbenchmark: a pipeline shape to push Size bytes
+// through. The single source of truth for the benchmark matrix — the
+// top-level `go test -bench Engine` benchmarks and the BENCH_1.json rows
+// written by `kascade-bench -engine` both iterate this table, so their
+// names and parameters cannot drift apart.
+type Spec struct {
+	Name  string
+	Nodes int
+	Chunk int
+	Size  int64
+}
+
+// EngineBenchSize is the per-iteration payload of every engine benchmark.
+const EngineBenchSize = 16 << 20
+
+// EngineBenchmarks returns the benchmark matrix: pipeline-length sweep at
+// a fixed chunk, then chunk-size sweep at a fixed depth.
+func EngineBenchmarks() []Spec {
+	var specs []Spec
+	for _, nodes := range []int{2, 4, 8, 16} {
+		specs = append(specs, Spec{
+			Name:  fmt.Sprintf("EnginePipeline/nodes=%d", nodes),
+			Nodes: nodes, Chunk: 256 << 10, Size: EngineBenchSize,
+		})
+	}
+	for _, chunk := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		specs = append(specs, Spec{
+			Name:  fmt.Sprintf("EngineChunkSize/chunk=%dKiB", chunk>>10),
+			Nodes: 5, Chunk: chunk, Size: EngineBenchSize,
+		})
+	}
+	return specs
+}
+
+// EngineOptions are the protocol options every engine benchmark runs with
+// (fabric and TCP loopback alike), sized for fast in-memory iteration.
+func EngineOptions(chunk int) core.Options {
+	return core.Options{
+		ChunkSize:    chunk,
+		WindowChunks: 32,
+	}
+}
+
+// EngineBroadcast pushes size bytes through a real nodes-long pipeline
+// over an in-memory fabric with the given chunk size, discarding sinks. It
+// is one benchmark iteration: all listeners, nodes and pipes are fresh.
+func EngineBroadcast(nodes int, size int64, chunk int) (*core.SessionResult, error) {
+	fabric := transport.NewFabric(1 << 20)
+	peers := make([]core.Peer, nodes)
+	for i := range peers {
+		peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
+	}
+	payload := Payload(size, 99)
+	cfg := core.SessionConfig{
+		Peers:      peers,
+		Opts:       EngineOptions(chunk),
+		NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
+		SinkFor:    func(int) io.Writer { return io.Discard },
+		InputFile:  NewReaderAt(payload),
+		InputSize:  size,
+	}
+	res, err := core.RunSession(context.Background(), cfg)
+	if err != nil {
+		return res, err
+	}
+	if len(res.Report.Failures) != 0 {
+		return res, fmt.Errorf("benchkit: failures during broadcast: %v", res.Report)
+	}
+	return res, nil
+}

@@ -25,6 +25,11 @@ const (
 // before it is treated as dead.
 const maxRetriesPerSuccessor = 5
 
+// maxBatchChunks bounds the entry count of one vectored DATA write
+// independently of Options.MaxBatchBytes, so tiny chunk sizes cannot build
+// degenerate iovecs.
+const maxBatchChunks = 256
+
 // runManager drives the downstream side of the node: it serves the current
 // successor from the store, detects successor failures, skips dead nodes
 // (§III-D2), and runs the END → REPORT → PASSED epilogue (Fig 5). When no
@@ -100,6 +105,17 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, erro
 	var drained float64
 	var writing time.Duration
 
+	// batch gathers consecutive ready chunks so headers and payloads go
+	// out in one vectored write; reused across iterations.
+	batch := make([]*chunk, 0, 16)
+	releaseBatch := func() {
+		for i, c := range batch {
+			c.release()
+			batch[i] = nil
+		}
+		batch = batch[:0]
+	}
+
 streamLoop:
 	for {
 		if cerr := ctx.Err(); cerr != nil {
@@ -109,15 +125,32 @@ streamLoop:
 		var fe *ForgetError
 		switch {
 		case cerr == nil:
+			// Coalesce everything already buffered behind the first
+			// chunk, up to the batch budget: one writev instead of
+			// 2×k socket writes.
+			batch = append(batch, chunk)
+			batchBytes := len(chunk.bytes())
+			// Admit another chunk only while a full-size one still fits
+			// (chunks are at most ChunkSize), so the batch never
+			// overshoots the configured byte cap.
+			for len(batch) < maxBatchChunks && batchBytes+n.opts.ChunkSize <= n.opts.MaxBatchBytes {
+				next, ok := n.st.TryChunkAt(off + uint64(batchBytes))
+				if !ok {
+					break
+				}
+				batch = append(batch, next)
+				batchBytes += len(next.bytes())
+			}
 			wStart := time.Now()
-			werr := w.writeData(chunk)
+			werr := w.writeDataBatch(batch)
 			writing += time.Since(wStart)
+			releaseBatch()
 			if werr != nil {
 				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
 			}
-			off += uint64(len(chunk))
+			off += uint64(batchBytes)
 			n.st.SetLowWater(off)
-			drained += float64(len(chunk))
+			drained += float64(batchBytes)
 			if n.opts.MinThroughput > 0 && writing >= n.opts.SlowNodeGrace {
 				if rate := drained / writing.Seconds(); rate < n.opts.MinThroughput {
 					// The paper's §V malfunctioning-node case: tell
@@ -337,16 +370,40 @@ type stallWriter struct {
 	stall  time.Duration
 	budget time.Duration // total patience with a live-but-stuck peer
 	probe  func() bool
+
+	vec    [][]byte // scratch copy of WriteBuffers input, consumed on resume
+	single [1][]byte
 }
 
 func (s *stallWriter) Write(p []byte) (int, error) {
-	total := 0
+	s.single[0] = p
+	n, err := s.WriteBuffers(s.single[:])
+	return int(n), err
+}
+
+// WriteBuffers runs a vectored write through the same stall detector as
+// Write: a timed-out batch is resumed byte-exactly from where it stopped,
+// and a stall triggers the ping probe before the successor is declared
+// dead. It implements transport.BuffersWriter so wire.writeDataBatch keeps
+// the writev path even through the failure detector.
+func (s *stallWriter) WriteBuffers(bufs [][]byte) (int64, error) {
+	// Work on a scratch copy: the backend consumes entries in place as it
+	// writes (the BuffersWriter contract), and a deadline can leave the
+	// batch partially sent mid-slice.
+	s.vec = append(s.vec[:0], bufs...)
+	pending := s.vec
+	var total int64
 	remaining := s.budget
-	for len(p) > 0 {
+	for {
+		for len(pending) > 0 && len(pending[0]) == 0 {
+			pending = pending[1:]
+		}
+		if len(pending) == 0 {
+			return total, nil
+		}
 		_ = s.conn.SetWriteDeadline(time.Now().Add(s.stall))
-		nn, err := s.conn.Write(p)
+		nn, err := transport.WriteBuffers(s.conn, pending)
 		total += nn
-		p = p[nn:]
 		if err == nil {
 			continue
 		}
@@ -365,5 +422,4 @@ func (s *stallWriter) Write(p []byte) (int, error) {
 		}
 		return total, err
 	}
-	return total, nil
 }

@@ -61,6 +61,7 @@ type Node struct {
 	opts Options
 	st   store
 	ws   *windowStore // non-nil iff st is a window store
+	pool *chunkPool   // recycled payload buffers for the relay hot path
 
 	ictx   context.Context // internal lifecycle, detached from caller ctx
 	cancel context.CancelFunc
@@ -140,12 +141,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		passedC: make(chan struct{}),
 		ringC:   make(chan struct{}),
 	}
+	n.pool = newChunkPool(opts.ChunkSize, opts.PoolChunks)
 	if cfg.Index == 0 {
 		switch {
 		case cfg.InputFile != nil:
-			n.st = newFileStore(cfg.InputFile, cfg.InputSize, opts.ChunkSize)
+			n.st = newFileStore(cfg.InputFile, cfg.InputSize, opts.ChunkSize, n.pool)
 		case cfg.Input != nil:
-			n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks)
+			n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks, n.pool)
 			n.st = n.ws
 		default:
 			return nil, fmt.Errorf("kascade: sender has no input")
@@ -158,7 +160,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		if cfg.Input != nil || cfg.InputFile != nil {
 			return nil, fmt.Errorf("kascade: only the sender (index 0) takes input")
 		}
-		n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks)
+		n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks, n.pool)
 		n.st = n.ws
 	}
 	return n, nil
@@ -304,17 +306,22 @@ func (n *Node) snapshotReport() *Report {
 	return rep
 }
 
-// readInput chunks the streamed input into the window store.
+// readInput chunks the streamed input into the window store, reading each
+// chunk straight into a pool-owned buffer that the store then retains — no
+// copy between the input and the replay window.
 func (n *Node) readInput() {
-	buf := make([]byte, n.opts.ChunkSize)
 	var total uint64
 	for {
-		nr, err := io.ReadFull(n.cfg.Input, buf)
+		c := n.pool.get(n.opts.ChunkSize)
+		nr, err := io.ReadFull(n.cfg.Input, c.bytes())
 		if nr > 0 {
-			if aerr := n.ws.Append(buf[:nr]); aerr != nil {
+			c.truncate(nr)
+			if aerr := n.ws.Append(c); aerr != nil {
 				return
 			}
 			total += uint64(nr)
+		} else {
+			c.release()
 		}
 		switch err {
 		case nil:
@@ -430,7 +437,7 @@ func (n *Node) serveFetch(w *wire, from int) {
 		return
 	}
 	for off := lo; off < hi; {
-		chunk, err := n.st.ChunkAt(off)
+		c, err := n.st.ChunkAt(off)
 		var fe *ForgetError
 		switch {
 		case errors.As(err, &fe):
@@ -444,14 +451,17 @@ func (n *Node) serveFetch(w *wire, from int) {
 		case err != nil:
 			return
 		}
-		if rem := hi - off; uint64(len(chunk)) > rem {
-			chunk = chunk[:rem]
+		payload := c.bytes()
+		if rem := hi - off; uint64(len(payload)) > rem {
+			payload = payload[:rem]
 		}
 		_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.FetchTimeout))
-		if err := w.writeData(chunk); err != nil {
+		werr := w.writeData(payload)
+		c.release()
+		if werr != nil {
 			return
 		}
-		off += uint64(len(chunk))
+		off += uint64(len(payload))
 	}
 	_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
 	_ = w.writeEnd(hi)
@@ -551,7 +561,6 @@ func acceptReplacement(cur, repl *upstreamConn) bool {
 // or a terminal error (errUpstreamDone on success).
 func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamConn, error) {
 	w := uc.w
-	buf := make([]byte, n.opts.ChunkSize)
 	poll := n.opts.pollInterval()
 	for {
 		// A better predecessor may be waiting even while the current
@@ -581,11 +590,11 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 		w.setReadDeadlineIn(n.opts.UpstreamIdleTimeout)
 		switch typ {
 		case MsgData:
-			chunk, err := w.readDataInto(buf)
+			c, err := w.readData(n.pool)
 			if err != nil {
 				return nil, nil
 			}
-			if err := n.ingest(chunk); err != nil {
+			if err := n.ingest(c); err != nil {
 				return nil, err
 			}
 		case MsgEnd:
@@ -672,18 +681,26 @@ func (n *Node) awaitPassedPhase(ctx context.Context, cur *upstreamConn) (*upstre
 	}
 }
 
-// ingest stores and sinks one received chunk.
-func (n *Node) ingest(chunk []byte) error {
-	if err := n.ws.Append(chunk); err != nil {
+// ingest stores and sinks one received chunk, consuming the caller's
+// reference. The payload is shared, never copied: the window store takes
+// one reference, and a second keeps the bytes alive for the sink write.
+func (n *Node) ingest(c *chunk) error {
+	size := uint64(len(c.bytes()))
+	c.retain() // keep the payload readable for the sink after Append
+	if err := n.ws.Append(c); err != nil {
+		c.release()
 		return err
 	}
+	var sinkErr error
 	if n.cfg.Sink != nil {
-		if _, err := n.cfg.Sink.Write(chunk); err != nil {
-			n.abandon(fmt.Sprintf("sink write failed: %v", err))
-			return ErrAbandoned
-		}
+		_, sinkErr = n.cfg.Sink.Write(c.bytes())
 	}
-	n.bytesIn.Add(uint64(len(chunk)))
+	c.release()
+	if sinkErr != nil {
+		n.abandon(fmt.Sprintf("sink write failed: %v", sinkErr))
+		return ErrAbandoned
+	}
+	n.bytesIn.Add(size)
 	return nil
 }
 
@@ -728,7 +745,6 @@ func (n *Node) fetchGapOnce(from, to uint64) error {
 	if err := w.writePGet(from, to); err != nil {
 		return err
 	}
-	buf := make([]byte, n.opts.ChunkSize)
 	for {
 		w.setReadDeadlineIn(n.opts.FetchTimeout)
 		typ, err := w.readType()
@@ -737,11 +753,11 @@ func (n *Node) fetchGapOnce(from, to uint64) error {
 		}
 		switch typ {
 		case MsgData:
-			chunk, err := w.readDataInto(buf)
+			c, err := w.readData(n.pool)
 			if err != nil {
 				return err
 			}
-			if err := n.ingest(chunk); err != nil {
+			if err := n.ingest(c); err != nil {
 				return err
 			}
 		case MsgEnd:

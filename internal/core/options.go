@@ -21,6 +21,15 @@ type Options struct {
 	// node may run ahead of its successor (back-pressure).
 	WindowChunks int
 
+	// MaxBatchBytes caps how many payload bytes the downstream sender
+	// coalesces into one vectored DATA write (writev on TCP). The first
+	// ready chunk is always sent, so a value below ChunkSize disables
+	// batching without stalling. Defaults to 4 MiB.
+	MaxBatchBytes int
+	// PoolChunks sizes the free list of the per-node chunk buffer pool.
+	// Defaults to WindowChunks plus a small slack for frames in flight.
+	PoolChunks int
+
 	// WriteStallTimeout is how long a write to the successor may stall
 	// before the failure detector probes it with a ping.
 	WriteStallTimeout time.Duration
@@ -67,6 +76,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WindowChunks <= 0 {
 		o.WindowChunks = 64
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 4 << 20
+	}
+	if o.PoolChunks <= 0 {
+		o.PoolChunks = o.WindowChunks + poolSlack
 	}
 	def(&o.WriteStallTimeout, time.Second) // the paper's one-second timer
 	def(&o.PingTimeout, 500*time.Millisecond)

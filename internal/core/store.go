@@ -34,12 +34,24 @@ func (e *ForgetError) Error() string {
 // store is the node-local view of the stream being broadcast: the
 // downstream sender reads sequential chunks from it, and the fetch server
 // (at node 1) answers PGET range requests from it.
+//
+// Chunks move through a store by reference, never by copy: ChunkAt and
+// TryChunkAt return ref-counted views the caller must release once the
+// payload has been written out, and windowStore.Append takes ownership of
+// the caller's reference.
 type store interface {
-	// ChunkAt returns the chunk starting at byte offset off, blocking
-	// until it is available. It returns io.EOF once off reaches the end
-	// of a finished stream, a *ForgetError if off is below the retained
-	// window, ErrQuit/ErrAbandoned after an abort, or the abort cause.
-	ChunkAt(off uint64) ([]byte, error)
+	// ChunkAt returns a retained reference to the chunk starting at byte
+	// offset off, blocking until it is available. The caller must release
+	// it. It returns io.EOF once off reaches the end of a finished stream,
+	// a *ForgetError if off is below the retained window,
+	// ErrQuit/ErrAbandoned after an abort, or the abort cause.
+	ChunkAt(off uint64) (*chunk, error)
+	// TryChunkAt is the non-blocking variant used to coalesce vectored
+	// writes: it returns a retained reference if the chunk is immediately
+	// available and (nil, false) otherwise — including every condition
+	// (EOF, FORGET, abort) that ChunkAt reports as an error, which the
+	// caller discovers on its next blocking ChunkAt.
+	TryChunkAt(off uint64) (*chunk, bool)
 	// SetLowWater tells the store that bytes below off are safely at the
 	// successor, making the chunks below off eligible for eviction.
 	SetLowWater(off uint64)
@@ -60,80 +72,119 @@ type store interface {
 	AbortCause() error
 }
 
-// windowStore is the relay-side (and streamed-source-side) store: a ring of
-// the most recent chunks. Appending blocks once the window is full and the
-// successor has not consumed the oldest chunk yet — this is the engine's
-// back-pressure, equivalent to TCP's when the paper's Ruby implementation
-// stops reading. Keeping a window (rather than only the newest chunk) is
-// what lets a node replay data to a recovering successor (§III-D2).
+// windowStore is the relay-side (and streamed-source-side) store: a
+// fixed-capacity ring of the most recent chunks. Appending blocks once the
+// ring is full and the successor has not consumed the oldest chunk yet —
+// this is the engine's back-pressure, equivalent to TCP's when the paper's
+// Ruby implementation stops reading. Keeping a window (rather than only the
+// newest chunk) is what lets a node replay data to a recovering successor
+// (§III-D2).
+//
+// Ownership: Append takes the caller's reference without copying the
+// payload; eviction is O(1) (release the oldest slot, advance the ring
+// start). ChunkAt hands out an extra reference, so a slow replay to a
+// recovering successor keeps its payload alive even if the slot is evicted
+// and the window moves on underneath it.
 type windowStore struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
 	chunkSize int
-	capBytes  uint64
+	pool      *chunkPool
 
-	base     uint64 // offset of chunks[0]
+	ring  []*chunk // fixed-capacity slot array
+	start int      // index of the oldest occupied slot
+	count int      // occupied slots
+
+	base     uint64 // offset of the oldest retained chunk
 	head     uint64 // next append offset (== total bytes received)
-	chunks   [][]byte
 	lowWater uint64 // bytes below this are consumed downstream
-	released bool   // no successor: never block appends
+	released bool   // no successor: evict freely, never block appends
 
 	ended bool
 	end   uint64
 	abort error
 }
 
-func newWindowStore(chunkSize, windowChunks int) *windowStore {
+func newWindowStore(chunkSize, windowChunks int, pool *chunkPool) *windowStore {
+	if pool == nil {
+		pool = newChunkPool(chunkSize, windowChunks+poolSlack)
+	}
 	s := &windowStore{
 		chunkSize: chunkSize,
-		capBytes:  uint64(chunkSize) * uint64(windowChunks),
+		pool:      pool,
+		ring:      make([]*chunk, windowChunks),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
+// slot returns the ring position of logical chunk index i (0 = oldest).
+func (s *windowStore) slot(i int) int { return (s.start + i) % len(s.ring) }
+
+// evictLocked drops the oldest chunk. Caller holds s.mu.
+func (s *windowStore) evictLocked() {
+	c := s.ring[s.start]
+	s.ring[s.start] = nil
+	s.base += uint64(len(c.bytes()))
+	s.start = (s.start + 1) % len(s.ring)
+	s.count--
+	c.release()
+}
+
 // Append adds the next chunk (all chunks are ChunkSize long except the
-// final one). It blocks while the window is full of unconsumed data.
-func (s *windowStore) Append(chunk []byte) error {
-	if len(chunk) == 0 {
+// final one), taking ownership of the caller's reference — the payload is
+// not copied. It blocks while the ring is full of unconsumed data; on a
+// released store (pipeline tail) the oldest chunk is dropped instead, so
+// the tail's memory stays bounded by the window.
+func (s *windowStore) Append(c *chunk) error {
+	if len(c.bytes()) == 0 {
+		c.release()
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	need := uint64(len(chunk))
 	for {
 		if s.abort != nil {
+			c.release()
 			return s.abort
 		}
 		if s.ended {
+			c.release()
 			return fmt.Errorf("kascade: append after end of stream")
 		}
-		if s.released || s.head-s.base+need <= s.capBytes {
+		if s.count < len(s.ring) {
 			break
 		}
 		// Make room by evicting front chunks already consumed by the
-		// successor. Unconsumed chunks are never dropped: the appender
-		// waits instead, which is the pipeline's back-pressure.
-		for len(s.chunks) > 0 && s.head-s.base+need > s.capBytes {
-			first := uint64(len(s.chunks[0]))
-			if s.base+first > s.lowWater {
+		// successor. Unconsumed chunks are never dropped — the appender
+		// waits instead, which is the pipeline's back-pressure — except
+		// on a released store, which has nobody left to replay for.
+		for s.count == len(s.ring) {
+			oldest := s.ring[s.start]
+			if !s.released && s.base+uint64(len(oldest.bytes())) > s.lowWater {
 				break
 			}
-			s.chunks = s.chunks[1:]
-			s.base += first
+			s.evictLocked()
 		}
-		if s.head-s.base+need <= s.capBytes {
+		if s.count < len(s.ring) {
 			break
 		}
 		s.cond.Wait()
 	}
-	owned := make([]byte, len(chunk))
-	copy(owned, chunk)
-	s.chunks = append(s.chunks, owned)
-	s.head += uint64(len(owned))
+	s.ring[s.slot(s.count)] = c
+	s.count++
+	s.head += uint64(len(c.bytes()))
 	s.cond.Broadcast()
 	return nil
+}
+
+// AppendBytes copies b into a pooled chunk and appends it. Convenience for
+// callers (and tests) that do not manage chunk references themselves.
+func (s *windowStore) AppendBytes(b []byte) error {
+	c := s.pool.get(len(b))
+	copy(c.bytes(), b)
+	return s.Append(c)
 }
 
 // Finish marks the end of the stream at offset total.
@@ -147,7 +198,7 @@ func (s *windowStore) Finish(total uint64) {
 	s.cond.Broadcast()
 }
 
-func (s *windowStore) ChunkAt(off uint64) ([]byte, error) {
+func (s *windowStore) ChunkAt(off uint64) (*chunk, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -167,18 +218,32 @@ func (s *windowStore) ChunkAt(off uint64) ([]byte, error) {
 	}
 }
 
-// chunkAtLocked locates the chunk containing off. Offsets are always
-// chunk-aligned by construction (GET/PGET offsets advance by whole chunks).
-func (s *windowStore) chunkAtLocked(off uint64) ([]byte, error) {
+func (s *windowStore) TryChunkAt(off uint64) (*chunk, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abort != nil || off < s.base || off >= s.head {
+		return nil, false
+	}
+	c, err := s.chunkAtLocked(off)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
+// chunkAtLocked locates the chunk containing off and returns a retained
+// reference. Offsets are always chunk-aligned by construction (GET/PGET
+// offsets advance by whole chunks).
+func (s *windowStore) chunkAtLocked(off uint64) (*chunk, error) {
 	idx := int((off - s.base) / uint64(s.chunkSize))
-	if idx < 0 || idx >= len(s.chunks) {
-		return nil, fmt.Errorf("kascade: internal: offset %d maps to chunk %d of %d", off, idx, len(s.chunks))
+	if idx < 0 || idx >= s.count {
+		return nil, fmt.Errorf("kascade: internal: offset %d maps to chunk %d of %d", off, idx, s.count)
 	}
 	chunkStart := s.base + uint64(idx)*uint64(s.chunkSize)
 	if chunkStart != off {
 		return nil, fmt.Errorf("kascade: unaligned offset %d (chunk starts at %d)", off, chunkStart)
 	}
-	return s.chunks[idx], nil
+	return s.ring[s.slot(idx)].retain(), nil
 }
 
 func (s *windowStore) SetLowWater(off uint64) {
@@ -241,24 +306,27 @@ func (s *windowStore) Base() uint64 {
 // fileStore is the random-access source store used when the input is a
 // file (io.ReaderAt): any offset can be served at any time, so recovering
 // successors never hit FORGET at node 1 — exactly the distinction §III-D2
-// draws between file-backed and streamed sources.
+// draws between file-backed and streamed sources. Served chunks come from
+// the shared pool; the caller's release after the network write returns
+// the buffer for reuse.
 type fileStore struct {
 	ra        io.ReaderAt
 	size      uint64
 	chunkSize int
+	pool      *chunkPool
 
 	mu    sync.Mutex
 	abort error
-	buf   sync.Pool
 }
 
-func newFileStore(ra io.ReaderAt, size int64, chunkSize int) *fileStore {
-	fs := &fileStore{ra: ra, size: uint64(size), chunkSize: chunkSize}
-	fs.buf.New = func() any { b := make([]byte, chunkSize); return &b }
-	return fs
+func newFileStore(ra io.ReaderAt, size int64, chunkSize int, pool *chunkPool) *fileStore {
+	if pool == nil {
+		pool = newChunkPool(chunkSize, poolSlack)
+	}
+	return &fileStore{ra: ra, size: uint64(size), chunkSize: chunkSize, pool: pool}
 }
 
-func (s *fileStore) ChunkAt(off uint64) ([]byte, error) {
+func (s *fileStore) ChunkAt(off uint64) (*chunk, error) {
 	if err := s.AbortCause(); err != nil {
 		return nil, err
 	}
@@ -269,15 +337,21 @@ func (s *fileStore) ChunkAt(off uint64) ([]byte, error) {
 	if off+n > s.size {
 		n = s.size - off
 	}
-	bp := s.buf.Get().(*[]byte)
-	buf := (*bp)[:n]
-	if _, err := s.ra.ReadAt(buf, int64(off)); err != nil {
+	c := s.pool.get(int(n))
+	// A reader may legally return io.EOF alongside a full tail read.
+	if nr, err := s.ra.ReadAt(c.bytes(), int64(off)); err != nil && !(err == io.EOF && nr == int(n)) {
+		c.release()
 		return nil, fmt.Errorf("kascade: reading source file at %d: %w", off, err)
 	}
-	// The buffer is intentionally not returned to the pool: callers hold
-	// the slice across a network write. Chunks are small and short-lived;
-	// the pool only smooths allocation bursts between GC cycles.
-	return buf, nil
+	return c, nil
+}
+
+func (s *fileStore) TryChunkAt(off uint64) (*chunk, bool) {
+	c, err := s.ChunkAt(off)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
 }
 
 func (s *fileStore) SetLowWater(uint64)   {}

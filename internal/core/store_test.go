@@ -11,12 +11,12 @@ import (
 )
 
 func TestWindowStoreSequentialReadBack(t *testing.T) {
-	s := newWindowStore(4, 8)
+	s := newWindowStore(4, 8, nil)
 	var want []byte
 	for i := 0; i < 5; i++ {
 		chunk := []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)}
 		want = append(want, chunk...)
-		if err := s.Append(chunk); err != nil {
+		if err := s.AppendBytes(chunk); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -24,15 +24,16 @@ func TestWindowStoreSequentialReadBack(t *testing.T) {
 	var got []byte
 	off := uint64(0)
 	for {
-		chunk, err := s.ChunkAt(off)
+		c, err := s.ChunkAt(off)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		got = append(got, chunk...)
-		off += uint64(len(chunk))
+		got = append(got, c.bytes()...)
+		off += uint64(len(c.bytes()))
+		c.release()
 		s.SetLowWater(off)
 	}
 	if !bytes.Equal(got, want) {
@@ -41,10 +42,10 @@ func TestWindowStoreSequentialReadBack(t *testing.T) {
 }
 
 func TestWindowStoreBackPressureAndEviction(t *testing.T) {
-	s := newWindowStore(4, 2) // capacity: 8 bytes
+	s := newWindowStore(4, 2, nil) // capacity: 2 slots of 4 bytes
 	mustAppend := func(b []byte) {
 		t.Helper()
-		if err := s.Append(b); err != nil {
+		if err := s.AppendBytes(b); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func TestWindowStoreBackPressureAndEviction(t *testing.T) {
 
 	// Third append must block until the consumer confirms the first chunk.
 	done := make(chan error, 1)
-	go func() { done <- s.Append([]byte{3, 3, 3, 3}) }()
+	go func() { done <- s.AppendBytes([]byte{3, 3, 3, 3}) }()
 	select {
 	case <-done:
 		t.Fatal("append should have blocked on full window")
@@ -75,20 +76,22 @@ func TestWindowStoreBackPressureAndEviction(t *testing.T) {
 		t.Fatalf("want ForgetError{4}, got %v", err)
 	}
 	// Offset 4 still readable.
-	if chunk, err := s.ChunkAt(4); err != nil || chunk[0] != 2 {
-		t.Fatalf("chunk at 4: %v %v", chunk, err)
+	c, err2 := s.ChunkAt(4)
+	if err2 != nil || c.bytes()[0] != 2 {
+		t.Fatalf("chunk at 4: %v %v", c, err2)
 	}
+	c.release()
 }
 
 func TestWindowStoreReleaseAllLiftsBackPressure(t *testing.T) {
-	s := newWindowStore(4, 2)
+	s := newWindowStore(4, 2, nil)
 	for i := 0; i < 2; i++ {
-		if err := s.Append([]byte{byte(i), 0, 0, 0}); err != nil {
+		if err := s.AppendBytes([]byte{byte(i), 0, 0, 0}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	done := make(chan error, 1)
-	go func() { done <- s.Append([]byte{9, 9, 9, 9}) }()
+	go func() { done <- s.AppendBytes([]byte{9, 9, 9, 9}) }()
 	time.Sleep(20 * time.Millisecond)
 	s.ReleaseAll()
 	select {
@@ -102,9 +105,9 @@ func TestWindowStoreReleaseAllLiftsBackPressure(t *testing.T) {
 }
 
 func TestWindowStoreResetLowWaterProtectsReplay(t *testing.T) {
-	s := newWindowStore(4, 4) // 16 bytes capacity
+	s := newWindowStore(4, 4, nil) // 4 slots
 	for i := 0; i < 4; i++ {
-		if err := s.Append([]byte{byte(i), 0, 0, 0}); err != nil {
+		if err := s.AppendBytes([]byte{byte(i), 0, 0, 0}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -112,7 +115,7 @@ func TestWindowStoreResetLowWaterProtectsReplay(t *testing.T) {
 	// New successor resumes at 4: protect [4,16) from eviction.
 	s.ResetLowWater(4)
 	done := make(chan error, 1)
-	go func() { done <- s.Append([]byte{8, 0, 0, 0}) }()
+	go func() { done <- s.AppendBytes([]byte{8, 0, 0, 0}) }()
 	// Only chunk [0,4) is evictable; the append fits after one eviction.
 	select {
 	case err := <-done:
@@ -122,13 +125,15 @@ func TestWindowStoreResetLowWaterProtectsReplay(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("append blocked despite evictable head chunk")
 	}
-	if _, err := s.ChunkAt(4); err != nil {
+	if c, err := s.ChunkAt(4); err != nil {
 		t.Fatalf("replay chunk at 4 evicted: %v", err)
+	} else {
+		c.release()
 	}
 }
 
 func TestWindowStoreAbortWakesWaiters(t *testing.T) {
-	s := newWindowStore(4, 2)
+	s := newWindowStore(4, 2, nil)
 	got := make(chan error, 1)
 	go func() {
 		_, err := s.ChunkAt(0) // nothing appended: blocks
@@ -155,13 +160,15 @@ func TestWindowStoreAbortWakesWaiters(t *testing.T) {
 }
 
 func TestWindowStoreEOFSemantics(t *testing.T) {
-	s := newWindowStore(4, 4)
-	if err := s.Append([]byte{1, 2}); err != nil { // short final chunk
+	s := newWindowStore(4, 4, nil)
+	if err := s.AppendBytes([]byte{1, 2}); err != nil { // short final chunk
 		t.Fatal(err)
 	}
 	s.Finish(2)
-	if chunk, err := s.ChunkAt(0); err != nil || len(chunk) != 2 {
-		t.Fatalf("final chunk: %v %v", chunk, err)
+	if c, err := s.ChunkAt(0); err != nil || len(c.bytes()) != 2 {
+		t.Fatalf("final chunk: %v %v", c, err)
+	} else {
+		c.release()
 	}
 	if _, err := s.ChunkAt(2); err != io.EOF {
 		t.Fatalf("want EOF at end, got %v", err)
@@ -172,9 +179,9 @@ func TestWindowStoreEOFSemantics(t *testing.T) {
 }
 
 func TestWindowStoreAppendAfterFinishFails(t *testing.T) {
-	s := newWindowStore(4, 4)
+	s := newWindowStore(4, 4, nil)
 	s.Finish(0)
-	if err := s.Append([]byte{1}); err == nil {
+	if err := s.AppendBytes([]byte{1}); err == nil {
 		t.Fatal("append after finish accepted")
 	}
 }
@@ -189,7 +196,7 @@ func TestWindowStorePipelineIntegrityQuick(t *testing.T) {
 		w := int(window)%14 + 2
 		payload := make([]byte, rnd.Intn(4096))
 		rnd.Read(payload)
-		s := newWindowStore(chunkSize, w)
+		s := newWindowStore(chunkSize, w, nil)
 
 		go func() {
 			for off := 0; off < len(payload); off += chunkSize {
@@ -197,7 +204,7 @@ func TestWindowStorePipelineIntegrityQuick(t *testing.T) {
 				if end > len(payload) {
 					end = len(payload)
 				}
-				if s.Append(payload[off:end]) != nil {
+				if s.AppendBytes(payload[off:end]) != nil {
 					return
 				}
 			}
@@ -207,15 +214,16 @@ func TestWindowStorePipelineIntegrityQuick(t *testing.T) {
 		var got []byte
 		off := uint64(0)
 		for {
-			chunk, err := s.ChunkAt(off)
+			c, err := s.ChunkAt(off)
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
 				return false
 			}
-			got = append(got, chunk...)
-			off += uint64(len(chunk))
+			got = append(got, c.bytes()...)
+			off += uint64(len(c.bytes()))
+			c.release()
 			s.SetLowWater(off)
 		}
 		return bytes.Equal(got, payload)
@@ -230,7 +238,7 @@ func TestFileStoreChunks(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	fs := newFileStore(bytes.NewReader(payload), int64(len(payload)), 256)
+	fs := newFileStore(bytes.NewReader(payload), int64(len(payload)), 256, nil)
 	if h := fs.Head(); h != 1000 {
 		t.Fatalf("head %d", h)
 	}
@@ -239,24 +247,26 @@ func TestFileStoreChunks(t *testing.T) {
 	}
 	var got []byte
 	for off := uint64(0); ; {
-		chunk, err := fs.ChunkAt(off)
+		c, err := fs.ChunkAt(off)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		got = append(got, chunk...)
-		off += uint64(len(chunk))
+		got = append(got, c.bytes()...)
+		off += uint64(len(c.bytes()))
+		c.release()
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatal("file store corrupted payload")
 	}
 	// Random access at any offset (the PGET property).
-	chunk, err := fs.ChunkAt(512)
-	if err != nil || chunk[0] != payload[512] {
-		t.Fatalf("random access: %v %v", chunk, err)
+	c, err := fs.ChunkAt(512)
+	if err != nil || c.bytes()[0] != payload[512] {
+		t.Fatalf("random access: %v %v", c, err)
 	}
+	c.release()
 	fs.Abort(ErrQuit)
 	if _, err := fs.ChunkAt(0); !errors.Is(err, ErrQuit) {
 		t.Fatalf("abort not honoured: %v", err)

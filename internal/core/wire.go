@@ -103,11 +103,20 @@ const maxFrameData = 1 << 28
 // wire frames messages over a transport connection. Reads are buffered;
 // writes go straight to the connection (optionally through a stall-detecting
 // writer) so that a partially timed-out write can be resumed byte-exactly.
+//
+// DATA payloads are never copied inside the wire layer: readData reads
+// straight into a pool-owned buffer and hands the caller the reference, and
+// writeDataBatch stitches frame headers and payloads together with a single
+// vectored write when the underlying writer supports transport.BuffersWriter
+// (falling back to sequential writes otherwise).
 type wire struct {
 	conn transport.Conn
 	br   *bufio.Reader
 	out  io.Writer // conn, or a stallWriter wrapping it
 	hdr  [17]byte  // scratch header buffer
+
+	hdrs []byte   // scratch DATA headers for vectored batches (5 B each)
+	vec  [][]byte // scratch iovec: header, payload, header, payload, ...
 }
 
 func newWire(c transport.Conn) *wire {
@@ -156,9 +165,11 @@ func (w *wire) readHello() (Role, int, error) {
 	return Role(b[0]), int(binary.BigEndian.Uint32(b[1:])), nil
 }
 
-// readDataInto reads a DATA payload (after the type byte) into buf,
-// growing it if needed, and returns the payload slice.
-func (w *wire) readDataInto(buf []byte) ([]byte, error) {
+// readData reads a DATA payload (after the type byte) straight into a
+// buffer owned by pool and returns the chunk with one reference, which the
+// caller owns (a nil pool serves one-off buffers). There is no intermediate
+// copy: the bytes land in the buffer that the window store will retain.
+func (w *wire) readData(pool *chunkPool) (*chunk, error) {
 	size, err := w.readUint32()
 	if err != nil {
 		return nil, err
@@ -166,14 +177,12 @@ func (w *wire) readDataInto(buf []byte) ([]byte, error) {
 	if size > maxFrameData {
 		return nil, fmt.Errorf("kascade: DATA frame of %d bytes exceeds limit", size)
 	}
-	if cap(buf) < int(size) {
-		buf = make([]byte, size)
-	}
-	buf = buf[:size]
-	if err := w.readFull(buf); err != nil {
+	c := pool.get(int(size))
+	if err := w.readFull(c.bytes()); err != nil {
+		c.release()
 		return nil, err
 	}
-	return buf, nil
+	return c, nil
 }
 
 // readQuit parses a QUIT payload (after the type byte).
@@ -254,6 +263,32 @@ func (w *wire) writeData(chunk []byte) error {
 		return err
 	}
 	return w.writeAll(chunk)
+}
+
+// dataFrameHeader is the DATA frame header size: type byte + length prefix.
+const dataFrameHeader = 5
+
+// writeDataBatch frames every chunk in cs and writes the whole batch —
+// headers and payloads interleaved — in one vectored write when the
+// underlying writer supports it. Scratch buffers are reused across calls,
+// so a steady relay emits batches without allocating. The caller keeps its
+// chunk references; payload bytes are only read.
+func (w *wire) writeDataBatch(cs []*chunk) error {
+	if need := dataFrameHeader * len(cs); cap(w.hdrs) < need {
+		w.hdrs = make([]byte, need)
+	}
+	w.vec = w.vec[:0]
+	for i, c := range cs {
+		h := w.hdrs[i*dataFrameHeader : (i+1)*dataFrameHeader]
+		payload := c.bytes()
+		h[0] = byte(MsgData)
+		binary.BigEndian.PutUint32(h[1:], uint32(len(payload)))
+		w.vec = append(w.vec, h, payload)
+	}
+	// transport.WriteBuffers (and BuffersWriter implementations) may
+	// consume w.vec's entries; that is fine, it is scratch.
+	_, err := transport.WriteBuffers(w.out, w.vec)
+	return err
 }
 
 func (w *wire) writeEnd(total uint64) error {

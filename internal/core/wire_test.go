@@ -103,11 +103,13 @@ func TestWireDataRoundTripQuick(t *testing.T) {
 		if err != nil || typ != MsgData {
 			return false
 		}
-		got, err := w.readDataInto(nil)
+		got, err := w.readData(nil)
 		if err != nil {
 			return false
 		}
-		return bytes.Equal(got, payload)
+		equal := bytes.Equal(got.bytes(), payload)
+		got.release()
+		return equal
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -151,7 +153,7 @@ func TestWireRejectsOversizedData(t *testing.T) {
 	if typ, _ := w.readType(); typ != MsgData {
 		t.Fatal("setup failed")
 	}
-	if _, err := w.readDataInto(nil); err == nil {
+	if _, err := w.readData(nil); err == nil {
 		t.Fatal("oversized DATA accepted")
 	}
 }

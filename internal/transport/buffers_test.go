@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestPipeWriteBuffersRoundTrip checks the writev fast path of the
+// in-memory pipe: interleaved header/payload slices arrive as one
+// contiguous byte stream.
+func TestPipeWriteBuffersRoundTrip(t *testing.T) {
+	a, b := newPipePair("a:0", "b:0", 0)
+	want := []byte("hdr1payload-onehdr2payload-two")
+	bufs := [][]byte{
+		[]byte("hdr1"), []byte("payload-one"),
+		[]byte("hdr2"), []byte("payload-two"),
+	}
+	done := make(chan error, 1)
+	go func() {
+		n, err := a.WriteBuffers(bufs)
+		if err == nil && n != int64(len(want)) {
+			err = io.ErrShortWrite
+		}
+		done <- err
+	}()
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	for i, buf := range bufs {
+		if len(buf) != 0 {
+			t.Fatalf("entry %d not consumed: %q", i, buf)
+		}
+	}
+}
+
+// TestWriteBuffersPartialResume fills the pipe so a vectored write times
+// out mid-batch, then resumes it with the same slice: the consumption
+// contract must leave exactly the unwritten suffix behind.
+func TestWriteBuffersPartialResume(t *testing.T) {
+	a, b := newPipePair("a:0", "b:0", 8)
+	bufs := [][]byte{[]byte("123456"), []byte("abcdef")}
+	_ = a.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	n, err := a.WriteBuffers(bufs)
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout after filling the pipe, got n=%d err=%v", n, err)
+	}
+	if n != 8 {
+		t.Fatalf("wrote %d bytes into an 8-byte pipe", n)
+	}
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(b, head); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.SetWriteDeadline(time.Time{})
+	if n, err := a.WriteBuffers(bufs); err != nil || n != 4 {
+		t.Fatalf("resume wrote %d, err %v", n, err)
+	}
+	tail := make([]byte, 4)
+	if _, err := io.ReadFull(b, tail); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(head) + string(tail); got != "123456abcdef" {
+		t.Fatalf("stream reassembled as %q", got)
+	}
+}
+
+// sink is a plain io.Writer without the BuffersWriter capability.
+type sink struct{ got bytes.Buffer }
+
+func (s *sink) Write(p []byte) (int, error) { return s.got.Write(p) }
+
+// TestWriteBuffersFallback checks the sequential fallback used by conns
+// (and test doubles) that do not implement BuffersWriter, including the
+// in-place consumption contract.
+func TestWriteBuffersFallback(t *testing.T) {
+	var s sink
+	bufs := [][]byte{[]byte("ab"), nil, []byte("cd")}
+	n, err := WriteBuffers(&s, bufs)
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if s.got.String() != "abcd" {
+		t.Fatalf("wrote %q", s.got.String())
+	}
+	for i, buf := range bufs {
+		if len(buf) != 0 {
+			t.Fatalf("entry %d not consumed", i)
+		}
+	}
+}
+
+// TestShapedWriteBuffersPacing checks that vectored writes on a shaped
+// link still pay the rate cap: the batch as a whole must take at least the
+// time its byte count implies.
+func TestShapedWriteBuffersPacing(t *testing.T) {
+	f := NewFabric(1 << 20)
+	f.SetDefaultProfile(Profile{Rate: 64 << 10}) // 64 KiB/s
+	l, err := f.Host("dst").Listen(":1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := f.Host("src").Dial("dst:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, c)
+	}()
+
+	bw, ok := conn.(BuffersWriter)
+	if !ok {
+		t.Fatal("fabric conn lost the BuffersWriter capability")
+	}
+	payload := make([]byte, 24<<10)
+	start := time.Now()
+	if _, err := bw.WriteBuffers([][]byte{payload[:8<<10], payload[8<<10 : 16<<10], payload[16<<10:]}); err != nil {
+		t.Fatal(err)
+	}
+	// The shaper charges each slice's drain time after writing it, so a
+	// 3×8 KiB batch at 64 KiB/s waits out the first two charges ≈ 250 ms
+	// before the final slice goes out; allow generous scheduling slack.
+	if elapsed := time.Since(start); elapsed < 180*time.Millisecond {
+		t.Fatalf("shaped vectored write finished in %v, pacing bypassed", elapsed)
+	}
+}

@@ -117,6 +117,43 @@ func (h *halfPipe) write(p []byte) (int, error) {
 	return total, nil
 }
 
+// writev copies every slice of bufs into the ring under a single lock
+// acquisition: the in-memory analogue of a vectored socket write. Like the
+// TCP path it consumes bufs as it goes, so a caller interrupted by a
+// deadline can resume from the returned byte count.
+func (h *halfPipe) writev(bufs [][]byte) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total int64
+	for len(bufs) > 0 {
+		if len(bufs[0]) == 0 {
+			bufs = bufs[1:]
+			continue
+		}
+		if h.hardErr != nil {
+			return total, h.hardErr
+		}
+		if h.wClosed {
+			return total, ErrClosed
+		}
+		if h.rClosed {
+			return total, ErrReset
+		}
+		if space := len(h.buf) - h.n; space > 0 {
+			n := copy(h.contiguousWrite(), bufs[0])
+			h.advanceWrite(n)
+			bufs[0] = bufs[0][n:]
+			total += int64(n)
+			h.canRead.Broadcast()
+			continue
+		}
+		if err := h.waitWithDeadline(h.canWrite, h.writeDeadline, "write"); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // contiguousRead returns the largest readable span without wrapping.
 func (h *halfPipe) contiguousRead() []byte {
 	if h.r+h.n <= len(h.buf) {
@@ -216,6 +253,26 @@ func (c *pipeConn) Write(p []byte) (int, error) {
 		return c.writeShape.write(c.tx, p)
 	}
 	return c.tx.write(p)
+}
+
+// WriteBuffers implements transport.BuffersWriter. Unshaped links take the
+// single-lock writev fast path; shaped links hand each slice to the shaper
+// so pacing and first-byte latency stay byte-accurate.
+func (c *pipeConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	if c.writeShape != nil {
+		var total int64
+		for i := range bufs {
+			n, err := c.writeShape.write(c.tx, bufs[i])
+			bufs[i] = bufs[i][n:]
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+			bufs[i] = nil
+		}
+		return total, nil
+	}
+	return c.tx.writev(bufs)
 }
 
 func (c *pipeConn) Close() error {

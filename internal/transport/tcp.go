@@ -70,6 +70,16 @@ func (t tcpConn) Write(p []byte) (int, error) {
 	return n, mapTCPErr(err)
 }
 
+// WriteBuffers sends all slices with a single writev when the kernel path
+// allows it, collapsing the frame-header + payload pairs of the broadcast
+// hot path into one syscall. net.Buffers consumes its receiver, so bufs is
+// modified as documented on transport.BuffersWriter.
+func (t tcpConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	nb := net.Buffers(bufs)
+	n, err := nb.WriteTo(t.c)
+	return n, mapTCPErr(err)
+}
+
 func (t tcpConn) Close() error                        { return t.c.Close() }
 func (t tcpConn) SetDeadline(tm time.Time) error      { return t.c.SetDeadline(tm) }
 func (t tcpConn) SetReadDeadline(tm time.Time) error  { return t.c.SetReadDeadline(tm) }

@@ -44,6 +44,44 @@ type Conn interface {
 	RemoteAddr() string
 }
 
+// BuffersWriter is an optional Conn capability: WriteBuffers writes every
+// byte of every slice in order, as one vectored operation when the backend
+// supports it (writev on TCP). Callers discover it by type assertion, or
+// simply call the package-level WriteBuffers which probes and falls back.
+//
+// Contract (matching net.Buffers): implementations consume written bytes
+// from bufs in place — a fully written entry is set to nil or zero length,
+// a partially written head entry is trimmed past the written prefix. After
+// a partial result (write deadline mid-batch), the caller resumes by
+// calling again with the same slice. Callers that need bufs intact must
+// pass a copy; the payload bytes themselves are never modified.
+type BuffersWriter interface {
+	WriteBuffers(bufs [][]byte) (int64, error)
+}
+
+// WriteBuffers writes all slices in bufs to w, using the vectored path when
+// w implements BuffersWriter and falling back to sequential writes
+// otherwise. Both paths honour the in-place consumption contract of
+// BuffersWriter, so callers can resume after a partial write.
+func WriteBuffers(w io.Writer, bufs [][]byte) (int64, error) {
+	if bw, ok := w.(BuffersWriter); ok {
+		return bw.WriteBuffers(bufs)
+	}
+	var total int64
+	for i := range bufs {
+		for len(bufs[i]) > 0 {
+			n, err := w.Write(bufs[i])
+			bufs[i] = bufs[i][n:]
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		bufs[i] = nil
+	}
+	return total, nil
+}
+
 // Listener accepts inbound connections on one address.
 type Listener interface {
 	Accept() (Conn, error)
