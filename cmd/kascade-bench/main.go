@@ -7,6 +7,7 @@
 //	kascade-bench -run all -scale 1     # everything at paper file sizes
 //	kascade-bench -run fig15 -reps 10   # tighter confidence intervals
 //	kascade-bench -engine -json BENCH_1.json   # engine microbenchmarks
+//	kascade-bench -chaos -seed 1 -json CHAOS_1.json   # recovery benchmarks
 //
 // Absolute throughputs come from a calibrated simulator (see DESIGN.md §2);
 // the shapes — who wins, by what factor, where the crossovers are — are the
@@ -14,10 +15,13 @@
 // -engine mode instead runs real broadcasts over the in-memory fabric
 // (the same harness as `go test -bench Engine`) and writes a
 // machine-readable JSON file so successive PRs can track the hot-path
-// trajectory.
+// trajectory. The -chaos mode runs the full fault-injection scenario
+// matrix (internal/chaos) at bench-sized payloads and records the
+// recovery-latency distributions next to the delivery verdicts.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"kascade/internal/benchkit"
+	"kascade/internal/chaos"
 	"kascade/internal/experiments"
 )
 
@@ -88,6 +93,89 @@ func runEngineBench(path string) error {
 	return nil
 }
 
+// chaosScenarioRow is one scenario's verdict and latency summary in the
+// machine-readable chaos report.
+type chaosScenarioRow struct {
+	Name       string             `json:"name"`
+	Nodes      int                `json:"nodes"`
+	Faults     int                `json:"faults"`
+	OK         bool               `json:"ok"`
+	CheckErr   string             `json:"check_err,omitempty"`
+	ElapsedMs  float64            `json:"elapsed_ms"`
+	DetectMs   benchkit.Quantiles `json:"detect_ms"`
+	ResumeMs   benchkit.Quantiles `json:"resume_ms"`
+	Recoveries int                `json:"recoveries"`
+}
+
+// chaosReport is the artifact `kascade-bench -chaos -json` writes.
+type chaosReport struct {
+	Seed      int64              `json:"seed"`
+	Scenarios []chaosScenarioRow `json:"scenarios"`
+	DetectMs  benchkit.Quantiles `json:"detect_ms"`
+	ResumeMs  benchkit.Quantiles `json:"resume_ms"`
+}
+
+// runChaosBench sweeps the full (bench-sized) chaos matrix and writes the
+// recovery report. A failing scenario prints its reproduction recipe and
+// makes the run exit non-zero.
+func runChaosBench(seed int64, path string) error {
+	scenarios := chaos.Matrix(seed, true)
+	results := chaos.RunMatrix(context.Background(), scenarios)
+	rep := chaosReport{Seed: seed}
+	var allDetect, allResume []float64
+	failures := 0
+	for _, res := range results {
+		var detect, resume []float64
+		for _, rec := range res.Recoveries {
+			if rec.Detected {
+				detect = append(detect, float64(rec.DetectLatency)/1e6)
+			}
+			if rec.Resumed {
+				resume = append(resume, float64(rec.ResumeLatency)/1e6)
+			}
+		}
+		allDetect = append(allDetect, detect...)
+		allResume = append(allResume, resume...)
+		row := chaosScenarioRow{
+			Name:       res.Scenario.Name,
+			Nodes:      res.Scenario.Nodes,
+			Faults:     len(res.Scenario.Faults),
+			OK:         true,
+			ElapsedMs:  float64(res.Elapsed) / 1e6,
+			DetectMs:   benchkit.Summarize(detect),
+			ResumeMs:   benchkit.Summarize(resume),
+			Recoveries: len(res.Recoveries),
+		}
+		if err := chaos.Check(res); err != nil {
+			row.OK = false
+			row.CheckErr = err.Error()
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n%s\n", res.Scenario.Name, err, res.Scenario.Repro(seed))
+		}
+		fmt.Printf("%-28s nodes=%-3d faults=%d ok=%-5v %8.0f ms  detect p50 %6.1f ms  resume p50 %6.1f ms\n",
+			row.Name, row.Nodes, row.Faults, row.OK, row.ElapsedMs, row.DetectMs.P50, row.ResumeMs.P50)
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+	rep.DetectMs = benchkit.Summarize(allDetect)
+	rep.ResumeMs = benchkit.Summarize(allResume)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("overall: %d scenarios, detect p50/p90/max %.1f/%.1f/%.1f ms, resume p50/p90/max %.1f/%.1f/%.1f ms\nwrote %s\n",
+		len(rep.Scenarios),
+		rep.DetectMs.P50, rep.DetectMs.P90, rep.DetectMs.Max,
+		rep.ResumeMs.P50, rep.ResumeMs.P90, rep.ResumeMs.Max, path)
+	if failures > 0 {
+		return fmt.Errorf("%d scenario(s) failed their recovery invariants", failures)
+	}
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment id to run (or 'all' / 'figures')")
@@ -95,11 +183,19 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "file-size scale factor (1 = paper sizes)")
 	seed := flag.Int64("seed", 1, "jitter seed")
 	engine := flag.Bool("engine", false, "benchmark the real protocol engine instead of the simulator")
-	jsonPath := flag.String("json", "BENCH_1.json", "output path for -engine results")
+	chaosRun := flag.Bool("chaos", false, "run the fault-injection scenario matrix and record recovery latencies")
+	jsonPath := flag.String("json", "BENCH_1.json", "output path for -engine / -chaos results")
 	flag.Parse()
 
 	if *engine {
 		if err := runEngineBench(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "kascade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosRun {
+		if err := runChaosBench(*seed, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "kascade-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"kascade/internal/core"
 	"kascade/internal/iolimit"
@@ -80,6 +81,42 @@ func EngineOptions(chunk int) core.Options {
 	return core.Options{
 		ChunkSize:    chunk,
 		WindowChunks: 32,
+	}
+}
+
+// Quantiles summarises a latency sample for machine-readable reports
+// (recovery-latency distributions in the chaos bench, hot-path latencies
+// elsewhere). All values carry the caller's unit.
+type Quantiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	Max float64 `json:"max"`
+}
+
+// Summarize computes Quantiles over an unsorted sample (nearest-rank
+// percentiles); a nil or empty sample yields the zero value.
+func Summarize(sample []float64) Quantiles {
+	if len(sample) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Quantiles{
+		N:   len(s),
+		P50: rank(0.50),
+		P90: rank(0.90),
+		Max: s[len(s)-1],
 	}
 }
 

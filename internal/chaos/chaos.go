@@ -1,0 +1,178 @@
+// Package chaos is a deterministic fault-injection engine for the Kascade
+// protocol (§III-D of the paper): it executes scripted or seeded fault
+// schedules — node crash, restart, symmetric and asymmetric partitions,
+// rate collapse, write stall, slow receiver — against a real broadcast
+// running over transport.Fabric, and asserts the recovery invariants the
+// paper claims: bit-perfect delivery on every survivor, correct victim
+// naming in the ring report, and bounded recovery time.
+//
+// Faults fire at byte-offset marks (observed through the engine's trace
+// seam, core.Tracer, never by sleeping) or at wall-clock marks. A schedule
+// is reproducible from a single seed: chaos.Generate derives randomized
+// schedules, chaos.Matrix sweeps {node count × fault kind} clusters, and a
+// failing scenario prints the exact `-chaos.seed` command that replays it.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FaultKind enumerates the injectable faults.
+type FaultKind string
+
+const (
+	// Crash kills the victim host permanently: listeners close, live
+	// connections reset, dials refused (transport.Fabric.Kill).
+	Crash FaultKind = "crash"
+	// Restart crashes the victim and revives it Delay later: the fabric
+	// host comes back and a fresh node with the same pipeline index
+	// re-runs. Depending on how fast the predecessor's detector fired,
+	// the reborn node is either re-adopted (resuming via FORGET/PGET at
+	// a file-backed source) or stays routed around.
+	Restart FaultKind = "restart"
+	// Partition cuts both directions between the victim and Peer; bytes
+	// stall and dials are refused until Delay heals it (0 = permanent).
+	Partition FaultKind = "partition"
+	// AsymPartition cuts only the Peer->victim direction: the victim
+	// falls silent downstream while its own frames still flow upstream.
+	AsymPartition FaultKind = "asym-partition"
+	// RateCollapse reshapes the Peer->victim link to Rate bytes/s on the
+	// LIVE connection, restoring the scenario link rate after Delay.
+	RateCollapse FaultKind = "rate-collapse"
+	// WriteStall pauses existing Peer->victim connections (no bytes move,
+	// no error) for Delay; fresh dials — liveness probes — still succeed,
+	// exercising the §III-D1 slow-but-alive discipline.
+	WriteStall FaultKind = "write-stall"
+	// SlowSink throttles the victim's local sink to Rate bytes/s for
+	// Delay (0 = rest of the run): the slow-receiver case.
+	SlowSink FaultKind = "slow-sink"
+)
+
+// Mark is a fault trigger: a byte-offset watch on one node's ingested
+// bytes, a wall-clock delay from transfer start, or (zero value) right at
+// start. Byte marks are observed through the trace seam, so they fire on
+// the chunk boundary that crosses Bytes.
+type Mark struct {
+	// Node is the pipeline index whose ingress is watched (byte marks).
+	Node int `json:"node,omitempty"`
+	// Bytes triggers once Node has ingested at least this many bytes.
+	Bytes uint64 `json:"bytes,omitempty"`
+	// After triggers this long after the session starts (used when
+	// Bytes is 0).
+	After time.Duration `json:"after,omitempty"`
+}
+
+func (m Mark) String() string {
+	if m.Bytes > 0 {
+		return fmt.Sprintf("when node %d reached %d B", m.Node, m.Bytes)
+	}
+	if m.After > 0 {
+		return fmt.Sprintf("at t+%v", m.After)
+	}
+	return "at start"
+}
+
+// Fault is one scheduled injection.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// Victim is the pipeline index the fault targets (never 0).
+	Victim int `json:"victim"`
+	// Peer is the other endpoint for link faults; -1 selects the victim's
+	// schedule-time upstream neighbour (Victim-1).
+	Peer int `json:"peer,omitempty"`
+	// When triggers the injection.
+	When Mark `json:"when"`
+	// Delay is the heal/revive/resume delay after injection; 0 means the
+	// fault is permanent (or, for SlowSink, lasts the whole run).
+	Delay time.Duration `json:"delay,omitempty"`
+	// Rate parameterises RateCollapse and SlowSink, in bytes/second.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// peerIndex resolves the link-fault counterpart.
+func (f Fault) peerIndex() int {
+	if f.Peer >= 0 {
+		return f.Peer
+	}
+	return f.Victim - 1
+}
+
+func (f Fault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on node %d", f.Kind, f.Victim)
+	switch f.Kind {
+	case Partition, AsymPartition, RateCollapse, WriteStall:
+		fmt.Fprintf(&b, " (link from node %d)", f.peerIndex())
+	}
+	fmt.Fprintf(&b, " %s", f.When)
+	if f.Delay > 0 {
+		fmt.Fprintf(&b, ", healed after %v", f.Delay)
+	}
+	if f.Rate > 0 {
+		fmt.Fprintf(&b, ", rate %.0f B/s", f.Rate)
+	}
+	return b.String()
+}
+
+// Scenario is one self-contained chaos run: pipeline shape, payload,
+// pacing and fault schedule. Scenarios are plain data so a failing one can
+// be printed and replayed verbatim.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed is the generator seed that produced the schedule (0 for the
+	// handcrafted matrix clusters).
+	Seed  int64 `json:"seed,omitempty"`
+	Nodes int   `json:"nodes"`
+	// PayloadSize is the broadcast size in bytes.
+	PayloadSize int64 `json:"payload_size"`
+	ChunkSize   int   `json:"chunk_size"`
+	// WindowChunks is the per-node replay window.
+	WindowChunks int `json:"window_chunks"`
+	// Stream selects the streamed source (abandon cascade on FORGET)
+	// instead of the file-backed one (gap fetches always succeed).
+	Stream bool `json:"stream,omitempty"`
+	// LinkRate paces every fabric link (bytes/s) so byte marks land
+	// mid-transfer; 0 leaves links unshaped.
+	LinkRate float64 `json:"link_rate,omitempty"`
+	// MinThroughput enables the §V exclusion extension in the engine.
+	MinThroughput float64 `json:"min_throughput,omitempty"`
+	// Timeout is the hard scenario budget (bounded-recovery assertion);
+	// defaulted by Run when 0.
+	Timeout time.Duration `json:"timeout,omitempty"`
+	Faults  []Fault       `json:"faults"`
+}
+
+// Schedule renders the fault schedule, one line per fault.
+func (sc Scenario) Schedule() string {
+	if len(sc.Faults) == 0 {
+		return "  (no faults)"
+	}
+	lines := make([]string, len(sc.Faults))
+	for i, f := range sc.Faults {
+		lines[i] = "  " + f.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Repro returns the one-command reproduction recipe plus the schedule, for
+// failure messages.
+func (sc Scenario) Repro(seed int64) string {
+	return fmt.Sprintf(
+		"reproduce: go test ./internal/chaos -race -run 'TestChaosMatrix/%s' -chaos.seed=%d\nschedule (%d nodes, %d B payload, %d B chunks, window %d, stream=%v):\n%s",
+		sc.Name, seed, sc.Nodes, sc.PayloadSize, sc.ChunkSize, sc.WindowChunks, sc.Stream, sc.Schedule())
+}
+
+// victims returns the distinct fault targets, in schedule order.
+func (sc Scenario) victims() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range sc.Faults {
+		if !seen[f.Victim] {
+			seen[f.Victim] = true
+			out = append(out, f.Victim)
+		}
+	}
+	return out
+}

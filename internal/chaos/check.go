@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check asserts the paper's recovery invariants over one Result:
+//
+//  1. the sender completed inside the scenario's time budget (bounded
+//     recovery: a hung pipeline is the worst failure mode);
+//  2. no sink ever diverged from the source prefix — bit-perfect bytes,
+//     even on nodes that later died;
+//  3. every survivor (not reported failed, not abandoned, no terminal
+//     error) holds the complete payload;
+//  4. victim naming is correct: the ring report only names nodes that were
+//     actually faulted, abandoned, or died — a healthy node must never be
+//     reported;
+//  5. every permanently crashed victim is accounted for: named in the ring
+//     report unless it finished its copy before the crash landed;
+//  6. each detected failure was detected within DetectBudget.
+//
+// It returns nil when every invariant holds, or an error listing every
+// violation.
+func Check(res *Result) error {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	if res.Err != "" {
+		fail("harness: %s", res.Err)
+	}
+	if res.Report == nil {
+		fail("no ring report reached the sender")
+		return fmt.Errorf("chaos: %s", strings.Join(bad, "; "))
+	}
+
+	victims := map[int]bool{}
+	for _, v := range res.Scenario.victims() {
+		victims[v] = true
+	}
+
+	for _, out := range res.Outcomes {
+		if out.Index == 0 {
+			continue
+		}
+		if out.Corrupt {
+			fail("node %d sink diverged from the source prefix", out.Index)
+		}
+		reported := res.Report.Failed(out.Index)
+		survivor := !reported && !out.Abandoned && out.Err == ""
+		if survivor && !out.Complete {
+			fail("survivor node %d incomplete: %d of %d bytes",
+				out.Index, out.ReceivedBytes, res.Scenario.PayloadSize)
+		}
+		if reported && !victims[out.Index] && !out.Abandoned && out.Err == "" {
+			fail("healthy node %d named in the ring report", out.Index)
+		}
+	}
+
+	for _, inj := range res.Injections {
+		if inj.Fault.Kind != Crash {
+			continue
+		}
+		out := res.Outcomes[inj.Fault.Victim]
+		if !res.Report.Failed(inj.Fault.Victim) && !out.Complete {
+			fail("crashed node %d neither reported nor complete", inj.Fault.Victim)
+		}
+	}
+
+	for _, rec := range res.Recoveries {
+		if rec.Detected && rec.DetectLatency > DetectBudget {
+			fail("failure of node %d took %v to detect (budget %v)",
+				rec.Victim, rec.DetectLatency, DetectBudget)
+		}
+	}
+
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("chaos: %s", strings.Join(bad, "; "))
+}

@@ -1,0 +1,499 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kascade/internal/benchkit"
+	"kascade/internal/core"
+	"kascade/internal/transport"
+)
+
+// Injection records one applied fault and when it landed.
+type Injection struct {
+	Fault Fault         `json:"fault"`
+	At    time.Duration `json:"at"` // since session start
+}
+
+// Recovery measures the engine's reaction to one injected fault:
+// DetectLatency is injection → the victim's failure being recorded by some
+// survivor; ResumeLatency is injection → the first chunk ingested by the
+// victim's nearest surviving downstream node after detection (the pipeline
+// flowing again past the hole).
+type Recovery struct {
+	Victim        int           `json:"victim"`
+	Detected      bool          `json:"detected"`
+	DetectLatency time.Duration `json:"detect_latency"`
+	Resumed       bool          `json:"resumed"`
+	ResumeLatency time.Duration `json:"resume_latency"`
+}
+
+// NodeOutcome is the terminal state of one pipeline slot.
+type NodeOutcome struct {
+	Index         int    `json:"index"`
+	Err           string `json:"err,omitempty"`
+	Abandoned     bool   `json:"abandoned,omitempty"`
+	AbandonReason string `json:"abandon_reason,omitempty"`
+	ReceivedBytes uint64 `json:"received_bytes"`
+	// Complete means the sink holds exactly the source payload.
+	Complete bool `json:"complete"`
+	// Corrupt means the sink diverged from the source prefix — always a
+	// bug, even on a node that later died.
+	Corrupt bool `json:"corrupt,omitempty"`
+	// Reborn marks a slot whose outcome is the restarted node's.
+	Reborn bool `json:"reborn,omitempty"`
+}
+
+// Result is everything one chaos run produced.
+type Result struct {
+	Scenario   Scenario      `json:"scenario"`
+	Report     *core.Report  `json:"report,omitempty"`
+	Elapsed    time.Duration `json:"elapsed"`
+	Outcomes   []NodeOutcome `json:"outcomes"`
+	Injections []Injection   `json:"injections"`
+	Recoveries []Recovery    `json:"recoveries"`
+	// Err is a harness-level failure: sender error, or the scenario
+	// blowing its Timeout budget (the bounded-recovery bound).
+	Err string `json:"err,omitempty"`
+}
+
+// chaosOptions are the engine options every scenario runs with: timeouts
+// scaled for fast in-memory iteration, batching disabled so byte-offset
+// marks trigger on chunk boundaries.
+func (sc Scenario) options() core.Options {
+	return core.Options{
+		ChunkSize:           sc.ChunkSize,
+		WindowChunks:        sc.WindowChunks,
+		MaxBatchBytes:       1, // below ChunkSize: one chunk per write
+		WriteStallTimeout:   100 * time.Millisecond,
+		PingTimeout:         60 * time.Millisecond,
+		DialTimeout:         250 * time.Millisecond,
+		DialRetries:         2,
+		GetTimeout:          time.Second,
+		FetchTimeout:        3 * time.Second,
+		ReportTimeout:       3 * time.Second,
+		UpstreamIdleTimeout: 1500 * time.Millisecond,
+		MinThroughput:       sc.MinThroughput,
+		SlowNodeGrace:       300 * time.Millisecond,
+	}
+}
+
+// DetectBudget bounds how long the engine may take to record an injected
+// failure under the scenario options; Check enforces it per recovery.
+const DetectBudget = 3 * time.Second
+
+// prefixSink verifies bytes against the expected payload as they arrive
+// and optionally throttles (the slow-receiver fault). Any divergence is
+// remembered as corruption; a prefix is always acceptable (aborted nodes
+// legitimately hold partial data).
+type prefixSink struct {
+	want []byte
+	rate atomic.Uint64 // bytes/s; 0 = full speed
+
+	mu      sync.Mutex
+	off     int
+	corrupt bool
+}
+
+func (s *prefixSink) Write(p []byte) (int, error) {
+	if r := s.rate.Load(); r > 0 {
+		time.Sleep(time.Duration(float64(len(p)) / float64(r) * float64(time.Second)))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.off + len(p)
+	if end > len(s.want) || !bytes.Equal(p, s.want[s.off:end]) {
+		s.corrupt = true
+	}
+	s.off = end
+	return len(p), nil
+}
+
+func (s *prefixSink) state() (received int, corrupt bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off, s.corrupt
+}
+
+// runner drives one scenario.
+type runner struct {
+	sc      Scenario
+	fabric  *transport.Fabric
+	payload []byte
+	sinks   []*prefixSink
+	sess    *core.Session
+	start   time.Time
+
+	mu         sync.Mutex
+	ingested   []uint64          // per-index high-water of TraceChunk
+	pending    []Fault           // byte-mark faults not yet applied
+	injections []Injection
+	events     []core.TraceEvent
+
+	rebornMu sync.Mutex
+	reborn   map[int]*rebornNode
+	rebornWG sync.WaitGroup
+
+	timers   []*time.Timer
+	timersMu sync.Mutex
+}
+
+type rebornNode struct {
+	sink *prefixSink
+	node *core.Node
+	err  error
+	done chan struct{}
+}
+
+// Run executes one scenario end-to-end and returns its Result. The context
+// bounds the whole run on top of the scenario's own Timeout budget.
+func Run(ctx context.Context, sc Scenario) *Result {
+	if sc.Timeout <= 0 {
+		sc.Timeout = 30 * time.Second
+	}
+	r := &runner{
+		sc:       sc,
+		fabric:   transport.NewFabric(sc.ChunkSize),
+		payload:  benchkit.Payload(sc.PayloadSize, 42),
+		ingested: make([]uint64, sc.Nodes),
+		reborn:   make(map[int]*rebornNode),
+	}
+	defer r.stopTimers()
+	if sc.LinkRate > 0 {
+		r.fabric.SetDefaultProfile(transport.Profile{Rate: sc.LinkRate})
+	}
+
+	peers := make([]core.Peer, sc.Nodes)
+	r.sinks = make([]*prefixSink, sc.Nodes)
+	for i := range peers {
+		peers[i] = core.Peer{Name: r.host(i), Addr: r.host(i) + ":7000"}
+		r.sinks[i] = &prefixSink{want: r.payload}
+	}
+
+	cfg := core.SessionConfig{
+		Peers:      peers,
+		Opts:       sc.options(),
+		NetworkFor: func(i int) transport.Network { return r.fabric.Host(peers[i].Name) },
+		SinkFor:    func(i int) io.Writer { return r.sinks[i] },
+		Trace:      r.onTrace,
+	}
+	if sc.Stream {
+		cfg.Input = bytes.NewReader(r.payload)
+	} else {
+		cfg.InputFile = benchkit.NewReaderAt(r.payload)
+		cfg.InputSize = sc.PayloadSize
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sess, err := core.StartSession(runCtx, cfg)
+	if err != nil {
+		return &Result{Scenario: sc, Err: fmt.Sprintf("start: %v", err)}
+	}
+	r.sess = sess
+	r.start = time.Now()
+	r.armSchedule()
+
+	res := &Result{Scenario: sc}
+	done := make(chan *core.SessionResult, 1)
+	go func() {
+		sres, _ := sess.Wait()
+		done <- sres
+	}()
+	var sres *core.SessionResult
+	select {
+	case sres = <-done:
+	case <-time.After(sc.Timeout):
+		// Bounded recovery violated: ask for a graceful QUIT, then give
+		// the epilogue a short grace before declaring the run hung.
+		res.Err = fmt.Sprintf("scenario exceeded its %v budget", sc.Timeout)
+		cancel()
+		select {
+		case sres = <-done:
+		case <-time.After(10 * time.Second):
+			res.Err = "scenario hung past budget + grace; nodes leaked"
+			return res
+		}
+	}
+	res.Elapsed = time.Since(r.start)
+
+	// Wait for restarted nodes to settle.
+	rebornDone := make(chan struct{})
+	go func() { r.rebornWG.Wait(); close(rebornDone) }()
+	select {
+	case <-rebornDone:
+	case <-time.After(10 * time.Second):
+		if res.Err == "" {
+			res.Err = "restarted node never finished"
+		}
+	}
+
+	r.assemble(res, sres)
+	return res
+}
+
+func (r *runner) host(i int) string { return fmt.Sprintf("n%d", i+1) }
+
+// armSchedule starts wall-clock faults and registers byte-mark faults.
+func (r *runner) armSchedule() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.sc.Faults {
+		f := f
+		if f.When.Bytes > 0 {
+			r.pending = append(r.pending, f)
+			continue
+		}
+		r.afterFunc(f.When.After, func() { r.inject(f) })
+	}
+}
+
+// afterFunc is time.AfterFunc with shutdown tracking.
+func (r *runner) afterFunc(d time.Duration, fn func()) {
+	r.timersMu.Lock()
+	defer r.timersMu.Unlock()
+	r.timers = append(r.timers, time.AfterFunc(d, fn))
+}
+
+func (r *runner) stopTimers() {
+	r.timersMu.Lock()
+	defer r.timersMu.Unlock()
+	for _, t := range r.timers {
+		t.Stop()
+	}
+}
+
+// onTrace is the core.Tracer: it records every event and fires byte-mark
+// faults synchronously at the chunk boundary that crossed them, which is
+// what makes a seeded schedule reproduce the same interleaving class run
+// after run (no polling, no sleeps).
+func (r *runner) onTrace(ev core.TraceEvent) {
+	var due []Fault
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	if ev.Kind == core.TraceChunk && ev.Node < len(r.ingested) {
+		if ev.Offset > r.ingested[ev.Node] {
+			r.ingested[ev.Node] = ev.Offset
+		}
+		keep := r.pending[:0]
+		for _, f := range r.pending {
+			if f.When.Node == ev.Node && r.ingested[ev.Node] >= f.When.Bytes {
+				due = append(due, f)
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		r.pending = keep
+	}
+	r.mu.Unlock()
+	for _, f := range due {
+		r.inject(f)
+	}
+}
+
+// inject applies one fault now and schedules its heal, if any.
+func (r *runner) inject(f Fault) {
+	victim := r.host(f.Victim)
+	peer := r.host(f.peerIndex())
+	// Timestamp before applying: a crash resets pipes synchronously, so
+	// the first TraceFailureDetected can land before this function
+	// returns and must not predate the recorded injection time.
+	at := time.Since(r.start)
+	switch f.Kind {
+	case Crash:
+		r.fabric.Kill(victim)
+	case Restart:
+		r.fabric.Kill(victim)
+		d := f.Delay
+		if d <= 0 {
+			d = 100 * time.Millisecond
+		}
+		r.afterFunc(d, func() { r.revive(f.Victim) })
+	case Partition:
+		r.fabric.Partition(peer, victim)
+		if f.Delay > 0 {
+			r.afterFunc(f.Delay, func() { r.fabric.Heal(peer, victim) })
+		}
+	case AsymPartition:
+		r.fabric.PartitionOneWay(peer, victim)
+		if f.Delay > 0 {
+			r.afterFunc(f.Delay, func() { r.fabric.HealOneWay(peer, victim) })
+		}
+	case RateCollapse:
+		r.fabric.SetLiveProfile(peer, victim, transport.Profile{Rate: f.Rate})
+		if f.Delay > 0 {
+			r.afterFunc(f.Delay, func() {
+				r.fabric.SetLiveProfile(peer, victim, transport.Profile{Rate: r.sc.LinkRate})
+			})
+		}
+	case WriteStall:
+		r.fabric.StallLink(peer, victim)
+		if f.Delay > 0 {
+			r.afterFunc(f.Delay, func() { r.fabric.ResumeLink(peer, victim) })
+		}
+	case SlowSink:
+		r.sinks[f.Victim].rate.Store(uint64(f.Rate))
+		if f.Delay > 0 {
+			r.afterFunc(f.Delay, func() { r.sinks[f.Victim].rate.Store(0) })
+		}
+	}
+	r.mu.Lock()
+	r.injections = append(r.injections, Injection{Fault: f, At: at})
+	r.mu.Unlock()
+}
+
+// revive brings a crashed host back as a fresh node in the same pipeline
+// slot: the fabric host returns, a new listener binds the old address, and
+// a brand-new engine instance re-runs index Victim. Whether the pipeline
+// re-adopts it (FORGET → gap fetch from the sender) or turns it away with
+// QUIT(excluded) depends on how far detection got — both are valid
+// recoveries that Check accepts.
+func (r *runner) revive(idx int) {
+	host := r.host(idx)
+	r.fabric.Revive(host)
+	network := r.fabric.Host(host)
+	l, err := network.Listen(r.sess.Plan.Peers[idx].Addr)
+	if err != nil {
+		return // e.g. the scenario ended and the address namespace is gone
+	}
+	rb := &rebornNode{sink: &prefixSink{want: r.payload}, done: make(chan struct{})}
+	node, err := core.NewNode(core.NodeConfig{
+		Index:    idx,
+		Plan:     r.sess.Plan,
+		Network:  network,
+		Listener: l,
+		Sink:     rb.sink,
+		Trace:    r.onTrace,
+	})
+	if err != nil {
+		l.Close()
+		return
+	}
+	rb.node = node
+	r.rebornMu.Lock()
+	r.reborn[idx] = rb
+	r.rebornMu.Unlock()
+	r.rebornWG.Add(1)
+	go func() {
+		defer r.rebornWG.Done()
+		_, rerr := node.Run(context.Background())
+		rb.err = rerr
+		close(rb.done)
+	}()
+}
+
+// assemble folds session results, reborn outcomes and trace events into
+// the Result.
+func (r *runner) assemble(res *Result, sres *core.SessionResult) {
+	r.mu.Lock()
+	res.Injections = append([]Injection(nil), r.injections...)
+	events := append([]core.TraceEvent(nil), r.events...)
+	r.mu.Unlock()
+
+	if sres != nil {
+		res.Report = sres.Report
+		if res.Report == nil && len(r.sess.Nodes) > 0 {
+			// Sender failed; keep whatever its merged view was.
+			res.Report = &core.Report{}
+		}
+		if res.Err == "" && sres.NodeErrs[0] != nil {
+			res.Err = fmt.Sprintf("sender: %v", sres.NodeErrs[0])
+		}
+	}
+
+	res.Outcomes = make([]NodeOutcome, r.sc.Nodes)
+	for i := 0; i < r.sc.Nodes; i++ {
+		out := NodeOutcome{Index: i}
+		node := r.sess.Nodes[i]
+		sink := r.sinks[i]
+		var nerr error
+		if sres != nil {
+			nerr = sres.NodeErrs[i]
+		}
+		r.rebornMu.Lock()
+		rb := r.reborn[i]
+		r.rebornMu.Unlock()
+		if rb != nil {
+			// The slot's terminal state is the restarted node's.
+			out.Reborn = true
+			sink = rb.sink
+			nerr = rb.err
+			node = rb.node
+		}
+		if nerr != nil {
+			out.Err = nerr.Error()
+		}
+		out.Abandoned = node.Abandoned()
+		out.AbandonReason = node.AbandonReason()
+		received, corrupt := sink.state()
+		out.ReceivedBytes = uint64(received)
+		out.Corrupt = corrupt
+		out.Complete = !corrupt && int64(received) == r.sc.PayloadSize
+		res.Outcomes[i] = out
+	}
+
+	res.Recoveries = r.extractRecoveries(res, events)
+}
+
+// extractRecoveries computes per-injection detection and resume latencies
+// from the trace events.
+func (r *runner) extractRecoveries(res *Result, events []core.TraceEvent) []Recovery {
+	crashed := map[int]bool{}
+	for _, inj := range res.Injections {
+		if inj.Fault.Kind == Crash {
+			crashed[inj.Fault.Victim] = true
+		}
+	}
+	var out []Recovery
+	for _, inj := range res.Injections {
+		switch inj.Fault.Kind {
+		case Crash, Restart, Partition, AsymPartition:
+		default:
+			continue // healed-in-place faults need not be "detected"
+		}
+		injAt := r.start.Add(inj.At)
+		rec := Recovery{Victim: inj.Fault.Victim}
+		var detectedAt time.Time
+		for _, ev := range events {
+			if ev.Kind == core.TraceFailureDetected && ev.Peer == inj.Fault.Victim && !ev.At.Before(injAt) {
+				if !rec.Detected || ev.At.Before(detectedAt) {
+					rec.Detected = true
+					detectedAt = ev.At
+				}
+			}
+		}
+		if rec.Detected {
+			rec.DetectLatency = detectedAt.Sub(injAt)
+			// First chunk at the nearest surviving downstream node after
+			// detection: the pipeline flows again past the hole.
+			succ := -1
+			for s := inj.Fault.Victim + 1; s < r.sc.Nodes; s++ {
+				if !crashed[s] {
+					succ = s
+					break
+				}
+			}
+			if succ > 0 {
+				var resumedAt time.Time
+				for _, ev := range events {
+					if ev.Kind == core.TraceChunk && ev.Node == succ && !ev.At.Before(detectedAt) {
+						if !rec.Resumed || ev.At.Before(resumedAt) {
+							rec.Resumed = true
+							resumedAt = ev.At
+						}
+					}
+				}
+				if rec.Resumed {
+					rec.ResumeLatency = resumedAt.Sub(injAt)
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Shape fixes the non-fault dimensions of generated scenarios.
+type Shape struct {
+	Nodes        int
+	PayloadSize  int64
+	ChunkSize    int
+	WindowChunks int
+	LinkRate     float64
+	Stream       bool
+}
+
+// DefaultShape is the CI-sized scenario shape: small enough that a full
+// matrix runs in seconds, paced so byte marks land mid-transfer.
+func DefaultShape(nodes int) Shape {
+	return Shape{
+		Nodes:        nodes,
+		PayloadSize:  256 << 10,
+		ChunkSize:    8 << 10,
+		WindowChunks: 8,
+		LinkRate:     4 << 20,
+	}
+}
+
+// Generate derives one randomized scenario from a seed: 1–3 faults of
+// random kinds on distinct victims, triggered at random byte marks in the
+// first half of the transfer. The same (seed, shape) always yields the
+// same schedule — the reproduction contract behind `-chaos.seed`.
+func Generate(seed int64, shape Shape) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []FaultKind{Crash, Restart, Partition, AsymPartition, RateCollapse, WriteStall, SlowSink}
+
+	maxFaults := 3
+	if shape.Nodes-1 < maxFaults {
+		maxFaults = shape.Nodes - 1
+	}
+	nf := rng.Intn(maxFaults) + 1
+	perm := rng.Perm(shape.Nodes - 1) // victims drawn without replacement
+	sc := Scenario{
+		Name:         fmt.Sprintf("gen/n=%d/seed=%d", shape.Nodes, seed),
+		Seed:         seed,
+		Nodes:        shape.Nodes,
+		PayloadSize:  shape.PayloadSize,
+		ChunkSize:    shape.ChunkSize,
+		WindowChunks: shape.WindowChunks,
+		LinkRate:     shape.LinkRate,
+		Stream:       shape.Stream,
+	}
+	for i := 0; i < nf; i++ {
+		victim := perm[i] + 1
+		kind := kinds[rng.Intn(len(kinds))]
+		f := Fault{
+			Kind:   kind,
+			Victim: victim,
+			Peer:   -1,
+			When: Mark{
+				Node:  victim,
+				Bytes: uint64(shape.PayloadSize/8) + uint64(rng.Int63n(shape.PayloadSize/2)),
+			},
+		}
+		switch kind {
+		case Crash:
+			// Permanent.
+		case Restart:
+			f.Delay = time.Duration(80+rng.Intn(220)) * time.Millisecond
+		case Partition, AsymPartition:
+			// Always heal: a black-holed link with nobody reconnecting
+			// would park the victim until its idle timeout anyway; the
+			// heal keeps scenario wall time bounded.
+			f.Delay = time.Duration(200+rng.Intn(400)) * time.Millisecond
+		case RateCollapse:
+			f.Delay = time.Duration(200+rng.Intn(300)) * time.Millisecond
+			f.Rate = float64(2<<10) * float64(1+rng.Intn(4))
+		case WriteStall:
+			f.Delay = time.Duration(150+rng.Intn(250)) * time.Millisecond
+		case SlowSink:
+			f.Delay = time.Duration(200+rng.Intn(300)) * time.Millisecond
+			f.Rate = float64(64<<10) * float64(1+rng.Intn(4))
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}

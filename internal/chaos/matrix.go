@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// MatrixNodeCounts are the pipeline lengths every fault kind is swept
+// across.
+var MatrixNodeCounts = []int{3, 7, 16}
+
+// Matrix builds the scenario matrix: every fault kind × every node count,
+// plus the compound clusters (adjacent double crash, tail crash, §V
+// exclusion, streamed-source abandon cascade) and one seeded random
+// schedule per node count. `full` selects bench-sized payloads; CI and
+// `go test` run the shrunk shape.
+func Matrix(seed int64, full bool) []Scenario {
+	shapeFor := func(nodes int) Shape {
+		s := DefaultShape(nodes)
+		if full {
+			s.PayloadSize = 2 << 20
+			s.ChunkSize = 32 << 10
+			s.LinkRate = 16 << 20
+		}
+		return s
+	}
+
+	var out []Scenario
+	add := func(name string, shape Shape, mut func(*Scenario)) {
+		sc := Scenario{
+			Name:         name,
+			Nodes:        shape.Nodes,
+			PayloadSize:  shape.PayloadSize,
+			ChunkSize:    shape.ChunkSize,
+			WindowChunks: shape.WindowChunks,
+			LinkRate:     shape.LinkRate,
+			Stream:       shape.Stream,
+			Timeout:      20 * time.Second,
+		}
+		mut(&sc)
+		out = append(out, sc)
+	}
+
+	for _, n := range MatrixNodeCounts {
+		n := n
+		shape := shapeFor(n)
+		victim := n / 2
+		mark := Mark{Node: victim, Bytes: uint64(shape.PayloadSize / 4)}
+
+		add(fmt.Sprintf("crash/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: Crash, Victim: victim, Peer: -1, When: mark}}
+		})
+		add(fmt.Sprintf("restart/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: Restart, Victim: victim, Peer: -1, When: mark, Delay: 120 * time.Millisecond}}
+		})
+		add(fmt.Sprintf("partition/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: Partition, Victim: victim, Peer: -1, When: mark, Delay: 400 * time.Millisecond}}
+		})
+		add(fmt.Sprintf("asym-partition/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: AsymPartition, Victim: victim, Peer: -1, When: mark, Delay: 400 * time.Millisecond}}
+		})
+		add(fmt.Sprintf("rate-collapse/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: RateCollapse, Victim: victim, Peer: -1, When: mark, Delay: 300 * time.Millisecond, Rate: 8 << 10}}
+		})
+		add(fmt.Sprintf("write-stall/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: WriteStall, Victim: victim, Peer: -1, When: mark, Delay: 250 * time.Millisecond}}
+		})
+		add(fmt.Sprintf("slow-sink/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: SlowSink, Victim: victim, Peer: -1, When: mark, Delay: 300 * time.Millisecond, Rate: 192 << 10}}
+		})
+	}
+
+	// Adjacent double crash: one replay recovery plus one skip-over-two.
+	for _, n := range []int{7, 16} {
+		shape := shapeFor(n)
+		v := n / 2
+		add(fmt.Sprintf("double-crash/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{
+				{Kind: Crash, Victim: v, Peer: -1, When: Mark{Node: v, Bytes: uint64(shape.PayloadSize / 4)}},
+				{Kind: Crash, Victim: v + 1, Peer: -1, When: Mark{Node: v + 1, Bytes: uint64(shape.PayloadSize / 4)}},
+			}
+		})
+	}
+
+	// Tail crash: the predecessor becomes the tail and must still close
+	// the report ring.
+	{
+		shape := shapeFor(7)
+		add("tail-crash/n=7", shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: Crash, Victim: 6, Peer: -1, When: Mark{Node: 6, Bytes: uint64(shape.PayloadSize / 4)}}}
+		})
+	}
+
+	// §V exclusion: a permanent rate collapse below MinThroughput gets the
+	// victim excluded (named in the report with an "excluded" reason)
+	// instead of stalling the whole pipeline.
+	{
+		shape := shapeFor(7)
+		add("rate-exclusion/n=7", shape, func(sc *Scenario) {
+			sc.MinThroughput = 64 << 10
+			sc.Faults = []Fault{{Kind: RateCollapse, Victim: 3, Peer: -1,
+				When: Mark{Node: 3, Bytes: uint64(shape.PayloadSize / 4)}, Rate: 16 << 10}}
+		})
+	}
+
+	// Streamed source + crash with a tiny replay window: the gap can
+	// outgrow every window, forcing the FORGET → abandon cascade.
+	for _, n := range []int{3, 7} {
+		shape := shapeFor(n)
+		shape.Stream = true
+		shape.WindowChunks = 4
+		v := n / 2
+		add(fmt.Sprintf("stream-crash/n=%d", n), shape, func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: Crash, Victim: v, Peer: -1, When: Mark{Node: v, Bytes: uint64(shape.PayloadSize / 3)}}}
+		})
+	}
+
+	// Seeded random schedules: the generator's scenario diversity, pinned
+	// by -chaos.seed.
+	for _, n := range MatrixNodeCounts {
+		out = append(out, Generate(seed+int64(n), shapeFor(n)))
+	}
+
+	return out
+}
+
+// RunMatrix executes every scenario in order and returns the results;
+// scenarios run sequentially so their timing assertions do not disturb
+// each other.
+func RunMatrix(ctx context.Context, scenarios []Scenario) []*Result {
+	out := make([]*Result, 0, len(scenarios))
+	for _, sc := range scenarios {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, Run(ctx, sc))
+	}
+	return out
+}

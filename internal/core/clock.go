@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the engine's single source of time: every deadline, retry pause
+// and epilogue timer in the protocol goes through it. Production nodes use
+// the system clock; deterministic tests inject a FakeClock so recovery
+// paths that otherwise wait on wall-clock timers (upstream-idle, report
+// delivery, dial retry pacing) run without sleeping.
+type Clock interface {
+	// Now returns the current time. It feeds both elapsed-time measurement
+	// and the absolute deadlines handed to transport connections, so a
+	// non-system Clock must only be combined with transports that share
+	// its notion of time (or with paths that never hit those deadlines).
+	Now() time.Time
+	// After returns a channel that fires once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// NewTimer returns a stoppable single-shot timer firing after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the stoppable half of Clock.NewTimer.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+// SystemClock returns the wall-clock Clock every node uses by default.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (systemClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (systemClock) NewTimer(d time.Duration) Timer         { return sysTimer{time.NewTimer(d)} }
+
+type sysTimer struct{ t *time.Timer }
+
+func (t sysTimer) C() <-chan time.Time { return t.t.C }
+func (t sysTimer) Stop() bool          { return t.t.Stop() }
+
+// FakeClock is a manually advanced Clock for deterministic tests: timers
+// fire only when Advance crosses their deadline, so a test drives an
+// upstream-idle timeout or a retry backoff in microseconds of real time.
+// Do not combine it with real network deadlines (see Clock.Now).
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeTimer
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	return c.NewTimer(d).C()
+}
+
+// Sleep blocks until another goroutine advances the clock past d.
+func (c *FakeClock) Sleep(d time.Duration) { <-c.After(d) }
+
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	t := &fakeTimer{ch: make(chan time.Time, 1)}
+	c.mu.Lock()
+	t.clock = c
+	t.at = c.now.Add(d)
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+	} else {
+		c.waiters = append(c.waiters, t)
+	}
+	c.mu.Unlock()
+	return t
+}
+
+// Advance moves the clock forward, firing every timer whose deadline is
+// crossed, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*fakeTimer
+	remaining := c.waiters[:0]
+	for _, t := range c.waiters {
+		if !t.at.After(c.now) {
+			due = append(due, t)
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	c.waiters = remaining
+	now := c.now
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, t := range due {
+		if !t.stopped {
+			t.fired = true
+			t.ch <- now
+		}
+	}
+	c.mu.Unlock()
+}
+
+type fakeTimer struct {
+	clock   *FakeClock
+	at      time.Time
+	ch      chan time.Time
+	fired   bool
+	stopped bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}

@@ -81,9 +81,10 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, erro
 		n.recordFailure(succ, fmt.Sprintf("dial failed: %v", err), n.st.Head())
 		return outcomeDead, nil
 	}
-	w := newWire(conn)
+	w := n.newWire(conn)
 	w.out = &stallWriter{
 		conn:   conn,
+		now:    n.clk.Now,
 		stall:  n.opts.WriteStallTimeout,
 		budget: n.opts.FetchTimeout,
 		probe:  func() bool { return n.probe(peer.Addr) },
@@ -141,9 +142,9 @@ streamLoop:
 				batch = append(batch, next)
 				batchBytes += len(next.bytes())
 			}
-			wStart := time.Now()
+			wStart := n.clk.Now()
 			werr := w.writeDataBatch(batch)
-			writing += time.Since(wStart)
+			writing += n.clk.Now().Sub(wStart)
 			releaseBatch()
 			if werr != nil {
 				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
@@ -257,9 +258,9 @@ func (n *Node) deliverRingReport(rep *Report) error {
 	if err != nil {
 		return err
 	}
-	w := newWire(c)
+	w := n.newWire(c)
 	defer w.close()
-	_ = c.SetWriteDeadline(time.Now().Add(n.opts.ReportTimeout))
+	w.setWriteDeadlineIn(n.opts.ReportTimeout)
 	if err := w.writeHello(RoleReport, n.cfg.Index); err != nil {
 		return err
 	}
@@ -287,7 +288,7 @@ func (n *Node) dialPeer(addr string) (transport.Conn, error) {
 			return c, nil
 		}
 		lastErr = err
-		time.Sleep(n.opts.pollInterval())
+		n.clk.Sleep(n.opts.pollInterval())
 	}
 	return nil, lastErr
 }
@@ -323,11 +324,21 @@ func (n *Node) expectType(ctx context.Context, w *wire, succ int, addr string, w
 		w.setReadDeadlineIn(stall)
 		typ, err := w.readType()
 		if err == nil {
-			if typ != want {
-				n.recordFailure(succ, (&errProtocol{want: want, got: typ}).Error(), n.st.Head())
-				return outcomeDead, nil
+			if typ == want {
+				return outcomeOK, nil
 			}
-			return outcomeOK, nil
+			if typ == MsgQuit {
+				// QUIT(excluded) on a dialed data connection means the
+				// successor rejected us in favour of a closer
+				// predecessor (a rejoin or post-exclusion steal
+				// attempt): step aside, the successor is healthy.
+				if reason, rerr := w.readQuit(); rerr == nil && reason == QuitExcluded {
+					n.stepAside("superseded: successor is served by a closer predecessor")
+					return outcomeTerminal, ErrExcluded
+				}
+			}
+			n.recordFailure(succ, (&errProtocol{want: want, got: typ}).Error(), n.st.Head())
+			return outcomeDead, nil
 		}
 		if transport.IsTimeout(err) {
 			remaining -= stall
@@ -367,6 +378,7 @@ func (n *Node) readGet(ctx context.Context, w *wire, succ int, addr string, budg
 // stopped; an unanswered ping confirms death (§III-D1).
 type stallWriter struct {
 	conn   transport.Conn
+	now    func() time.Time
 	stall  time.Duration
 	budget time.Duration // total patience with a live-but-stuck peer
 	probe  func() bool
@@ -401,7 +413,7 @@ func (s *stallWriter) WriteBuffers(bufs [][]byte) (int64, error) {
 		if len(pending) == 0 {
 			return total, nil
 		}
-		_ = s.conn.SetWriteDeadline(time.Now().Add(s.stall))
+		_ = s.conn.SetWriteDeadline(s.now().Add(s.stall))
 		nn, err := transport.WriteBuffers(s.conn, pending)
 		total += nn
 		if err == nil {

@@ -28,7 +28,6 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"kascade/internal/transport"
 )
@@ -48,6 +47,10 @@ type NodeConfig struct {
 	// Only meaningful for receivers (Index > 0).
 	Sink io.Writer
 
+	// Trace observes this node's recovery-path state transitions (failure
+	// detection, rewiring, gap fetches). Nil disables tracing. See trace.go.
+	Trace Tracer
+
 	// Source input (Index 0 only): either a random-access file...
 	InputFile io.ReaderAt
 	InputSize int64
@@ -59,6 +62,7 @@ type NodeConfig struct {
 type Node struct {
 	cfg  NodeConfig
 	opts Options
+	clk  Clock
 	st   store
 	ws   *windowStore // non-nil iff st is a window store
 	pool *chunkPool   // recycled payload buffers for the relay hot path
@@ -136,6 +140,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		cfg:     cfg,
 		opts:    opts,
+		clk:     opts.Clock,
 		upConns: make(chan *upstreamConn, 4),
 		reportC: make(chan struct{}),
 		passedC: make(chan struct{}),
@@ -181,12 +186,29 @@ func (n *Node) peers() []Peer {
 	return n.cfg.Plan.Peers
 }
 
+// newWire wraps a connection with this node's clock as deadline source.
+func (n *Node) newWire(c transport.Conn) *wire {
+	w := newWire(c)
+	w.now = n.clk.Now
+	return w
+}
+
 // Run participates in the broadcast until completion. It returns the final
 // report: at the sender this is the ring report aggregating every detected
 // failure; at receivers it is the node's merged view. The caller context
 // aborts the transfer gracefully (QUIT), giving the pipeline ReportTimeout
 // to close its ring before hard shutdown.
 func (n *Node) Run(ctx context.Context) (*Report, error) {
+	rep, err := n.run(ctx)
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	n.emit(TraceFinished, -1, n.bytesIn.Load(), detail)
+	return rep, err
+}
+
+func (n *Node) run(ctx context.Context) (*Report, error) {
 	ictx, cancel := context.WithCancel(context.Background())
 	n.ictx, n.cancel = ictx, cancel
 	defer cancel()
@@ -205,7 +227,7 @@ func (n *Node) Run(ctx context.Context) (*Report, error) {
 				n.st.Abort(ErrQuit)
 			}
 			select {
-			case <-time.After(n.opts.ReportTimeout):
+			case <-n.clk.After(n.opts.ReportTimeout):
 				cancel()
 			case <-bridgeDone:
 			}
@@ -246,7 +268,7 @@ func (n *Node) Run(ctx context.Context) (*Report, error) {
 			if err != nil {
 				return n.snapshotReport(), err
 			}
-		case <-time.After(n.opts.ReportTimeout):
+		case <-n.clk.After(n.opts.ReportTimeout):
 			n.shutdown(fmt.Errorf("kascade: timed out relaying PASSED upstream"))
 			<-upErrC
 			return n.snapshotReport(), fmt.Errorf("kascade: timed out relaying PASSED upstream")
@@ -271,7 +293,7 @@ func (n *Node) Run(ctx context.Context) (*Report, error) {
 		rep := n.ringReport.Clone()
 		n.mu.Unlock()
 		return rep, nil
-	case <-time.After(n.opts.ReportTimeout):
+	case <-n.clk.After(n.opts.ReportTimeout):
 		return n.snapshotReport(), fmt.Errorf("kascade: final report never arrived")
 	}
 }
@@ -360,7 +382,7 @@ func (n *Node) acceptLoop() {
 }
 
 func (n *Node) handleConn(c transport.Conn) {
-	w := newWire(c)
+	w := n.newWire(c)
 	w.setReadDeadlineIn(n.opts.GetTimeout)
 	typ, err := w.readType()
 	if err != nil || typ != MsgHello {
@@ -377,7 +399,7 @@ func (n *Node) handleConn(c transport.Conn) {
 		// Liveness probe (§III-D1): answer promptly even mid-transfer.
 		w.setReadDeadlineIn(n.opts.PingTimeout)
 		if typ, err := w.readType(); err == nil && typ == MsgPing {
-			_ = c.SetWriteDeadline(time.Now().Add(n.opts.PingTimeout))
+			w.setWriteDeadlineIn(n.opts.PingTimeout)
 			_ = w.writePong()
 		}
 		_ = w.close()
@@ -412,8 +434,8 @@ func (n *Node) probe(addr string) bool {
 		return false
 	}
 	defer c.Close()
-	_ = c.SetDeadline(time.Now().Add(n.opts.PingTimeout))
-	w := newWire(c)
+	_ = c.SetDeadline(n.clk.Now().Add(n.opts.PingTimeout))
+	w := n.newWire(c)
 	if err := w.writeHello(RolePing, n.cfg.Index); err != nil {
 		return false
 	}
@@ -444,7 +466,7 @@ func (n *Node) serveFetch(w *wire, from int) {
 			// Streamed source recycled its buffer: the requester
 			// must abandon. Record it now so the sender's final
 			// report accounts for the cascade (§III-D2).
-			_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+			w.setWriteDeadlineIn(n.opts.GetTimeout)
 			_ = w.writeForget(fe.Base)
 			n.recordFailure(from, fmt.Sprintf("abandoned: offset %d recycled at sender (min %d)", off, fe.Base), off)
 			return
@@ -455,7 +477,7 @@ func (n *Node) serveFetch(w *wire, from int) {
 		if rem := hi - off; uint64(len(payload)) > rem {
 			payload = payload[:rem]
 		}
-		_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.FetchTimeout))
+		w.setWriteDeadlineIn(n.opts.FetchTimeout)
 		werr := w.writeData(payload)
 		c.release()
 		if werr != nil {
@@ -463,7 +485,7 @@ func (n *Node) serveFetch(w *wire, from int) {
 		}
 		off += uint64(len(payload))
 	}
-	_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+	w.setWriteDeadlineIn(n.opts.GetTimeout)
 	_ = w.writeEnd(hi)
 }
 
@@ -485,7 +507,7 @@ func (n *Node) receiveRingReport(w *wire) {
 	rep.Merge(&Report{Failures: append([]Failure(nil), n.detected...)})
 	n.mu.Unlock()
 	n.setRingReport(rep)
-	_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+	w.setWriteDeadlineIn(n.opts.GetTimeout)
 	_ = w.writePassed()
 }
 
@@ -514,12 +536,13 @@ func (n *Node) upstreamLoop(ctx context.Context) error {
 		}
 		// The paper's deadlock-avoidance rule: GET is sent on every
 		// new connection, carrying our current offset.
-		_ = cur.w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+		cur.w.setWriteDeadlineIn(n.opts.GetTimeout)
 		if err := cur.w.writeGet(n.st.Head()); err != nil {
 			_ = cur.w.close()
 			cur = nil
 			continue
 		}
+		n.emit(TraceUpstreamAccepted, cur.from, n.st.Head(), "")
 		repl, err := n.serveUpstream(ctx, cur)
 		if err == errUpstreamDone {
 			_ = cur.w.close()
@@ -530,19 +553,22 @@ func (n *Node) upstreamLoop(ctx context.Context) error {
 			return err
 		}
 		_ = cur.w.close()
+		if repl == nil {
+			n.emit(TraceUpstreamLost, cur.from, n.st.Head(), "")
+		}
 		cur = repl // replacement conn, or nil to wait for one
 	}
 }
 
 func (n *Node) awaitUpstream(ctx context.Context) (*upstreamConn, error) {
-	timer := time.NewTimer(n.opts.UpstreamIdleTimeout)
+	timer := n.clk.NewTimer(n.opts.UpstreamIdleTimeout)
 	defer timer.Stop()
 	select {
 	case uc := <-n.upConns:
 		return uc, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-timer.C:
+	case <-timer.C():
 		return nil, fmt.Errorf("kascade: no predecessor connected within %v", n.opts.UpstreamIdleTimeout)
 	}
 }
@@ -571,7 +597,7 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 			if acceptReplacement(uc, repl) {
 				return repl, nil
 			}
-			_ = repl.w.close()
+			n.rejectReplacement(repl)
 		default:
 		}
 		w.setReadDeadlineIn(poll)
@@ -633,7 +659,7 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 				n.abandon(fmt.Sprintf("gap [%d,%d) unrecoverable: %v", n.st.Head(), base, ferr))
 				return nil, ErrAbandoned
 			}
-			_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+			w.setWriteDeadlineIn(n.opts.GetTimeout)
 			if err := w.writeGet(n.st.Head()); err != nil {
 				return nil, nil
 			}
@@ -650,7 +676,7 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 			if repl != nil {
 				return repl, nil
 			}
-			_ = w.conn.SetWriteDeadline(time.Now().Add(n.opts.ReportTimeout))
+			w.setWriteDeadlineIn(n.opts.ReportTimeout)
 			if err := w.writePassed(); err != nil {
 				return nil, nil
 			}
@@ -674,11 +700,23 @@ func (n *Node) awaitPassedPhase(ctx context.Context, cur *upstreamConn) (*upstre
 			if acceptReplacement(cur, repl) {
 				return repl, nil
 			}
-			_ = repl.w.close()
+			n.rejectReplacement(repl)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// rejectReplacement turns away a would-be predecessor that lost to the
+// current one (a farther node trying to steal its former successor back,
+// e.g. after an exclusion or a restart). The explicit QUIT(excluded) tells
+// the rejected dialer to step aside instead of misreading the closed
+// connection as "my successor is dead" — without it, a rejoining node
+// would walk the pipeline recording healthy successors as failures.
+func (n *Node) rejectReplacement(repl *upstreamConn) {
+	repl.w.setWriteDeadlineIn(n.opts.GetTimeout)
+	_ = repl.w.writeQuit(QuitExcluded)
+	_ = repl.w.close()
 }
 
 // ingest stores and sinks one received chunk, consuming the caller's
@@ -700,7 +738,7 @@ func (n *Node) ingest(c *chunk) error {
 		n.abandon(fmt.Sprintf("sink write failed: %v", sinkErr))
 		return ErrAbandoned
 	}
-	n.bytesIn.Add(size)
+	n.emit(TraceChunk, -1, n.bytesIn.Add(size), "")
 	return nil
 }
 
@@ -713,6 +751,7 @@ func (n *Node) fetchGap(ctx context.Context, from, to uint64) error {
 	if from >= to {
 		return nil
 	}
+	n.emit(TraceGapFetchStart, 0, from, fmt.Sprintf("to %d", to))
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if ctx.Err() != nil {
@@ -721,10 +760,16 @@ func (n *Node) fetchGap(ctx context.Context, from, to uint64) error {
 		// Restart from wherever the previous attempt got to.
 		err := n.fetchGapOnce(n.st.Head(), to)
 		if err == nil || errors.Is(err, ErrAbandoned) {
+			detail := "ok"
+			if err != nil {
+				detail = err.Error()
+			}
+			n.emit(TraceGapFetchDone, 0, n.st.Head(), detail)
 			return err
 		}
 		lastErr = err
 	}
+	n.emit(TraceGapFetchDone, 0, n.st.Head(), lastErr.Error())
 	return lastErr
 }
 
@@ -736,9 +781,9 @@ func (n *Node) fetchGapOnce(from, to uint64) error {
 	if err != nil {
 		return fmt.Errorf("kascade: dialing sender for gap fetch: %w", err)
 	}
-	w := newWire(c)
+	w := n.newWire(c)
 	defer w.close()
-	_ = c.SetWriteDeadline(time.Now().Add(n.opts.GetTimeout))
+	w.setWriteDeadlineIn(n.opts.GetTimeout)
 	if err := w.writeHello(RoleFetch, n.cfg.Index); err != nil {
 		return err
 	}
@@ -791,6 +836,7 @@ func (n *Node) abandon(reason string) {
 	if already {
 		return
 	}
+	n.emit(TraceAbandoned, -1, n.bytesIn.Load(), reason)
 	_ = n.cfg.Listener.Close()
 	n.st.Abort(ErrAbandoned)
 }
@@ -817,6 +863,7 @@ func (n *Node) stepAside(reason string) {
 	if already {
 		return
 	}
+	n.emit(TraceSteppedAside, -1, n.bytesIn.Load(), reason)
 	_ = n.cfg.Listener.Close()
 	n.st.Abort(ErrExcluded)
 }
@@ -841,9 +888,9 @@ func (n *Node) recordFailure(idx int, reason string, off uint64) {
 		return
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, f := range n.detected {
 		if f.Index == idx {
+			n.mu.Unlock()
 			return
 		}
 	}
@@ -854,6 +901,8 @@ func (n *Node) recordFailure(idx int, reason string, off uint64) {
 		Offset:     off,
 		DetectedBy: n.me().Name,
 	})
+	n.mu.Unlock()
+	n.emit(TraceFailureDetected, idx, off, reason)
 }
 
 func (n *Node) isFailedPeer(idx int) bool {

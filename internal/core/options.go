@@ -62,6 +62,12 @@ type Options struct {
 	// SlowNodeGrace is the observation window before a slow successor
 	// is excluded (default 10 s when MinThroughput is set).
 	SlowNodeGrace time.Duration
+
+	// Clock is the node's time source: deadlines, retry pacing and
+	// epilogue timers all go through it, so deterministic tests can
+	// substitute a fake. Nil selects the system clock. It is local
+	// configuration, never serialised in agent start messages.
+	Clock Clock `json:"-"`
 }
 
 // withDefaults fills in zero fields with production defaults.
@@ -95,6 +101,9 @@ func (o Options) withDefaults() Options {
 	def(&o.UpstreamIdleTimeout, time.Minute)
 	if o.MinThroughput > 0 {
 		def(&o.SlowNodeGrace, 10*time.Second)
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock()
 	}
 	return o
 }

@@ -32,6 +32,10 @@ type SessionConfig struct {
 
 	// SinkFor returns receiver i's local sink (nil to discard).
 	SinkFor func(i int) io.Writer
+
+	// Trace observes every node's recovery-path transitions (each event
+	// carries the emitting node's index). Nil disables tracing.
+	Trace Tracer
 }
 
 // SessionResult aggregates the outcome of an in-process broadcast.
@@ -127,6 +131,7 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 			Plan:     plan,
 			Network:  cfg.NetworkFor(i),
 			Listener: listeners[i],
+			Trace:    cfg.Trace,
 		}
 		if i == 0 {
 			nc.InputFile = cfg.InputFile

@@ -1,0 +1,97 @@
+package core
+
+import "time"
+
+// TraceKind enumerates the recovery-path state transitions a node can
+// report through its Tracer. The trace seam exists so fault-injection
+// harnesses (internal/chaos) can observe detection, rewiring and replay
+// without polling or sleeping — the paper's §III-D machinery becomes
+// assertable instead of demo-ware.
+type TraceKind int
+
+const (
+	// TraceChunk fires after a payload chunk was ingested (window append +
+	// sink write); Offset is the node's new total of received bytes.
+	TraceChunk TraceKind = iota + 1
+	// TraceFailureDetected fires when this node records a peer failure;
+	// Peer is the victim's pipeline index, Detail the reason.
+	TraceFailureDetected
+	// TraceUpstreamAccepted fires when a (new or replacement) predecessor
+	// connection is adopted and GET was sent; Peer is the predecessor's
+	// index, Offset the requested resume offset.
+	TraceUpstreamAccepted
+	// TraceUpstreamLost fires when the current predecessor connection
+	// broke and the node starts waiting for a replacement.
+	TraceUpstreamLost
+	// TraceGapFetchStart / TraceGapFetchDone bracket a §III-D2 PGET gap
+	// fetch from the sender; Offset is the fetch start offset.
+	TraceGapFetchStart
+	TraceGapFetchDone
+	// TraceAbandoned fires when the node gives up after unrecoverable
+	// loss; TraceSteppedAside when it was excluded for slowness (§V).
+	TraceAbandoned
+	TraceSteppedAside
+	// TraceFinished fires when the node's Run returns; Detail carries the
+	// terminal error, if any.
+	TraceFinished
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceChunk:
+		return "chunk"
+	case TraceFailureDetected:
+		return "failure-detected"
+	case TraceUpstreamAccepted:
+		return "upstream-accepted"
+	case TraceUpstreamLost:
+		return "upstream-lost"
+	case TraceGapFetchStart:
+		return "gap-fetch-start"
+	case TraceGapFetchDone:
+		return "gap-fetch-done"
+	case TraceAbandoned:
+		return "abandoned"
+	case TraceSteppedAside:
+		return "stepped-aside"
+	case TraceFinished:
+		return "finished"
+	default:
+		return "trace(?)"
+	}
+}
+
+// TraceEvent is one recovery-path observation.
+type TraceEvent struct {
+	// Node is the pipeline index of the emitting node.
+	Node int
+	Kind TraceKind
+	// Peer is the counterpart pipeline index (victim, predecessor), or -1.
+	Peer int
+	// Offset is a byte offset or byte total, depending on Kind.
+	Offset uint64
+	// Detail is a human-readable annotation (failure reason, error).
+	Detail string
+	// At is the emitting node's clock reading.
+	At time.Time
+}
+
+// Tracer receives trace events. It may be called concurrently from several
+// of the node's goroutines and must not block: the ingest hot path emits
+// TraceChunk inline.
+type Tracer func(TraceEvent)
+
+// emit reports a state transition to the configured tracer, if any.
+func (n *Node) emit(kind TraceKind, peer int, off uint64, detail string) {
+	if n.cfg.Trace == nil {
+		return
+	}
+	n.cfg.Trace(TraceEvent{
+		Node:   n.cfg.Index,
+		Kind:   kind,
+		Peer:   peer,
+		Offset: off,
+		Detail: detail,
+		At:     n.clk.Now(),
+	})
+}

@@ -112,15 +112,16 @@ const maxFrameData = 1 << 28
 type wire struct {
 	conn transport.Conn
 	br   *bufio.Reader
-	out  io.Writer // conn, or a stallWriter wrapping it
-	hdr  [17]byte  // scratch header buffer
+	out  io.Writer        // conn, or a stallWriter wrapping it
+	now  func() time.Time // deadline base, injectable via Options.Clock
+	hdr  [17]byte         // scratch header buffer
 
 	hdrs []byte   // scratch DATA headers for vectored batches (5 B each)
 	vec  [][]byte // scratch iovec: header, payload, header, payload, ...
 }
 
 func newWire(c transport.Conn) *wire {
-	return &wire{conn: c, br: bufio.NewReaderSize(c, 64<<10), out: c}
+	return &wire{conn: c, br: bufio.NewReaderSize(c, 64<<10), out: c, now: time.Now}
 }
 
 func (w *wire) close() error { return w.conn.Close() }
@@ -332,5 +333,10 @@ func (w *wire) setReadDeadlineIn(d time.Duration) {
 		_ = w.conn.SetReadDeadline(time.Time{})
 		return
 	}
-	_ = w.conn.SetReadDeadline(time.Now().Add(d))
+	_ = w.conn.SetReadDeadline(w.now().Add(d))
+}
+
+// setWriteDeadlineIn sets the connection write deadline d from now.
+func (w *wire) setWriteDeadlineIn(d time.Duration) {
+	_ = w.conn.SetWriteDeadline(w.now().Add(d))
 }

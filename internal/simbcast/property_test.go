@@ -1,10 +1,12 @@
 package simbcast
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"kascade/internal/chaos"
 	"kascade/internal/simnet"
 	"kascade/internal/topology"
 )
@@ -64,6 +66,47 @@ func TestKascadeAnyFailureSetCompletesQuick(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: churn on the REAL engine — for any chaos-generated fault
+// schedule (crashes, restarts, partitions, rate collapses, stalls, slow
+// sinks at seeded byte marks), every non-abandoned node's received bytes
+// equal the source payload: no sink ever diverges from the source prefix,
+// and every survivor holds the complete copy. This is the engine-level
+// counterpart of the model property above, closing the loop between the
+// simulator's claim and the implementation's behaviour.
+func TestEngineChurnDeliveryQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine churn property is not short")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := chaos.DefaultShape(rng.Intn(6) + 3)
+		shape.Stream = rng.Intn(4) == 0
+		sc := chaos.Generate(seed, shape)
+		res := chaos.Run(context.Background(), sc)
+		if err := chaos.Check(res); err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, sc.Repro(seed))
+			return false
+		}
+		// The stated property, asserted directly on top of Check: a node
+		// that did not abandon and did not die must hold the full payload
+		// bit-for-bit; any node, dead or alive, must hold a clean prefix.
+		for _, out := range res.Outcomes[1:] {
+			if out.Corrupt {
+				t.Logf("seed %d: node %d corrupt", seed, out.Index)
+				return false
+			}
+			if !out.Abandoned && out.Err == "" && !res.Report.Failed(out.Index) && !out.Complete {
+				t.Logf("seed %d: survivor %d incomplete", seed, out.Index)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -111,6 +111,83 @@ func TestMultiSite(t *testing.T) {
 	}
 }
 
+// TestDegeneratePlans pins the degenerate shapes the chaos matrix drives
+// the engine through: a lone sender, a two-node pipeline, and the
+// "all dead but the sender" outcome where the effective order collapses to
+// a single survivor. The ordering helpers must stay total (no panics, no
+// off-by-ones) at these edges.
+func TestDegeneratePlans(t *testing.T) {
+	cases := []struct {
+		name          string
+		switches, per int
+		wantNodes     int
+		wantCrossings int
+		wantMaxLoad   int
+	}{
+		{"one-node", 1, 1, 1, 0, 0},
+		{"two-nodes-one-switch", 1, 2, 2, 0, 0},
+		{"two-nodes-two-switches", 2, 1, 2, 1, 1},
+		{"three-nodes", 1, 3, 3, 0, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := FatTree("n", tc.switches, tc.per, Gigabit, TenGigabit)
+			if len(c.Nodes) != tc.wantNodes {
+				t.Fatalf("nodes = %d, want %d", len(c.Nodes), tc.wantNodes)
+			}
+			o := c.TopologyOrder()
+			if err := c.Validate(o); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.UplinkCrossings(o); got != tc.wantCrossings {
+				t.Errorf("crossings = %d, want %d", got, tc.wantCrossings)
+			}
+			if got := c.MaxUplinkLoad(o); got != tc.wantMaxLoad {
+				t.Errorf("max uplink load = %d, want %d", got, tc.wantMaxLoad)
+			}
+			// RandomOrder of a degenerate cluster is still a permutation
+			// with the sender fixed (a 1-node shuffle must not panic).
+			ro := c.RandomOrder(7)
+			if err := c.Validate(ro); err != nil {
+				t.Fatal(err)
+			}
+			if ro[0] != o[0] {
+				t.Error("random order moved the sender")
+			}
+			if names := c.Names(o); len(names) != tc.wantNodes || names[0] != "n1" {
+				t.Errorf("names: %v", names)
+			}
+		})
+	}
+}
+
+// TestAllDeadButSender: when every receiver dies, the surviving "order" is
+// the sender alone. A single-element order is only valid for a
+// single-node cluster — on a larger cluster Validate must reject it (the
+// plan describes the full pipeline; survivorship is the engine's runtime
+// concern, not a shorter permutation).
+func TestAllDeadButSender(t *testing.T) {
+	c := FatTree("n", 2, 3, Gigabit, TenGigabit)
+	if err := c.Validate(Order{0}); err == nil {
+		t.Error("truncated survivor order accepted as a plan for 6 nodes")
+	}
+	solo := FatTree("n", 1, 1, Gigabit, TenGigabit)
+	if err := solo.Validate(Order{0}); err != nil {
+		t.Errorf("single-node order rejected: %v", err)
+	}
+	if got := solo.UplinkCrossings(Order{0}); got != 0 {
+		t.Errorf("lone sender crossings = %d", got)
+	}
+	if got := solo.MaxUplinkLoad(Order{0}); got != 0 {
+		t.Errorf("lone sender uplink load = %d", got)
+	}
+	// Empty orders are never valid, even for an empty cluster query.
+	if err := c.Validate(Order{}); err == nil {
+		t.Error("empty order accepted")
+	}
+}
+
 // Property: RandomOrder always yields a valid permutation with the sender
 // fixed, for any cluster shape and seed.
 func TestRandomOrderQuick(t *testing.T) {

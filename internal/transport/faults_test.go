@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// fabricPair dials b from a and returns both connection ends.
+func fabricPair(t *testing.T, f *Fabric) (dialer, accepted Conn) {
+	t.Helper()
+	l, err := f.Host("b").Listen(":1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c, err := f.Host("a").Dial("b:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestPartitionStallsAndRefusesDials(t *testing.T) {
+	f := NewFabric(0)
+	c, s := fabricPair(t, f)
+
+	// Pre-partition traffic flows.
+	if _, err := c.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Partition("a", "b")
+	if !f.Partitioned("a", "b") || !f.Partitioned("b", "a") {
+		t.Fatal("partition state not recorded")
+	}
+
+	// Writes stall (deadline fires, no reset), both directions.
+	c.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := c.Write([]byte("x")); !IsTimeout(err) {
+		t.Fatalf("a->b write through partition: %v", err)
+	}
+	s.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := s.Write([]byte("y")); !IsTimeout(err) {
+		t.Fatalf("b->a write through partition: %v", err)
+	}
+
+	// Dials are refused in both directions.
+	if _, err := f.Host("a").Dial("b:1", 100*time.Millisecond); !IsReset(err) && !IsTimeout(err) && err == nil {
+		t.Fatal("dial through partition succeeded")
+	}
+
+	// Heal: the stalled bytes arrive, nothing was lost.
+	f.Heal("a", "b")
+	c.SetWriteDeadline(time.Time{})
+	if _, err := c.Write([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	buf = make([]byte, 6) // "x" retried by caller is gone; only "post" plus the stalled "x"?
+	// The timed-out 1-byte write never entered the buffer (pause blocks
+	// before buffering), so exactly "post" arrives.
+	buf = buf[:4]
+	if _, err := io.ReadFull(s, buf); err != nil || !bytes.Equal(buf, []byte("post")) {
+		t.Fatalf("after heal got %q, %v", buf, err)
+	}
+	if _, err := f.Host("a").Dial("b:1", time.Second); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestPartitionOneWayLeavesReverseFlowing(t *testing.T) {
+	f := NewFabric(0)
+	c, s := fabricPair(t, f)
+	f.PartitionOneWay("a", "b")
+
+	c.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := c.Write([]byte("x")); !IsTimeout(err) {
+		t.Fatalf("cut direction should stall: %v", err)
+	}
+	// Reverse direction still delivers.
+	if _, err := s.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || !bytes.Equal(buf, []byte("ok")) {
+		t.Fatalf("reverse read: %q, %v", buf, err)
+	}
+	// Dials are refused either way (the handshake crosses the cut).
+	if _, err := f.Host("b").Dial("a:9", 50*time.Millisecond); err == nil {
+		t.Fatal("reverse dial should fail: no listener AND partition")
+	}
+	f.HealOneWay("a", "b")
+	c.SetWriteDeadline(time.Time{})
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallLinkKeepsDialsAlive(t *testing.T) {
+	f := NewFabric(0)
+	c, s := fabricPair(t, f)
+	f.StallLink("a", "b")
+
+	c.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := c.Write([]byte("x")); !IsTimeout(err) {
+		t.Fatalf("stalled link should time out writes: %v", err)
+	}
+	// Unlike a partition, fresh dials succeed: the host is slow, not gone.
+	c2, err := f.Host("a").Dial("b:1", time.Second)
+	if err != nil {
+		t.Fatalf("dial during stall: %v", err)
+	}
+	c2.Close()
+
+	f.ResumeLink("a", "b")
+	c.SetWriteDeadline(time.Time{})
+	if _, err := c.Write([]byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(s, buf); err != nil || !bytes.Equal(buf, []byte("go")) {
+		t.Fatalf("after resume: %q, %v", buf, err)
+	}
+}
+
+func TestSetLiveProfileCollapsesAndRestoresRate(t *testing.T) {
+	f := NewFabric(1 << 20)
+	c, s := fabricPair(t, f)
+	go io.Copy(io.Discard, s)
+
+	// Unshaped: 256 KiB goes out almost instantly.
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("unshaped write took %v", d)
+	}
+
+	// Collapse to 256 KiB/s: the same write now takes ~1 s; give up via
+	// deadline to keep the test fast, proving the collapse took effect on
+	// the LIVE connection.
+	f.SetLiveProfile("a", "b", Profile{Rate: 256 << 10})
+	c.SetWriteDeadline(time.Now().Add(80 * time.Millisecond))
+	n, err := c.Write(make([]byte, 256<<10))
+	if !IsTimeout(err) {
+		t.Fatalf("collapsed write finished too fast: n=%d err=%v", n, err)
+	}
+
+	// Restore: full speed again.
+	f.SetLiveProfile("a", "b", Profile{})
+	c.SetWriteDeadline(time.Time{})
+	start = time.Now()
+	if _, err := c.Write(make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("restored write took %v", d)
+	}
+}

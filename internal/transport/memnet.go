@@ -21,6 +21,8 @@ type Fabric struct {
 	down      map[string]bool         // hosts that were killed
 	conns     map[*pipeConn]string    // open endpoints -> owning host
 	profiles  map[string]Profile      // "src->dst" host pair -> shaping
+	cut       map[string]bool         // "src->dst" partitioned directions
+	stalled   map[string][]*halfPipe  // "src->dst" -> pipes paused by a fault
 	bufSize   int
 }
 
@@ -32,6 +34,8 @@ func NewFabric(bufSize int) *Fabric {
 		down:      make(map[string]bool),
 		conns:     make(map[*pipeConn]string),
 		profiles:  make(map[string]Profile),
+		cut:       make(map[string]bool),
+		stalled:   make(map[string][]*halfPipe),
 		bufSize:   bufSize,
 	}
 }
@@ -92,6 +96,123 @@ func (f *Fabric) Revive(host string) {
 	delete(f.down, host)
 	f.mu.Unlock()
 }
+
+// dirConns returns the open endpoints whose egress direction is src->dst.
+// Caller holds f.mu. Each logical connection appears exactly once: the
+// endpoint living on src that writes towards dst.
+func (f *Fabric) dirConns(src, dst string) []*pipeConn {
+	var out []*pipeConn
+	for c := range f.conns {
+		if hostOf(c.local) == src && hostOf(c.remote) == dst {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// pauseDir stalls the src->dst direction of every open connection and
+// remembers the affected pipes, so a later resume reaches them even after
+// one endpoint closed its handle (a predecessor that declared the victim
+// dead and hung up mid-partition). cut additionally blocks new dials.
+func (f *Fabric) pauseDir(src, dst string, cut bool) {
+	key := src + "->" + dst
+	f.mu.Lock()
+	if cut {
+		f.cut[key] = true
+	}
+	var pipes []*halfPipe
+	for _, c := range f.dirConns(src, dst) {
+		pipes = append(pipes, c.tx)
+	}
+	f.stalled[key] = append(f.stalled[key], pipes...)
+	f.mu.Unlock()
+	for _, p := range pipes {
+		p.setPaused(true)
+	}
+}
+
+// resumeDir resumes every pipe paused in the src->dst direction; heal also
+// lifts the dial block.
+func (f *Fabric) resumeDir(src, dst string, heal bool) {
+	key := src + "->" + dst
+	f.mu.Lock()
+	if heal {
+		delete(f.cut, key)
+	}
+	pipes := f.stalled[key]
+	delete(f.stalled, key)
+	f.mu.Unlock()
+	for _, p := range pipes {
+		p.setPaused(false)
+	}
+}
+
+// Partition cuts both directions between hosts a and b: bytes in flight
+// stall (they do not error — a routing black hole, not a reset) and new
+// dials between the two hosts are refused, since a TCP handshake needs both
+// directions. Heal undoes it. Liveness probes between the two hosts fail,
+// so the §III-D1 detector classifies the far side as dead.
+func (f *Fabric) Partition(a, b string) {
+	f.pauseDir(a, b, true)
+	f.pauseDir(b, a, true)
+}
+
+// Heal lifts a Partition between a and b: stalled connections resume
+// byte-exactly and dials succeed again.
+func (f *Fabric) Heal(a, b string) {
+	f.resumeDir(a, b, true)
+	f.resumeDir(b, a, true)
+}
+
+// PartitionOneWay cuts only the src->dst direction: src's writes towards
+// dst stall while dst->src traffic keeps flowing. New dials between the two
+// hosts are still refused in both directions (the handshake crosses the cut
+// direction either way).
+func (f *Fabric) PartitionOneWay(src, dst string) { f.pauseDir(src, dst, true) }
+
+// HealOneWay lifts a PartitionOneWay.
+func (f *Fabric) HealOneWay(src, dst string) { f.resumeDir(src, dst, true) }
+
+// Partitioned reports whether the src->dst direction is currently cut.
+func (f *Fabric) Partitioned(src, dst string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut[src+"->"+dst]
+}
+
+// cutBetween reports whether any direction between two hosts is cut.
+// Caller holds f.mu.
+func (f *Fabric) cutBetween(a, b string) bool {
+	return f.cut[a+"->"+b] || f.cut[b+"->"+a]
+}
+
+// SetLiveProfile reshapes the src->dst direction of every open connection
+// AND future dials — the rate-collapse fault. Unlike SetLinkProfile (which
+// only affects connections dialed afterwards), the new profile takes effect
+// on in-flight transfers at their next write.
+func (f *Fabric) SetLiveProfile(src, dst string, p Profile) {
+	f.mu.Lock()
+	f.profiles[src+"->"+dst] = p
+	conns := f.dirConns(src, dst)
+	f.mu.Unlock()
+	sh := newShaper(p)
+	if p.Rate <= 0 && p.Latency <= 0 {
+		sh = nil // unshaped: restore the fast path
+	}
+	for _, c := range conns {
+		c.writeShape.Store(sh)
+	}
+}
+
+// StallLink pauses the src->dst direction of every open connection without
+// touching future dials: in-flight writes stall (the §III-D1 write-stall
+// case) but a fresh liveness probe still connects and answers, so the far
+// host is correctly classified as slow-but-alive. ResumeLink resumes the
+// stalled bytes exactly where they stopped.
+func (f *Fabric) StallLink(src, dst string) { f.pauseDir(src, dst, false) }
+
+// ResumeLink resumes connections stalled by StallLink.
+func (f *Fabric) ResumeLink(src, dst string) { f.resumeDir(src, dst, false) }
 
 // Down reports whether the host has been killed.
 func (f *Fabric) Down(host string) bool {
@@ -154,13 +275,17 @@ func (hn *hostNet) Dial(addr string, timeout time.Duration) (Conn, error) {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("memnet dial %s: %w", addr, ErrRefused)
 	}
+	if f.cutBetween(hn.host, hostOf(addr)) {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("memnet dial %s: partitioned: %w", addr, ErrRefused)
+	}
 	localAddr := hn.host + ":0"
 	cLocal, cRemote := newPipePair(localAddr, addr, f.bufSize)
 	if p, ok := f.profileFor(hn.host, hostOf(addr)); ok {
-		cLocal.writeShape = newShaper(p)
+		cLocal.writeShape.Store(newShaper(p))
 	}
 	if p, ok := f.profileFor(hostOf(addr), hn.host); ok {
-		cRemote.writeShape = newShaper(p)
+		cRemote.writeShape.Store(newShaper(p))
 	}
 	f.conns[cLocal] = hn.host
 	f.conns[cRemote] = hostOf(addr)

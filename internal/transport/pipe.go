@@ -3,6 +3,7 @@ package transport
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +27,7 @@ type halfPipe struct {
 	wClosed bool  // write end closed: drain then EOF
 	rClosed bool  // read end closed: writes fail immediately
 	hardErr error // reset/kill: both directions fail immediately
+	paused  bool  // fault injection: direction stalled, no bytes flow
 
 	readDeadline  time.Time
 	writeDeadline time.Time
@@ -69,6 +71,12 @@ func (h *halfPipe) read(p []byte) (int, error) {
 		if h.rClosed {
 			return 0, ErrClosed
 		}
+		if h.paused {
+			if err := h.waitWithDeadline(h.canRead, h.readDeadline, "read"); err != nil {
+				return 0, err
+			}
+			continue
+		}
 		if h.n > 0 {
 			n := copy(p, h.contiguousRead())
 			h.advanceRead(n)
@@ -101,6 +109,12 @@ func (h *halfPipe) write(p []byte) (int, error) {
 		if h.rClosed {
 			// Peer closed its read side: behave like a TCP RST.
 			return total, ErrReset
+		}
+		if h.paused {
+			if err := h.waitWithDeadline(h.canWrite, h.writeDeadline, "write"); err != nil {
+				return total, err
+			}
+			continue
 		}
 		if space := len(h.buf) - h.n; space > 0 {
 			n := copy(h.contiguousWrite(), p)
@@ -138,6 +152,12 @@ func (h *halfPipe) writev(bufs [][]byte) (int64, error) {
 		}
 		if h.rClosed {
 			return total, ErrReset
+		}
+		if h.paused {
+			if err := h.waitWithDeadline(h.canWrite, h.writeDeadline, "write"); err != nil {
+				return total, err
+			}
+			continue
 		}
 		if space := len(h.buf) - h.n; space > 0 {
 			n := copy(h.contiguousWrite(), bufs[0])
@@ -200,6 +220,18 @@ func (h *halfPipe) closeRead() {
 	h.canWrite.Broadcast()
 }
 
+// setPaused stalls or resumes the direction: while paused no byte moves in
+// either role (writers block without buffering, readers block even on
+// buffered data), but deadlines still fire — exactly how a black-holed TCP
+// direction behaves before the retransmission timer gives up.
+func (h *halfPipe) setPaused(v bool) {
+	h.mu.Lock()
+	h.paused = v
+	h.mu.Unlock()
+	h.canRead.Broadcast()
+	h.canWrite.Broadcast()
+}
+
 // breakWith poisons both directions with err (connection reset / host kill).
 func (h *halfPipe) breakWith(err error) {
 	h.mu.Lock()
@@ -228,12 +260,15 @@ func (h *halfPipe) setWriteDeadline(t time.Time) {
 // pipeConn is one endpoint of an in-memory connection: it reads from rx and
 // writes to tx. Two pipeConns sharing swapped halves form a full-duplex link.
 type pipeConn struct {
-	rx, tx     *halfPipe
-	local      string
-	remote     string
-	closeOnce  sync.Once
-	onClose    func()
-	writeShape *shaper // optional egress shaping (latency/rate)
+	rx, tx    *halfPipe
+	local     string
+	remote    string
+	closeOnce sync.Once
+	onClose   func()
+	// writeShape is the optional egress shaping (latency/rate). It is an
+	// atomic pointer so the fabric can swap profiles on a live connection
+	// (the rate-collapse fault) while writes are in flight.
+	writeShape atomic.Pointer[shaper]
 }
 
 func newPipePair(a, b string, bufSize int) (*pipeConn, *pipeConn) {
@@ -249,8 +284,8 @@ func (c *pipeConn) Read(p []byte) (int, error) {
 }
 
 func (c *pipeConn) Write(p []byte) (int, error) {
-	if c.writeShape != nil {
-		return c.writeShape.write(c.tx, p)
+	if s := c.writeShape.Load(); s != nil {
+		return s.write(c.tx, p)
 	}
 	return c.tx.write(p)
 }
@@ -259,10 +294,10 @@ func (c *pipeConn) Write(p []byte) (int, error) {
 // single-lock writev fast path; shaped links hand each slice to the shaper
 // so pacing and first-byte latency stay byte-accurate.
 func (c *pipeConn) WriteBuffers(bufs [][]byte) (int64, error) {
-	if c.writeShape != nil {
+	if s := c.writeShape.Load(); s != nil {
 		var total int64
 		for i := range bufs {
-			n, err := c.writeShape.write(c.tx, bufs[i])
+			n, err := s.write(c.tx, bufs[i])
 			bufs[i] = bufs[i][n:]
 			total += int64(n)
 			if err != nil {

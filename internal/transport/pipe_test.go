@@ -160,7 +160,7 @@ func TestPipeStreamIntegrityQuick(t *testing.T) {
 
 func TestShaperRateLimitsThroughput(t *testing.T) {
 	a, b := newPipePair("a:0", "b:1", 1<<20)
-	a.writeShape = newShaper(Profile{Rate: 1 << 20}) // 1 MiB/s
+	a.writeShape.Store(newShaper(Profile{Rate: 1 << 20})) // 1 MiB/s
 	go io.Copy(io.Discard, b)
 	start := time.Now()
 	payload := make([]byte, 128<<10) // 128 KiB at 1 MiB/s ≈ 125 ms
@@ -174,7 +174,7 @@ func TestShaperRateLimitsThroughput(t *testing.T) {
 
 func TestShaperHonoursWriteDeadline(t *testing.T) {
 	a, b := newPipePair("a:0", "b:1", 1<<20)
-	a.writeShape = newShaper(Profile{Rate: 1024}) // 1 KiB/s: hopelessly slow
+	a.writeShape.Store(newShaper(Profile{Rate: 1024})) // 1 KiB/s: hopelessly slow
 	go io.Copy(io.Discard, b)
 	a.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
 	_, err := a.Write(make([]byte, 1<<20))
