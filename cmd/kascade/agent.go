@@ -14,17 +14,27 @@ import (
 )
 
 // The control protocol between the sender and its agents is two JSON
-// messages per session: "prepare" (the agent binds its data listener and
-// reports the address) then "start" (full plan + this agent's index and
+// messages per session: "prepare" (the agent reports its shared data
+// address) then "start" (full plan + this agent's index, session ID and
 // sink). The agent answers "result" when its node finishes. Keeping the
 // control connection open for the session doubles as a liveness signal.
+//
+// One agent process carries any number of concurrent sessions: a single
+// core.Engine owns the one advertised data port, routes inbound
+// connections by the session ID in their HELLO, and accounts every
+// session's chunk pool against a global memory budget. Senders that
+// predate session IDs keep working — their v1 HELLOs land on session 0 —
+// but since all of them share that one default session, a v1 sender is
+// limited to one broadcast at a time per agent (the engine refuses a
+// second session-0 registration with a descriptive error).
 
 type ctrlRequest struct {
-	Op     string       `json:"op"` // "prepare" | "start"
-	Index  int          `json:"index,omitempty"`
-	Peers  []core.Peer  `json:"peers,omitempty"`
-	Opts   core.Options `json:"opts,omitempty"`
-	Output sinkSpec     `json:"output,omitempty"`
+	Op      string         `json:"op"` // "prepare" | "start"
+	Index   int            `json:"index,omitempty"`
+	Session core.SessionID `json:"session,omitempty"`
+	Peers   []core.Peer    `json:"peers,omitempty"`
+	Opts    core.Options   `json:"opts,omitempty"`
+	Output  sinkSpec       `json:"output,omitempty"`
 }
 
 type sinkSpec struct {
@@ -42,14 +52,20 @@ type ctrlResponse struct {
 	Bytes    uint64       `json:"bytes,omitempty"`
 }
 
-// runAgent serves broadcast sessions forever on the control address.
-func runAgent(listen, advertise string) error {
+// runAgent serves broadcast sessions forever on the control address. All
+// sessions share the engine's single data port.
+func runAgent(listen, dataListen, advertise string) error {
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer l.Close()
-	fmt.Fprintf(os.Stderr, "kascade agent: listening on %s\n", l.Addr())
+	engine, err := core.NewEngine(transport.TCP{}, dataListen, core.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	fmt.Fprintf(os.Stderr, "kascade agent: control on %s, data on %s\n", l.Addr(), engine.Addr())
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -57,7 +73,7 @@ func runAgent(listen, advertise string) error {
 		}
 		go func() {
 			defer conn.Close()
-			if err := serveSession(conn, advertise); err != nil {
+			if err := serveSession(conn, engine, advertise); err != nil {
 				fmt.Fprintf(os.Stderr, "kascade agent: session: %v\n", err)
 			}
 		}()
@@ -65,8 +81,9 @@ func runAgent(listen, advertise string) error {
 }
 
 // serveSession handles one prepare/start exchange on an open control
-// connection and runs the node to completion.
-func serveSession(conn net.Conn, advertise string) error {
+// connection and runs the node to completion. Any number of sessions run
+// concurrently; each attaches its node to the shared engine.
+func serveSession(conn net.Conn, engine *core.Engine, advertise string) error {
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 
@@ -77,13 +94,7 @@ func serveSession(conn net.Conn, advertise string) error {
 	if req.Op != "prepare" {
 		return fmt.Errorf("expected prepare, got %q", req.Op)
 	}
-	// Bind the data listener now so the sender can assemble the plan.
-	dataListener, err := transport.TCP{}.Listen(bindAddr(conn, advertise))
-	if err != nil {
-		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
-	}
-	defer dataListener.Close()
-	dataAddr := advertiseAddr(dataListener.Addr(), conn, advertise)
+	dataAddr := advertiseAddr(engine.Addr(), conn, advertise)
 	if err := enc.Encode(ctrlResponse{Op: "prepared", DataAddr: dataAddr}); err != nil {
 		return err
 	}
@@ -99,11 +110,11 @@ func serveSession(conn net.Conn, advertise string) error {
 		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
 	}
 	node, err := core.NewNode(core.NodeConfig{
-		Index:    req.Index,
-		Plan:     core.Plan{Peers: req.Peers, Opts: req.Opts},
-		Network:  transport.TCP{},
-		Listener: dataListener,
-		Sink:     sink,
+		Index:   req.Index,
+		Plan:    core.Plan{Peers: req.Peers, Opts: req.Opts, Session: req.Session},
+		Network: transport.TCP{},
+		Engine:  engine,
+		Sink:    sink,
 	})
 	if err != nil {
 		closeSink()
@@ -118,21 +129,8 @@ func serveSession(conn net.Conn, advertise string) error {
 	return enc.Encode(resp)
 }
 
-// bindAddr picks the data listen address: same interface as the control
-// connection, ephemeral port.
-func bindAddr(conn net.Conn, advertise string) string {
-	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
-	if err != nil || host == "" {
-		host = "0.0.0.0"
-	}
-	if advertise != "" {
-		// Bind everywhere; the advertised host routes to us.
-		host = "0.0.0.0"
-	}
-	return net.JoinHostPort(host, "0")
-}
-
-// advertiseAddr rewrites the bound address with the advertised host.
+// advertiseAddr rewrites the bound address with the advertised host (or,
+// absent one, the interface the control connection arrived on).
 func advertiseAddr(bound string, conn net.Conn, advertise string) string {
 	_, port, err := net.SplitHostPort(bound)
 	if err != nil {

@@ -42,9 +42,10 @@ func main() {
 func agentMain(args []string) {
 	fs := flag.NewFlagSet("kascade agent", flag.ExitOnError)
 	listen := fs.String("listen", ":9430", "control address to listen on")
+	dataListen := fs.String("data", ":0", "shared data address all sessions are served on")
 	advertise := fs.String("advertise", "", "host to advertise for data connections (default: control host)")
 	_ = fs.Parse(args)
-	if err := runAgent(*listen, *advertise); err != nil {
+	if err := runAgent(*listen, *dataListen, *advertise); err != nil {
 		fmt.Fprintln(os.Stderr, "kascade agent:", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -13,6 +15,22 @@ import (
 	"kascade/internal/topology"
 	"kascade/internal/transport"
 )
+
+// newSessionID draws a random non-zero broadcast session ID. The root
+// mints one per broadcast so any number of concurrent broadcasts can share
+// the same agents (each agent's engine routes by this ID on its single
+// data port).
+func newSessionID() core.SessionID {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("kascade: reading random session id: %v", err))
+		}
+		if id := core.SessionID(binary.BigEndian.Uint64(b[:])); id != 0 {
+			return id
+		}
+	}
+}
 
 // agentSession is one prepared agent: its control connection stays open for
 // the duration of the broadcast.
@@ -80,7 +98,7 @@ func runRoot(o rootOptions) (*core.Report, error) {
 	for _, s := range sessions {
 		peers = append(peers, core.Peer{Name: s.name, Addr: s.dataAddr})
 	}
-	plan := core.Plan{Peers: peers, Opts: o.protocolOptions()}
+	plan := core.Plan{Peers: peers, Opts: o.protocolOptions(), Session: newSessionID()}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,7 +106,7 @@ func runRoot(o rootOptions) (*core.Report, error) {
 	// Phase 3: start every agent.
 	sinks := sinkSpec{Path: o.outPath, Command: o.outCmd}
 	for i, s := range sessions {
-		req := ctrlRequest{Op: "start", Index: i + 1, Peers: peers, Opts: plan.Opts, Output: sinks}
+		req := ctrlRequest{Op: "start", Index: i + 1, Session: plan.Session, Peers: peers, Opts: plan.Opts, Output: sinks}
 		if o.local > 0 && o.outPath != "" {
 			// The demo writes per-node files side by side.
 			req.Output = sinkSpec{Path: fmt.Sprintf("%s-%s", o.outPath, s.name)}
@@ -180,21 +198,37 @@ func prepareAgent(addr string) (*agentSession, error) {
 }
 
 // spawnLocalAgents starts n in-process agents on loopback for the
-// self-contained demo and returns their control addresses.
+// self-contained demo and returns their control addresses. Each agent gets
+// its own engine, exactly like a real agent process: one shared data port
+// carrying every session routed to it.
 func spawnLocalAgents(n int) ([]string, func(), error) {
 	var listeners []net.Listener
+	var engines []*core.Engine
 	var addrs []string
+	stop := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+		for _, e := range engines {
+			e.Close()
+		}
+	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			for _, ll := range listeners {
-				ll.Close()
-			}
+			stop()
+			return nil, nil, err
+		}
+		engine, err := core.NewEngine(transport.TCP{}, "127.0.0.1:0", core.EngineOptions{})
+		if err != nil {
+			l.Close()
+			stop()
 			return nil, nil, err
 		}
 		listeners = append(listeners, l)
+		engines = append(engines, engine)
 		addrs = append(addrs, l.Addr().String())
-		go func(l net.Listener) {
+		go func(l net.Listener, engine *core.Engine) {
 			for {
 				conn, err := l.Accept()
 				if err != nil {
@@ -202,15 +236,10 @@ func spawnLocalAgents(n int) ([]string, func(), error) {
 				}
 				go func() {
 					defer conn.Close()
-					_ = serveSession(conn, "127.0.0.1")
+					_ = serveSession(conn, engine, "127.0.0.1")
 				}()
 			}
-		}(l)
-	}
-	stop := func() {
-		for _, l := range listeners {
-			l.Close()
-		}
+		}(l, engine)
 	}
 	return addrs, stop, nil
 }

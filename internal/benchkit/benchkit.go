@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"kascade/internal/core"
 	"kascade/internal/iolimit"
@@ -118,6 +120,75 @@ func Summarize(sample []float64) Quantiles {
 		P90: rank(0.90),
 		Max: s[len(s)-1],
 	}
+}
+
+// MuxSessionCounts is the concurrency sweep of the session-multiplexing
+// benchmark: how many overlapping broadcasts one set of engine processes
+// carries. Shared by `kascade-bench -mux` so the BENCH_2.json rows cannot
+// drift from the documented matrix.
+var MuxSessionCounts = []int{1, 4, 16}
+
+// MuxBroadcast pushes `sessions` concurrent broadcasts of size bytes each
+// through one shared Engine per fabric host: every host runs a single data
+// listener and the overlapping sessions are routed by their session IDs,
+// exactly as a production agent carries overlapping broadcasts on one
+// advertised port. It returns the per-session results (every session
+// verified failure-free and byte-complete) and the wall-clock time of the
+// broadcast phase alone (setup and payload generation excluded).
+func MuxBroadcast(sessions, nodes int, size int64, chunk int) ([]*core.SessionResult, time.Duration, error) {
+	fabric := transport.NewFabric(1 << 20)
+	peers := make([]core.Peer, nodes)
+	engines := make([]*core.Engine, nodes)
+	for i := range peers {
+		name := fmt.Sprintf("n%d", i+1)
+		peers[i] = core.Peer{Name: name, Addr: name + ":7000"}
+		e, err := core.NewEngine(fabric.Host(name), peers[i].Addr, core.EngineOptions{})
+		if err != nil {
+			return nil, 0, err
+		}
+		engines[i] = e
+		defer e.Close()
+	}
+
+	configs := make([]core.SessionConfig, sessions)
+	for s := 0; s < sessions; s++ {
+		payload := Payload(size, 100+uint64(s))
+		configs[s] = core.SessionConfig{
+			Peers:      peers,
+			Opts:       EngineOptions(chunk),
+			Session:    core.SessionID(s + 1),
+			NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
+			EngineFor:  func(i int) *core.Engine { return engines[i] },
+			SinkFor:    func(int) io.Writer { return io.Discard },
+			InputFile:  NewReaderAt(payload),
+			InputSize:  size,
+		}
+	}
+
+	results := make([]*core.SessionResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = core.RunSession(context.Background(), configs[s])
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for s := 0; s < sessions; s++ {
+		switch {
+		case errs[s] != nil:
+			return results, elapsed, fmt.Errorf("benchkit: session %d: %w", s+1, errs[s])
+		case len(results[s].Report.Failures) != 0:
+			return results, elapsed, fmt.Errorf("benchkit: session %d failures: %v", s+1, results[s].Report)
+		case results[s].Report.TotalBytes != uint64(size):
+			return results, elapsed, fmt.Errorf("benchkit: session %d delivered %d of %d bytes", s+1, results[s].Report.TotalBytes, size)
+		}
+	}
+	return results, elapsed, nil
 }
 
 // EngineBroadcast pushes size bytes through a real nodes-long pipeline

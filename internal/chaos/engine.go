@@ -93,6 +93,7 @@ const DetectBudget = 3 * time.Second
 // legitimately hold partial data).
 type prefixSink struct {
 	want []byte
+	clk  core.Clock    // throttle pacing: the scenario's clock, not raw time.Sleep
 	rate atomic.Uint64 // bytes/s; 0 = full speed
 
 	mu      sync.Mutex
@@ -100,9 +101,13 @@ type prefixSink struct {
 	corrupt bool
 }
 
+func newPrefixSink(want []byte, clk core.Clock) *prefixSink {
+	return &prefixSink{want: want, clk: clk}
+}
+
 func (s *prefixSink) Write(p []byte) (int, error) {
 	if r := s.rate.Load(); r > 0 {
-		time.Sleep(time.Duration(float64(len(p)) / float64(r) * float64(time.Second)))
+		s.clk.Sleep(time.Duration(float64(len(p)) / float64(r) * float64(time.Second)))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -125,13 +130,14 @@ type runner struct {
 	sc      Scenario
 	fabric  *transport.Fabric
 	payload []byte
+	clk     core.Clock // scenario time source, shared with every sink
 	sinks   []*prefixSink
 	sess    *core.Session
 	start   time.Time
 
 	mu         sync.Mutex
-	ingested   []uint64          // per-index high-water of TraceChunk
-	pending    []Fault           // byte-mark faults not yet applied
+	ingested   []uint64 // per-index high-water of TraceChunk
+	pending    []Fault  // byte-mark faults not yet applied
 	injections []Injection
 	events     []core.TraceEvent
 
@@ -153,6 +159,15 @@ type rebornNode struct {
 // Run executes one scenario end-to-end and returns its Result. The context
 // bounds the whole run on top of the scenario's own Timeout budget.
 func Run(ctx context.Context, sc Scenario) *Result {
+	return RunWithClock(ctx, sc, core.SystemClock())
+}
+
+// RunWithClock executes one scenario with an injected time source: the
+// engine options and the throttled sinks share clk, so a harness that
+// controls it can pace slow-sink throttles and protocol timers without
+// burning wall-clock time. (The fault schedule's own timers still run on
+// wall clock; only engine-side and sink-side time goes through clk.)
+func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 	if sc.Timeout <= 0 {
 		sc.Timeout = 30 * time.Second
 	}
@@ -160,6 +175,7 @@ func Run(ctx context.Context, sc Scenario) *Result {
 		sc:       sc,
 		fabric:   transport.NewFabric(sc.ChunkSize),
 		payload:  benchkit.Payload(sc.PayloadSize, 42),
+		clk:      clk,
 		ingested: make([]uint64, sc.Nodes),
 		reborn:   make(map[int]*rebornNode),
 	}
@@ -172,12 +188,16 @@ func Run(ctx context.Context, sc Scenario) *Result {
 	r.sinks = make([]*prefixSink, sc.Nodes)
 	for i := range peers {
 		peers[i] = core.Peer{Name: r.host(i), Addr: r.host(i) + ":7000"}
-		r.sinks[i] = &prefixSink{want: r.payload}
+		r.sinks[i] = newPrefixSink(r.payload, r.clk)
 	}
 
+	// One time source for the whole scenario: the nodes' protocol timers
+	// (Options.Clock) and the throttled sinks tick together.
+	opts := sc.options()
+	opts.Clock = r.clk
 	cfg := core.SessionConfig{
 		Peers:      peers,
-		Opts:       sc.options(),
+		Opts:       opts,
 		NetworkFor: func(i int) transport.Network { return r.fabric.Host(peers[i].Name) },
 		SinkFor:    func(i int) io.Writer { return r.sinks[i] },
 		Trace:      r.onTrace,
@@ -361,7 +381,7 @@ func (r *runner) revive(idx int) {
 	if err != nil {
 		return // e.g. the scenario ended and the address namespace is gone
 	}
-	rb := &rebornNode{sink: &prefixSink{want: r.payload}, done: make(chan struct{})}
+	rb := &rebornNode{sink: newPrefixSink(r.payload, r.clk), done: make(chan struct{})}
 	node, err := core.NewNode(core.NodeConfig{
 		Index:    idx,
 		Plan:     r.sess.Plan,

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file is the ingest half of the node's data plane: chunking the
+// source input into the replay window (sender) and storing + sinking
+// received chunks (receivers). The companion halves live in store.go /
+// chunkpool.go (the window and buffer ownership) and downstream.go (the
+// vectored sender that drains the store toward the successor).
+
+// readInput chunks the streamed input into the window store, reading each
+// chunk straight into a pool-owned buffer that the store then retains — no
+// copy between the input and the replay window.
+func (n *Node) readInput() {
+	var total uint64
+	for {
+		c := n.pool.get(n.opts.ChunkSize)
+		nr, err := io.ReadFull(n.cfg.Input, c.bytes())
+		if nr > 0 {
+			c.truncate(nr)
+			if aerr := n.ws.Append(c); aerr != nil {
+				return
+			}
+			total += uint64(nr)
+		} else {
+			c.release()
+		}
+		switch err {
+		case nil:
+			continue
+		case io.EOF, io.ErrUnexpectedEOF:
+			n.ws.Finish(total)
+			return
+		default:
+			n.shutdown(fmt.Errorf("kascade: reading input: %w", err))
+			return
+		}
+	}
+}
+
+// ingest stores and sinks one received chunk, consuming the caller's
+// reference. The payload is shared, never copied: the window store takes
+// one reference, and a second keeps the bytes alive for the sink write.
+func (n *Node) ingest(c *chunk) error {
+	size := uint64(len(c.bytes()))
+	c.retain() // keep the payload readable for the sink after Append
+	if err := n.ws.Append(c); err != nil {
+		c.release()
+		return err
+	}
+	var sinkErr error
+	if n.cfg.Sink != nil {
+		_, sinkErr = n.cfg.Sink.Write(c.bytes())
+	}
+	c.release()
+	if sinkErr != nil {
+		n.abandon(fmt.Sprintf("sink write failed: %v", sinkErr))
+		return ErrAbandoned
+	}
+	n.emit(TraceChunk, -1, n.bytesIn.Add(size), "")
+	return nil
+}

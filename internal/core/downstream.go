@@ -91,7 +91,7 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, erro
 	}
 	defer w.close()
 
-	if werr := w.writeHello(RoleData, n.cfg.Index); werr != nil {
+	if werr := w.writeHelloFor(RoleData, n.cfg.Index, n.sid); werr != nil {
 		return n.classifyConnErr(ctx, werr, succ, peer.Addr)
 	}
 	off, out, err := n.readGet(ctx, w, succ, peer.Addr, n.opts.GetTimeout)
@@ -261,7 +261,7 @@ func (n *Node) deliverRingReport(rep *Report) error {
 	w := n.newWire(c)
 	defer w.close()
 	w.setWriteDeadlineIn(n.opts.ReportTimeout)
-	if err := w.writeHello(RoleReport, n.cfg.Index); err != nil {
+	if err := w.writeHelloFor(RoleReport, n.cfg.Index, n.sid); err != nil {
 		return err
 	}
 	if err := w.writeReport(rep); err != nil {

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// Engine is the per-process accept layer of a long-lived broadcast agent:
+// one shared data listener whose connections are routed to the broadcast
+// session named in their opening HELLO, a registry of the sessions in
+// flight, and a global memory budget that the per-session chunk pools are
+// accounted against.
+//
+// The single-broadcast tools (the CLI sender, the protocol tests) keep
+// giving each Node its own listener; an agent that must carry many
+// overlapping broadcasts on one advertised port instead creates one Engine
+// and attaches every session's Node to it (NodeConfig.Engine). Connections
+// for sessions that have not registered yet — the prepare/start race, a
+// predecessor dialing a successor whose start message is still in flight —
+// are parked briefly instead of refused, preserving the listener-backlog
+// semantics of the one-listener-per-node design.
+type Engine struct {
+	opts EngineOptions
+	clk  Clock
+	lst  transport.Listener
+
+	mu       sync.Mutex
+	sessions map[SessionID]connHandler  // attached (routable) sessions
+	reserved map[SessionID]*reservation // budget accounting, from register to unregister
+	used     int64                      // sum of reserved bytes
+	parked   map[SessionID][]*parkedConn
+	nParked  int
+	closed   bool
+}
+
+// reservation is one session's claim on the pool budget. It exists from
+// register (before the session is routable) until unregister, so a node
+// mid-prepare cannot lose its session ID to a racing duplicate.
+type reservation struct {
+	owner connHandler
+	bytes int64
+}
+
+// EngineOptions tunes the shared accept layer. The zero value selects
+// production defaults.
+type EngineOptions struct {
+	// Clock is the engine's time source (HELLO deadlines, park expiry),
+	// the same seam Options.Clock gives the per-session nodes, so
+	// deterministic harnesses can fake engine time too. Nil selects the
+	// system clock.
+	Clock Clock
+	// MemBudget bounds the total bytes of pooled payload buffers parked
+	// across all sessions. A session asking for more than the remaining
+	// budget gets a trimmed pool (never below a small floor): correctness
+	// is unaffected — a pool is a free list, not an allocator — the
+	// session merely recycles less and leans on the GC more.
+	// Defaults to 256 MiB.
+	MemBudget int64
+	// HelloTimeout bounds reading the opening HELLO frame of an accepted
+	// connection. Defaults to 10 s.
+	HelloTimeout time.Duration
+	// ParkTimeout is how long a connection for a not-yet-registered
+	// session waits before being dropped. Defaults to 10 s.
+	ParkTimeout time.Duration
+	// MaxParked caps the connections parked across all sessions.
+	// Defaults to 64.
+	MaxParked int
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.MemBudget <= 0 {
+		o.MemBudget = 256 << 20
+	}
+	if o.HelloTimeout <= 0 {
+		o.HelloTimeout = 10 * time.Second
+	}
+	if o.ParkTimeout <= 0 {
+		o.ParkTimeout = 10 * time.Second
+	}
+	if o.MaxParked <= 0 {
+		o.MaxParked = 64
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock()
+	}
+	return o
+}
+
+// connHandler is the narrow interface the engine needs from a registered
+// session: take over one accepted connection whose HELLO is already
+// parsed, and learn that the shared listener died.
+type connHandler interface {
+	// handleWire adopts one inbound connection. role and from come from
+	// the HELLO frame; the handler owns w from here on.
+	handleWire(w *wire, role Role, from int)
+	// listenerFailed reports that the shared accept path is gone: no
+	// further connections will ever arrive for this session.
+	listenerFailed(err error)
+}
+
+// parkedConn is a routed connection waiting for its session to attach.
+// Exactly one of two things happens to it: attach removes it from the
+// park and hands it to the session (stop releases the expiry watcher), or
+// the expiry watcher removes it and closes it.
+type parkedConn struct {
+	w    *wire
+	role Role
+	from int
+	stop chan struct{}
+}
+
+// NewEngine binds addr on network and starts the shared accept loop.
+func NewEngine(network transport.Network, addr string, opts EngineOptions) (*Engine, error) {
+	if network == nil {
+		return nil, fmt.Errorf("kascade: engine needs a network")
+	}
+	l, err := network.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("kascade: engine binding %s: %w", addr, err)
+	}
+	o := opts.withDefaults()
+	e := &Engine{
+		opts:     o,
+		clk:      o.Clock,
+		lst:      l,
+		sessions: make(map[SessionID]connHandler),
+		reserved: make(map[SessionID]*reservation),
+		parked:   make(map[SessionID][]*parkedConn),
+	}
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr reports the shared data listener's bound address.
+func (e *Engine) Addr() string { return e.lst.Addr() }
+
+// Close shuts the shared listener down and notifies every registered
+// session that no further connections can arrive.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	handlers := e.allHandlersLocked()
+	e.dropParkedLocked()
+	e.mu.Unlock()
+
+	err := e.lst.Close()
+	for _, h := range handlers {
+		h.listenerFailed(transport.ErrClosed)
+	}
+	return err
+}
+
+// allHandlersLocked snapshots every attached session for listener-death
+// notification. Sessions still mid-prepare (reserved but not attached)
+// are deliberately excluded: their node's store may not exist yet, and
+// they learn the engine is gone from their own attach call, which checks
+// e.closed after the store is built. Caller holds e.mu.
+func (e *Engine) allHandlersLocked() []connHandler {
+	handlers := make([]connHandler, 0, len(e.sessions))
+	for _, h := range e.sessions {
+		handlers = append(handlers, h)
+	}
+	return handlers
+}
+
+// EngineStats is a snapshot of the registry and the pooled-memory
+// accounting, for tests and operational introspection.
+type EngineStats struct {
+	// Sessions is the number of registered broadcasts.
+	Sessions int
+	// PoolBudget and PoolReserved are the configured global budget and
+	// the bytes currently accounted to sessions.
+	PoolBudget   int64
+	PoolReserved int64
+	// PerSession maps each registered session to its reserved bytes.
+	PerSession map[SessionID]int64
+	// Parked is the number of connections waiting for their session.
+	Parked int
+}
+
+// Stats snapshots the engine's accounting.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := EngineStats{
+		Sessions:     len(e.sessions),
+		PoolBudget:   e.opts.MemBudget,
+		PoolReserved: e.used,
+		PerSession:   make(map[SessionID]int64, len(e.reserved)),
+		Parked:       e.nParked,
+	}
+	for sid, r := range e.reserved {
+		st.PerSession[sid] = r.bytes
+	}
+	return st
+}
+
+// minPoolChunks is the pool-capacity floor every session is granted even
+// when the global budget is exhausted: enough parked buffers to keep the
+// frame-in-flight churn off the allocator.
+const minPoolChunks = 4
+
+// register claims a session ID and reserves its chunk pool against the
+// remaining global budget. The session is NOT routable yet: the caller
+// finishes building its stores first and then calls attach, so a
+// connection can never be routed into a half-constructed node. The
+// returned pool stays valid until unregister releases the reservation.
+func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks int) (*chunkPool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("kascade: engine is closed")
+	}
+	if _, dup := e.reserved[sid]; dup {
+		if sid == 0 {
+			// Two concurrent v1 (pre-session-ID) broadcasts: the shared
+			// data port can only carry one default session at a time.
+			return nil, fmt.Errorf("kascade: a pre-session-ID broadcast is already in flight on this engine (v1 senders are limited to one at a time)")
+		}
+		return nil, fmt.Errorf("kascade: session %d already registered on this engine", sid)
+	}
+
+	// Per-session accounting against the global budget: grant what fits,
+	// never less than the floor.
+	want := int64(chunkSize) * int64(poolChunks)
+	grant := e.opts.MemBudget - e.used
+	if grant > want {
+		grant = want
+	}
+	if floor := int64(chunkSize) * minPoolChunks; grant < floor {
+		grant = floor
+	}
+	e.reserved[sid] = &reservation{owner: h, bytes: grant}
+	e.used += grant
+	return newChunkPool(chunkSize, int(grant/int64(chunkSize))), nil
+}
+
+// attach publishes a registered session: the registry routes its
+// connections from now on and parked connections are flushed to it. The
+// caller must hold the sid reservation from a successful register. If the
+// engine died in between, the handler is told immediately.
+func (e *Engine) attach(sid SessionID, h connHandler) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		h.listenerFailed(transport.ErrClosed)
+		return
+	}
+	e.sessions[sid] = h
+	flush := e.parked[sid]
+	delete(e.parked, sid)
+	e.nParked -= len(flush)
+	e.mu.Unlock()
+
+	for _, pc := range flush {
+		close(pc.stop) // release the expiry watcher; it can no longer win
+		go h.handleWire(pc.w, pc.role, pc.from)
+	}
+}
+
+// unregister detaches a session: its connections are refused from now on
+// (inbound pings go unanswered, so predecessors route around it, exactly
+// as if a dedicated listener had closed) and its pool reservation returns
+// to the global budget. Only the owning handler may detach its session;
+// stale calls are no-ops, so abandon paths and the Run epilogue can both
+// call it safely.
+func (e *Engine) unregister(sid SessionID, h connHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.reserved[sid]
+	if !ok || r.owner != h {
+		return
+	}
+	delete(e.sessions, sid)
+	e.used -= r.bytes
+	delete(e.reserved, sid)
+}
+
+func (e *Engine) acceptLoop() {
+	for {
+		c, err := e.lst.Accept()
+		if err != nil {
+			e.mu.Lock()
+			wasClosed := e.closed
+			e.closed = true
+			handlers := e.allHandlersLocked()
+			e.dropParkedLocked()
+			e.mu.Unlock()
+			if !wasClosed {
+				// The listener died underneath running sessions (host
+				// killed, fd exhaustion): release the socket and let
+				// each session decide whether that is fatal.
+				_ = e.lst.Close()
+				for _, h := range handlers {
+					h.listenerFailed(err)
+				}
+			}
+			return
+		}
+		go e.route(c)
+	}
+}
+
+// route reads the opening HELLO (either version) and hands the connection
+// to its session, or parks it until the session attaches. Liveness probes
+// for unknown sessions are answered by silence, not parked: a detached
+// (abandoned, finished) session must read as dead to its prober, and the
+// prober's own deadline is far shorter than any park would last.
+func (e *Engine) route(c transport.Conn) {
+	w := newWire(c)
+	w.now = e.clk.Now
+	w.setReadDeadlineIn(e.opts.HelloTimeout)
+	role, from, sid, err := w.readHelloAny()
+	if err != nil {
+		_ = w.close()
+		return
+	}
+	e.mu.Lock()
+	if h, ok := e.sessions[sid]; ok {
+		e.mu.Unlock()
+		h.handleWire(w, role, from)
+		return
+	}
+	if e.closed || role == RolePing || e.nParked >= e.opts.MaxParked {
+		e.mu.Unlock()
+		_ = w.close()
+		return
+	}
+	pc := &parkedConn{w: w, role: role, from: from, stop: make(chan struct{})}
+	e.parked[sid] = append(e.parked[sid], pc)
+	e.nParked++
+	e.mu.Unlock()
+
+	timer := e.clk.NewTimer(e.opts.ParkTimeout)
+	go func() {
+		defer timer.Stop()
+		select {
+		case <-timer.C():
+			e.expire(sid, pc)
+		case <-pc.stop:
+		}
+	}()
+}
+
+// expire drops one parked connection whose session never attached. The
+// connection is only closed if this call actually removed it from the
+// park — attach may have already handed it to the session.
+func (e *Engine) expire(sid SessionID, pc *parkedConn) {
+	e.mu.Lock()
+	found := false
+	queue := e.parked[sid]
+	for i, q := range queue {
+		if q == pc {
+			queue = append(queue[:i], queue[i+1:]...)
+			e.nParked--
+			found = true
+			break
+		}
+	}
+	if len(queue) == 0 {
+		delete(e.parked, sid)
+	} else {
+		e.parked[sid] = queue
+	}
+	e.mu.Unlock()
+	if found {
+		_ = pc.w.close()
+	}
+}
+
+// dropParkedLocked closes every parked connection. Caller holds e.mu.
+func (e *Engine) dropParkedLocked() {
+	for sid, queue := range e.parked {
+		for _, pc := range queue {
+			close(pc.stop)
+			_ = pc.w.close()
+		}
+		delete(e.parked, sid)
+	}
+	e.nParked = 0
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// fakeHandler records the connections an Engine routes to it.
+type fakeHandler struct {
+	got   chan Role
+	fails chan error
+}
+
+func newFakeHandler() *fakeHandler {
+	return &fakeHandler{got: make(chan Role, 8), fails: make(chan error, 1)}
+}
+
+func (h *fakeHandler) handleWire(w *wire, role Role, from int) {
+	h.got <- role
+	_ = w.close()
+}
+
+func (h *fakeHandler) listenerFailed(err error) {
+	select {
+	case h.fails <- err:
+	default:
+	}
+}
+
+// dialHello opens a data-plane connection to addr and plays the opening
+// HELLO for session sid (v1 when sid == 0).
+func dialHello(t *testing.T, net transport.Network, addr string, role Role, from int, sid SessionID) *wire {
+	t.Helper()
+	c, err := net.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	w := newWire(c)
+	if err := w.writeHelloFor(role, from, sid); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	return w
+}
+
+func awaitRole(t *testing.T, h *fakeHandler, want Role, what string) {
+	t.Helper()
+	select {
+	case role := <-h.got:
+		if role != want {
+			t.Fatalf("%s: routed role %v, want %v", what, role, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("%s: connection never routed", what)
+	}
+}
+
+// TestEngineSessionRouting checks that one shared listener routes each
+// connection to the session named in its HELLO — v2 frames by their
+// session ID, v1 frames to the default session 0.
+func TestEngineSessionRouting(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	h0, h1, h2 := newFakeHandler(), newFakeHandler(), newFakeHandler()
+	for sid, h := range map[SessionID]*fakeHandler{0: h0, 1: h1, 2: h2} {
+		if _, err := e.register(sid, h, 1024, 4); err != nil {
+			t.Fatalf("register %d: %v", sid, err)
+		}
+		e.attach(sid, h)
+	}
+
+	client := fabric.Host("cli")
+	dialHello(t, client, "srv:7000", RoleData, 3, 1)
+	awaitRole(t, h1, RoleData, "session 1")
+	dialHello(t, client, "srv:7000", RolePing, 4, 2)
+	awaitRole(t, h2, RolePing, "session 2")
+	dialHello(t, client, "srv:7000", RoleFetch, 5, 0) // v1 HELLO on the wire
+	awaitRole(t, h0, RoleFetch, "v1 default session")
+
+	select {
+	case r := <-h1.got:
+		t.Fatalf("session 1 got a stray connection (role %v)", r)
+	default:
+	}
+}
+
+// TestEngineParksEarlyConnections checks the prepare/start race cover: a
+// connection for a session that has not registered yet is parked and
+// flushed to the handler when the registration lands, and one whose
+// session never registers is dropped at the park timeout.
+func TestEngineParksEarlyConnections(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", EngineOptions{ParkTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	client := fabric.Host("cli")
+
+	// Early conn for session 9: parked now, flushed at register.
+	dialHello(t, client, "srv:7000", RoleData, 1, 9)
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Parked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h := newFakeHandler()
+	if _, err := e.register(9, h, 1024, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Registered but not yet attached: still parked (the node is mid-
+	// prepare; nothing may be routed into it).
+	if got := e.Stats().Parked; got != 1 {
+		t.Fatalf("%d conns parked after register, want still 1", got)
+	}
+	e.attach(9, h)
+	awaitRole(t, h, RoleData, "flushed parked conn")
+	if got := e.Stats().Parked; got != 0 {
+		t.Fatalf("%d conns still parked after flush", got)
+	}
+
+	// Conn for a session nobody registers: dropped at the park timeout.
+	w := dialHello(t, client, "srv:7000", RoleData, 1, 77)
+	_ = w.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := w.readType(); err == nil || transport.IsTimeout(err) {
+		t.Fatalf("expired parked conn read: %v, want closed/reset", err)
+	}
+}
+
+// TestEnginePoolBudget checks the per-session accounting: grants come out
+// of the shared budget, are trimmed when it runs low (never below the
+// floor), and return to the budget on unregister.
+func TestEnginePoolBudget(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	const chunk = 1 << 10
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", EngineOptions{MemBudget: 10 * chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	hA, hB, hC := newFakeHandler(), newFakeHandler(), newFakeHandler()
+	if _, err := e.register(1, hA, chunk, 8); err != nil { // fits: granted 8
+		t.Fatal(err)
+	}
+	e.attach(1, hA)
+	if _, err := e.register(2, hB, chunk, 8); err != nil { // 2 left: floor raises to 4
+		t.Fatal(err)
+	}
+	e.attach(2, hB)
+	st := e.Stats()
+	if st.PerSession[1] != 8*chunk {
+		t.Fatalf("session 1 reserved %d, want %d", st.PerSession[1], 8*chunk)
+	}
+	if st.PerSession[2] != minPoolChunks*chunk {
+		t.Fatalf("session 2 reserved %d, want floor %d", st.PerSession[2], minPoolChunks*chunk)
+	}
+	if st.PoolReserved != (8+minPoolChunks)*chunk {
+		t.Fatalf("total reserved %d, want %d", st.PoolReserved, (8+minPoolChunks)*chunk)
+	}
+
+	// Duplicate session IDs are refused.
+	if _, err := e.register(1, hC, chunk, 2); err == nil {
+		t.Fatal("duplicate register accepted")
+	}
+	// A stale unregister (wrong handler) must not evict the owner.
+	e.unregister(1, hC)
+	if st := e.Stats(); st.Sessions != 2 {
+		t.Fatalf("stale unregister removed a session: %d registered", st.Sessions)
+	}
+
+	// Releasing session 1 returns its grant; a new session can take it.
+	e.unregister(1, hA)
+	if st := e.Stats(); st.PoolReserved != minPoolChunks*chunk {
+		t.Fatalf("reserved %d after release, want %d", st.PoolReserved, minPoolChunks*chunk)
+	}
+	if _, err := e.register(3, hC, chunk, 6); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.PerSession[3] != 6*chunk {
+		t.Fatalf("session 3 reserved %d, want %d", st.PerSession[3], 6*chunk)
+	}
+}
+
+// TestEngineCloseNotifiesSessions checks that closing the engine (the
+// shared accept path dying) reaches every registered session.
+func TestEngineCloseNotifiesSessions(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newFakeHandler()
+	if _, err := e.register(5, h, 1024, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.attach(5, h)
+	e.Close()
+	select {
+	case <-h.fails:
+	case <-time.After(2 * time.Second):
+		t.Fatal("registered session never told the listener died")
+	}
+	if _, err := e.register(6, newFakeHandler(), 1024, 2); err == nil {
+		t.Fatal("register on a closed engine accepted")
+	}
+}
+
+// TestNodeRejectsForeignSession checks session-ID routing on a node that
+// owns its listener: a v2 dialer naming another session is dropped, while
+// v1 dialers and matching v2 dialers are served.
+func TestNodeRejectsForeignSession(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	srvNet := fabric.Host("srv")
+	l, err := srvNet.Listen("srv:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{
+		Peers: []Peer{
+			{Name: "sender", Addr: "other:7000"},
+			{Name: "srv", Addr: "srv:7000"},
+		},
+		Opts:    Options{ChunkSize: 1 << 10, WindowChunks: 4, PingTimeout: 200 * time.Millisecond},
+		Session: 5,
+	}
+	n, err := NewNode(NodeConfig{Index: 1, Plan: plan, Network: srvNet, Listener: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.prepare(); err != nil {
+		t.Fatal(err)
+	}
+	n.ictx, n.cancel = context.WithCancel(context.Background())
+	defer n.cancel()
+	go n.acceptLoop()
+	defer l.Close()
+
+	client := fabric.Host("cli")
+	ping := func(sid SessionID) bool {
+		w := dialHello(t, client, "srv:7000", RolePing, 0, sid)
+		defer w.close()
+		if err := w.writePing(); err != nil {
+			return false
+		}
+		_ = w.conn.SetReadDeadline(time.Now().Add(time.Second))
+		typ, err := w.readType()
+		return err == nil && typ == MsgPong
+	}
+	if !ping(5) {
+		t.Fatal("matching session ping unanswered")
+	}
+	if !ping(0) {
+		t.Fatal("v1 ping unanswered (backward compatibility broken)")
+	}
+	if ping(6) {
+		t.Fatal("foreign-session ping answered")
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// muxTestOptions are engine options scaled for fast in-memory iteration
+// with real (small) failure-detection timeouts.
+func muxTestOptions(chunk int) Options {
+	return Options{
+		ChunkSize:           chunk,
+		WindowChunks:        8,
+		WriteStallTimeout:   100 * time.Millisecond,
+		PingTimeout:         60 * time.Millisecond,
+		DialTimeout:         250 * time.Millisecond,
+		DialRetries:         2,
+		GetTimeout:          time.Second,
+		FetchTimeout:        3 * time.Second,
+		ReportTimeout:       3 * time.Second,
+		UpstreamIdleTimeout: 1500 * time.Millisecond,
+	}
+}
+
+// verifySink checks the received stream against the expected payload as it
+// arrives and can be armed to fail after a byte budget (the crash proxy).
+type verifySink struct {
+	want    []byte
+	failAt  int // fail the write that crosses this offset (0 = never)
+	mu      sync.Mutex
+	off     int
+	corrupt bool
+}
+
+func (s *verifySink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.off + len(p)
+	if end > len(s.want) || !bytes.Equal(p, s.want[s.off:end]) {
+		s.corrupt = true
+	}
+	if s.failAt > 0 && end >= s.failAt {
+		return 0, fmt.Errorf("injected sink failure at offset %d", s.off)
+	}
+	s.off = end
+	return len(p), nil
+}
+
+func (s *verifySink) state() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off, s.corrupt
+}
+
+// muxHarness is a set of shared per-host engines over one fabric, ready to
+// carry overlapping broadcast sessions.
+type muxHarness struct {
+	fabric  *transport.Fabric
+	peers   []Peer
+	engines []*Engine
+}
+
+func newMuxHarness(t *testing.T, hosts int) *muxHarness {
+	t.Helper()
+	h := &muxHarness{fabric: transport.NewFabric(1 << 20)}
+	for i := 0; i < hosts; i++ {
+		name := fmt.Sprintf("n%d", i+1)
+		h.peers = append(h.peers, Peer{Name: name, Addr: name + ":7000"})
+		e, err := NewEngine(h.fabric.Host(name), name+":7000", EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		h.engines = append(h.engines, e)
+	}
+	return h
+}
+
+// session launches one broadcast with the given session ID and per-node
+// verifying sinks over the shared engines.
+func (h *muxHarness) session(ctx context.Context, sid SessionID, payload []byte, sinks []*verifySink, chunk int) (*SessionResult, error) {
+	cfg := SessionConfig{
+		Peers:      h.peers,
+		Opts:       muxTestOptions(chunk),
+		Session:    sid,
+		NetworkFor: func(i int) transport.Network { return h.fabric.Host(h.peers[i].Name) },
+		EngineFor:  func(i int) *Engine { return h.engines[i] },
+		SinkFor:    func(i int) io.Writer { return sinks[i] },
+		InputFile:  bytes.NewReader(payload),
+		InputSize:  int64(len(payload)),
+	}
+	return RunSession(ctx, cfg)
+}
+
+// patternPayload builds a session-distinct deterministic payload.
+func patternPayload(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*7 + seed
+	}
+	return p
+}
+
+// TestEngineMuxConcurrentSessions runs many overlapping broadcasts with
+// mixed payload sizes through one engine (single data listener) per host
+// and demands bit-perfect delivery on every receiver of every session.
+func TestEngineMuxConcurrentSessions(t *testing.T) {
+	const sessions, hosts, chunk = 16, 4, 32 << 10
+	h := newMuxHarness(t, hosts)
+
+	payloads := make([][]byte, sessions)
+	sinks := make([][]*verifySink, sessions)
+	results := make([]*SessionResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		// Mixed sizes with ragged tails: every session ends on a
+		// different short final chunk.
+		payloads[s] = patternPayload((s+1)*192<<10+4097*s+1, byte(s))
+		sinks[s] = make([]*verifySink, hosts)
+		for i := range sinks[s] {
+			sinks[s][i] = &verifySink{want: payloads[s]}
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = h.session(context.Background(), SessionID(s+1), payloads[s], sinks[s], chunk)
+		}(s)
+	}
+	wg.Wait()
+
+	for s := 0; s < sessions; s++ {
+		if errs[s] != nil {
+			t.Fatalf("session %d: %v", s+1, errs[s])
+		}
+		if n := len(results[s].Report.Failures); n != 0 {
+			t.Errorf("session %d reported %d failures: %v", s+1, n, results[s].Report)
+		}
+		if got := results[s].Report.TotalBytes; got != uint64(len(payloads[s])) {
+			t.Errorf("session %d reported %d bytes, want %d", s+1, got, len(payloads[s]))
+		}
+		for i := 1; i < hosts; i++ {
+			off, corrupt := sinks[s][i].state()
+			if corrupt || off != len(payloads[s]) {
+				t.Errorf("session %d node %d: %d/%d bytes, corrupt=%v", s+1, i, off, len(payloads[s]), corrupt)
+			}
+		}
+	}
+
+	// Every session released its registration and pool reservation.
+	for i, e := range h.engines {
+		if st := e.Stats(); st.Sessions != 0 || st.PoolReserved != 0 {
+			t.Errorf("engine %d leaked: %d sessions, %d bytes reserved", i, st.Sessions, st.PoolReserved)
+		}
+	}
+}
+
+// TestEngineMuxCrashIsolation runs overlapping broadcasts and crashes one
+// session's middle node mid-flight (sink failure → abandon → detach from
+// the shared engine). The crashed session must detect and route around its
+// victim without disturbing a single byte of the other sessions sharing
+// the same engines and data ports.
+func TestEngineMuxCrashIsolation(t *testing.T) {
+	const sessions, hosts, chunk = 8, 4, 32 << 10
+	const crashed, victim = 2, 2 // session index 2 loses its node 2
+	h := newMuxHarness(t, hosts)
+
+	payloads := make([][]byte, sessions)
+	sinks := make([][]*verifySink, sessions)
+	results := make([]*SessionResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		payloads[s] = patternPayload((s+1)*128<<10+9973*s, byte(s))
+		sinks[s] = make([]*verifySink, hosts)
+		for i := range sinks[s] {
+			sinks[s][i] = &verifySink{want: payloads[s]}
+			if s == crashed && i == victim {
+				sinks[s][i].failAt = len(payloads[s]) / 2
+			}
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = h.session(context.Background(), SessionID(s+1), payloads[s], sinks[s], chunk)
+		}(s)
+	}
+	wg.Wait()
+
+	for s := 0; s < sessions; s++ {
+		if s == crashed {
+			continue
+		}
+		if errs[s] != nil {
+			t.Fatalf("healthy session %d: %v", s+1, errs[s])
+		}
+		if n := len(results[s].Report.Failures); n != 0 {
+			t.Errorf("healthy session %d reported failures: %v", s+1, results[s].Report)
+		}
+		for i := 1; i < hosts; i++ {
+			off, corrupt := sinks[s][i].state()
+			if corrupt || off != len(payloads[s]) {
+				t.Errorf("healthy session %d node %d: %d/%d bytes, corrupt=%v", s+1, i, off, len(payloads[s]), corrupt)
+			}
+		}
+	}
+
+	// The crashed session completed (sender-side) and named its victim.
+	if errs[crashed] != nil {
+		t.Fatalf("crashed session: sender failed: %v", errs[crashed])
+	}
+	rep := results[crashed].Report
+	found := false
+	for _, f := range rep.Failures {
+		if f.Index == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("crashed session's report does not name node %d: %v", victim, rep)
+	}
+	// Its sinks upstream of the victim are still bit-perfect prefixes.
+	for i := 1; i < hosts; i++ {
+		if _, corrupt := sinks[crashed][i].state(); corrupt {
+			t.Errorf("crashed session node %d sink corrupted", i)
+		}
+	}
+	off, _ := sinks[crashed][1].state()
+	if off != len(payloads[crashed]) {
+		t.Errorf("crashed session node 1: %d/%d bytes", off, len(payloads[crashed]))
+	}
+}

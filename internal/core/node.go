@@ -11,6 +11,23 @@
 // connection, and PASSED acknowledgements flow back up, letting each node
 // exit (Fig 5).
 //
+// The package is layered so one process can carry many broadcasts at once:
+//
+//   - Engine (engine.go) is the per-process accept layer: one shared data
+//     listener, a session registry routing connections by the session ID in
+//     their HELLO, and the global memory budget the per-session chunk pools
+//     are accounted against.
+//   - Node (this file) is the per-session lifecycle: configuration, the
+//     Run state machine, and the failure-report bookkeeping.
+//   - The data plane (dataplane.go, store.go, chunkpool.go, downstream.go)
+//     moves payload: pooled ref-counted chunks, the ring-buffer replay
+//     window, and the vectored downstream sender.
+//   - The recovery plane (recovery.go) implements §III-D: the upstream
+//     rewiring loop, the ping-based failure detector, and PGET gap fetches.
+//   - The dispatch layer (dispatch.go) serves the accept side of one node
+//     that owns its listener; engine-attached nodes receive connections
+//     from the engine instead.
+//
 // Failures are detected exactly as §III-D1 describes: syscall errors on
 // read/write, plus timers on stalled writes resolved by a PING to the
 // stalled successor — answered means "alive, keep waiting", unanswered
@@ -36,13 +53,21 @@ import (
 type NodeConfig struct {
 	// Index is this node's position in Plan.Peers (0 = sender).
 	Index int
-	// Plan is the shared pipeline description.
+	// Plan is the shared pipeline description (including the broadcast
+	// session ID on multiplexed engines).
 	Plan Plan
-	// Network is the node's dialing/listening surface.
+	// Network is the node's dialing surface (and, with Listener, its
+	// listening surface).
 	Network transport.Network
 	// Listener is the pre-bound listener for Plan.Peers[Index].Addr.
 	// Binding happens before nodes start so that no dial races a listen.
+	// Exactly one of Listener and Engine must be set.
 	Listener transport.Listener
+	// Engine attaches the node to a shared per-process accept layer
+	// instead of a dedicated listener: the engine routes inbound
+	// connections to this node by Plan.Session and accounts its chunk
+	// pool against the global memory budget.
+	Engine *Engine
 	// Sink receives the broadcast payload locally; nil discards it.
 	// Only meaningful for receivers (Index > 0).
 	Sink io.Writer
@@ -63,6 +88,7 @@ type Node struct {
 	cfg  NodeConfig
 	opts Options
 	clk  Clock
+	sid  SessionID
 	st   store
 	ws   *windowStore // non-nil iff st is a window store
 	pool *chunkPool   // recycled payload buffers for the relay hot path
@@ -79,6 +105,7 @@ type Node struct {
 	abandonReason string
 	tail          bool
 
+	detachOnce sync.Once
 	reportOnce sync.Once
 	reportC    chan struct{} // closed when upReport becomes available
 	passedOnce sync.Once
@@ -125,7 +152,9 @@ func (e *peerDeadError) Error() string {
 func (e *peerDeadError) Unwrap() error { return e.cause }
 
 // NewNode validates cfg and prepares a Node. Call Run to participate in
-// the broadcast.
+// the broadcast. The node's stores and pool are built (and, on an engine,
+// the session registered) when Run starts, so inbound connections are only
+// routed to a node that is actually running.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if err := cfg.Plan.Validate(); err != nil {
 		return nil, err
@@ -133,42 +162,76 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Index < 0 || cfg.Index >= len(cfg.Plan.Peers) {
 		return nil, fmt.Errorf("kascade: node index %d out of range", cfg.Index)
 	}
-	if cfg.Network == nil || cfg.Listener == nil {
-		return nil, fmt.Errorf("kascade: node %d needs a network and a bound listener", cfg.Index)
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("kascade: node %d needs a network", cfg.Index)
+	}
+	if (cfg.Listener == nil) == (cfg.Engine == nil) {
+		return nil, fmt.Errorf("kascade: node %d needs exactly one of a bound listener or an engine", cfg.Index)
+	}
+	if cfg.Index == 0 {
+		if cfg.InputFile == nil && cfg.Input == nil {
+			return nil, fmt.Errorf("kascade: sender has no input")
+		}
+	} else if cfg.Input != nil || cfg.InputFile != nil {
+		return nil, fmt.Errorf("kascade: only the sender (index 0) takes input")
 	}
 	opts := cfg.Plan.Opts.withDefaults()
 	n := &Node{
 		cfg:     cfg,
 		opts:    opts,
 		clk:     opts.Clock,
+		sid:     cfg.Plan.Session,
 		upConns: make(chan *upstreamConn, 4),
 		reportC: make(chan struct{}),
 		passedC: make(chan struct{}),
 		ringC:   make(chan struct{}),
 	}
-	n.pool = newChunkPool(opts.ChunkSize, opts.PoolChunks)
 	if cfg.Index == 0 {
-		switch {
-		case cfg.InputFile != nil:
-			n.st = newFileStore(cfg.InputFile, cfg.InputSize, opts.ChunkSize, n.pool)
-		case cfg.Input != nil:
-			n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks, n.pool)
-			n.st = n.ws
-		default:
-			return nil, fmt.Errorf("kascade: sender has no input")
-		}
 		// The sender originates the report chain: its own report is
 		// available from the start (failures are merged at send time).
 		n.upReport = &Report{}
 		n.reportOnce.Do(func() { close(n.reportC) })
-	} else {
-		if cfg.Input != nil || cfg.InputFile != nil {
-			return nil, fmt.Errorf("kascade: only the sender (index 0) takes input")
-		}
-		n.ws = newWindowStore(opts.ChunkSize, opts.WindowChunks, n.pool)
-		n.st = n.ws
 	}
 	return n, nil
+}
+
+// prepare builds the node's chunk pool and store and, on an engine,
+// registers and then attaches the session. The attach comes strictly
+// last: the engine must never route a connection (or report a listener
+// death) into a node whose pool or store is still nil.
+func (n *Node) prepare() error {
+	if n.cfg.Engine != nil {
+		pool, err := n.cfg.Engine.register(n.sid, n, n.opts.ChunkSize, n.opts.PoolChunks)
+		if err != nil {
+			return err
+		}
+		n.pool = pool
+	} else {
+		n.pool = newChunkPool(n.opts.ChunkSize, n.opts.PoolChunks)
+	}
+	if n.cfg.Index == 0 && n.cfg.InputFile != nil {
+		n.st = newFileStore(n.cfg.InputFile, n.cfg.InputSize, n.opts.ChunkSize, n.pool)
+	} else {
+		n.ws = newWindowStore(n.opts.ChunkSize, n.opts.WindowChunks, n.pool)
+		n.st = n.ws
+	}
+	if n.cfg.Engine != nil {
+		n.cfg.Engine.attach(n.sid, n)
+	}
+	return nil
+}
+
+// detach stops the node from receiving new connections: the engine
+// unregisters the session (so inbound pings for it go unanswered and the
+// pipeline routes around this node), or the owned listener closes.
+func (n *Node) detach() {
+	n.detachOnce.Do(func() {
+		if n.cfg.Engine != nil {
+			n.cfg.Engine.unregister(n.sid, n)
+		} else {
+			_ = n.cfg.Listener.Close()
+		}
+	})
 }
 
 // BytesReceived reports how many payload bytes this node has ingested.
@@ -179,6 +242,13 @@ func (n *Node) Abandoned() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.abandoned
+}
+
+// AbandonReason describes why the node abandoned (empty if it did not).
+func (n *Node) AbandonReason() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.abandonReason
 }
 
 func (n *Node) me() Peer { return n.cfg.Plan.Peers[n.cfg.Index] }
@@ -213,6 +283,11 @@ func (n *Node) run(ctx context.Context) (*Report, error) {
 	n.ictx, n.cancel = ictx, cancel
 	defer cancel()
 
+	if err := n.prepare(); err != nil {
+		return nil, err
+	}
+	defer n.detach()
+
 	// Bridge the caller's context. At the sender, cancellation turns into
 	// a graceful QUIT that propagates in-band down the pipeline; receivers
 	// do NOT abort locally (the QUIT frame reaches them through the
@@ -235,8 +310,9 @@ func (n *Node) run(ctx context.Context) (*Report, error) {
 		}
 	}()
 
-	go n.acceptLoop()
-	defer n.cfg.Listener.Close()
+	if n.cfg.Listener != nil {
+		go n.acceptLoop()
+	}
 
 	upErrC := make(chan error, 1)
 	if n.cfg.Index > 0 {
@@ -307,6 +383,19 @@ func (n *Node) shutdown(cause error) {
 	n.cancel()
 }
 
+// listenerFailed is the engine's notification that the shared accept path
+// died underneath this session: fatal if the node is still mid-transfer,
+// exactly like an owned listener failing.
+func (n *Node) listenerFailed(err error) {
+	select {
+	case <-n.ictx.Done():
+	default:
+		if !n.Abandoned() {
+			n.shutdown(fmt.Errorf("kascade: listener failed: %w", err))
+		}
+	}
+}
+
 // snapshotReport returns this node's current merged view.
 func (n *Node) snapshotReport() *Report {
 	rep := &Report{}
@@ -328,189 +417,6 @@ func (n *Node) snapshotReport() *Report {
 	return rep
 }
 
-// readInput chunks the streamed input into the window store, reading each
-// chunk straight into a pool-owned buffer that the store then retains — no
-// copy between the input and the replay window.
-func (n *Node) readInput() {
-	var total uint64
-	for {
-		c := n.pool.get(n.opts.ChunkSize)
-		nr, err := io.ReadFull(n.cfg.Input, c.bytes())
-		if nr > 0 {
-			c.truncate(nr)
-			if aerr := n.ws.Append(c); aerr != nil {
-				return
-			}
-			total += uint64(nr)
-		} else {
-			c.release()
-		}
-		switch err {
-		case nil:
-			continue
-		case io.EOF, io.ErrUnexpectedEOF:
-			n.ws.Finish(total)
-			return
-		default:
-			n.shutdown(fmt.Errorf("kascade: reading input: %w", err))
-			return
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Accept side: connection dispatch, ping answering, fetch serving, ring
-// report collection.
-
-func (n *Node) acceptLoop() {
-	for {
-		c, err := n.cfg.Listener.Accept()
-		if err != nil {
-			// Listener gone: host killed or shutting down. If the
-			// node is still mid-transfer this is fatal for it.
-			select {
-			case <-n.ictx.Done():
-			default:
-				if !n.Abandoned() {
-					n.shutdown(fmt.Errorf("kascade: listener failed: %w", err))
-				}
-			}
-			return
-		}
-		go n.handleConn(c)
-	}
-}
-
-func (n *Node) handleConn(c transport.Conn) {
-	w := n.newWire(c)
-	w.setReadDeadlineIn(n.opts.GetTimeout)
-	typ, err := w.readType()
-	if err != nil || typ != MsgHello {
-		_ = w.close()
-		return
-	}
-	role, from, err := w.readHello()
-	if err != nil {
-		_ = w.close()
-		return
-	}
-	switch role {
-	case RolePing:
-		// Liveness probe (§III-D1): answer promptly even mid-transfer.
-		w.setReadDeadlineIn(n.opts.PingTimeout)
-		if typ, err := w.readType(); err == nil && typ == MsgPing {
-			w.setWriteDeadlineIn(n.opts.PingTimeout)
-			_ = w.writePong()
-		}
-		_ = w.close()
-	case RoleData:
-		w.setReadDeadlineIn(0)
-		select {
-		case n.upConns <- &upstreamConn{w: w, from: from}:
-		case <-n.ictx.Done():
-			_ = w.close()
-		}
-	case RoleFetch:
-		if n.cfg.Index != 0 {
-			_ = w.close()
-			return
-		}
-		n.serveFetch(w, from)
-	case RoleReport:
-		if n.cfg.Index != 0 {
-			_ = w.close()
-			return
-		}
-		n.receiveRingReport(w)
-	default:
-		_ = w.close()
-	}
-}
-
-// probe dials addr and plays one PING/PONG exchange; it reports liveness.
-func (n *Node) probe(addr string) bool {
-	c, err := n.cfg.Network.Dial(addr, n.opts.PingTimeout)
-	if err != nil {
-		return false
-	}
-	defer c.Close()
-	_ = c.SetDeadline(n.clk.Now().Add(n.opts.PingTimeout))
-	w := n.newWire(c)
-	if err := w.writeHello(RolePing, n.cfg.Index); err != nil {
-		return false
-	}
-	if err := w.writePing(); err != nil {
-		return false
-	}
-	typ, err := w.readType()
-	return err == nil && typ == MsgPong
-}
-
-// serveFetch answers a PGET range request from the sender's store (§III-D2).
-func (n *Node) serveFetch(w *wire, from int) {
-	defer w.close()
-	w.setReadDeadlineIn(n.opts.GetTimeout)
-	typ, err := w.readType()
-	if err != nil || typ != MsgPGet {
-		return
-	}
-	lo, hi, err := w.readPGet()
-	if err != nil {
-		return
-	}
-	for off := lo; off < hi; {
-		c, err := n.st.ChunkAt(off)
-		var fe *ForgetError
-		switch {
-		case errors.As(err, &fe):
-			// Streamed source recycled its buffer: the requester
-			// must abandon. Record it now so the sender's final
-			// report accounts for the cascade (§III-D2).
-			w.setWriteDeadlineIn(n.opts.GetTimeout)
-			_ = w.writeForget(fe.Base)
-			n.recordFailure(from, fmt.Sprintf("abandoned: offset %d recycled at sender (min %d)", off, fe.Base), off)
-			return
-		case err != nil:
-			return
-		}
-		payload := c.bytes()
-		if rem := hi - off; uint64(len(payload)) > rem {
-			payload = payload[:rem]
-		}
-		w.setWriteDeadlineIn(n.opts.FetchTimeout)
-		werr := w.writeData(payload)
-		c.release()
-		if werr != nil {
-			return
-		}
-		off += uint64(len(payload))
-	}
-	w.setWriteDeadlineIn(n.opts.GetTimeout)
-	_ = w.writeEnd(hi)
-}
-
-// receiveRingReport handles the last node's ring-closing connection.
-func (n *Node) receiveRingReport(w *wire) {
-	defer w.close()
-	w.setReadDeadlineIn(n.opts.ReportTimeout)
-	typ, err := w.readType()
-	if err != nil || typ != MsgReport {
-		return
-	}
-	rep, err := w.readReport()
-	if err != nil {
-		return
-	}
-	// Fold in the sender's own observations (e.g. abandons recorded by
-	// the fetch server) before publishing.
-	n.mu.Lock()
-	rep.Merge(&Report{Failures: append([]Failure(nil), n.detected...)})
-	n.mu.Unlock()
-	n.setRingReport(rep)
-	w.setWriteDeadlineIn(n.opts.GetTimeout)
-	_ = w.writePassed()
-}
-
 func (n *Node) setRingReport(rep *Report) {
 	n.ringOnce.Do(func() {
 		n.mu.Lock()
@@ -518,354 +424,6 @@ func (n *Node) setRingReport(rep *Report) {
 		n.mu.Unlock()
 		close(n.ringC)
 	})
-}
-
-// ---------------------------------------------------------------------------
-// Upstream side (receivers): ingest DATA from the current predecessor,
-// whoever that is after failures.
-
-func (n *Node) upstreamLoop(ctx context.Context) error {
-	var cur *upstreamConn
-	for {
-		if cur == nil {
-			var err error
-			cur, err = n.awaitUpstream(ctx)
-			if err != nil {
-				return err
-			}
-		}
-		// The paper's deadlock-avoidance rule: GET is sent on every
-		// new connection, carrying our current offset.
-		cur.w.setWriteDeadlineIn(n.opts.GetTimeout)
-		if err := cur.w.writeGet(n.st.Head()); err != nil {
-			_ = cur.w.close()
-			cur = nil
-			continue
-		}
-		n.emit(TraceUpstreamAccepted, cur.from, n.st.Head(), "")
-		repl, err := n.serveUpstream(ctx, cur)
-		if err == errUpstreamDone {
-			_ = cur.w.close()
-			return nil
-		}
-		if err != nil {
-			_ = cur.w.close()
-			return err
-		}
-		_ = cur.w.close()
-		if repl == nil {
-			n.emit(TraceUpstreamLost, cur.from, n.st.Head(), "")
-		}
-		cur = repl // replacement conn, or nil to wait for one
-	}
-}
-
-func (n *Node) awaitUpstream(ctx context.Context) (*upstreamConn, error) {
-	timer := n.clk.NewTimer(n.opts.UpstreamIdleTimeout)
-	defer timer.Stop()
-	select {
-	case uc := <-n.upConns:
-		return uc, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-timer.C():
-		return nil, fmt.Errorf("kascade: no predecessor connected within %v", n.opts.UpstreamIdleTimeout)
-	}
-}
-
-// acceptReplacement decides whether a queued predecessor connection should
-// supersede the current one: only a predecessor at least as close to the
-// sender wins (equal index = the same predecessor reconnecting). This keeps
-// a node excluded for slowness (§V) from stealing its former successor back
-// from the adopting predecessor.
-func acceptReplacement(cur, repl *upstreamConn) bool {
-	return repl.from <= cur.from
-}
-
-// serveUpstream processes frames from one predecessor connection. It
-// returns (replacement, nil) when the connection broke or was superseded,
-// or a terminal error (errUpstreamDone on success).
-func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamConn, error) {
-	w := uc.w
-	poll := n.opts.pollInterval()
-	for {
-		// A better predecessor may be waiting even while the current
-		// connection keeps delivering (e.g. after it excluded a slow
-		// node between us): check between frames, not only on idle.
-		select {
-		case repl := <-n.upConns:
-			if acceptReplacement(uc, repl) {
-				return repl, nil
-			}
-			n.rejectReplacement(repl)
-		default:
-		}
-		w.setReadDeadlineIn(poll)
-		typ, err := w.readType()
-		if err != nil {
-			if transport.IsTimeout(err) {
-				select {
-				case <-ctx.Done():
-					return nil, ctx.Err()
-				default:
-					continue
-				}
-			}
-			return nil, nil // connection broken; await replacement
-		}
-		w.setReadDeadlineIn(n.opts.UpstreamIdleTimeout)
-		switch typ {
-		case MsgData:
-			c, err := w.readData(n.pool)
-			if err != nil {
-				return nil, nil
-			}
-			if err := n.ingest(c); err != nil {
-				return nil, err
-			}
-		case MsgEnd:
-			total, err := w.readUint64()
-			if err != nil {
-				return nil, nil
-			}
-			n.ws.Finish(total)
-		case MsgQuit:
-			reason, err := w.readQuit()
-			if err != nil {
-				return nil, nil
-			}
-			switch reason {
-			case QuitUser:
-				// Anticipated end of stream: a report follows and
-				// the ring still closes (§III-C).
-				n.st.Abort(ErrQuit)
-				continue
-			case QuitExcluded:
-				// The predecessor measured us as too slow (§V)
-				// and adopted our successor: step aside without
-				// cascading a QUIT.
-				n.stepAside("excluded by predecessor for low throughput")
-				return nil, ErrExcluded
-			default:
-				n.abandon("upstream instructed abandon")
-				return nil, ErrAbandoned
-			}
-		case MsgForget:
-			base, err := w.readUint64()
-			if err != nil {
-				return nil, nil
-			}
-			if ferr := n.fetchGap(ctx, n.st.Head(), base); ferr != nil {
-				n.abandon(fmt.Sprintf("gap [%d,%d) unrecoverable: %v", n.st.Head(), base, ferr))
-				return nil, ErrAbandoned
-			}
-			w.setWriteDeadlineIn(n.opts.GetTimeout)
-			if err := w.writeGet(n.st.Head()); err != nil {
-				return nil, nil
-			}
-		case MsgReport:
-			rep, err := w.readReport()
-			if err != nil {
-				return nil, nil
-			}
-			n.setUpReport(rep)
-			repl, err := n.awaitPassedPhase(ctx, uc)
-			if err != nil {
-				return nil, err
-			}
-			if repl != nil {
-				return repl, nil
-			}
-			w.setWriteDeadlineIn(n.opts.ReportTimeout)
-			if err := w.writePassed(); err != nil {
-				return nil, nil
-			}
-			return nil, errUpstreamDone
-		default:
-			// Unknown frame: treat the connection as corrupt.
-			return nil, nil
-		}
-	}
-}
-
-// awaitPassedPhase blocks until this node's own report delivery completed
-// (then PASSED can flow upstream), a replacement predecessor appears, or
-// the node dies.
-func (n *Node) awaitPassedPhase(ctx context.Context, cur *upstreamConn) (*upstreamConn, error) {
-	for {
-		select {
-		case <-n.passedC:
-			return nil, nil
-		case repl := <-n.upConns:
-			if acceptReplacement(cur, repl) {
-				return repl, nil
-			}
-			n.rejectReplacement(repl)
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-}
-
-// rejectReplacement turns away a would-be predecessor that lost to the
-// current one (a farther node trying to steal its former successor back,
-// e.g. after an exclusion or a restart). The explicit QUIT(excluded) tells
-// the rejected dialer to step aside instead of misreading the closed
-// connection as "my successor is dead" — without it, a rejoining node
-// would walk the pipeline recording healthy successors as failures.
-func (n *Node) rejectReplacement(repl *upstreamConn) {
-	repl.w.setWriteDeadlineIn(n.opts.GetTimeout)
-	_ = repl.w.writeQuit(QuitExcluded)
-	_ = repl.w.close()
-}
-
-// ingest stores and sinks one received chunk, consuming the caller's
-// reference. The payload is shared, never copied: the window store takes
-// one reference, and a second keeps the bytes alive for the sink write.
-func (n *Node) ingest(c *chunk) error {
-	size := uint64(len(c.bytes()))
-	c.retain() // keep the payload readable for the sink after Append
-	if err := n.ws.Append(c); err != nil {
-		c.release()
-		return err
-	}
-	var sinkErr error
-	if n.cfg.Sink != nil {
-		_, sinkErr = n.cfg.Sink.Write(c.bytes())
-	}
-	c.release()
-	if sinkErr != nil {
-		n.abandon(fmt.Sprintf("sink write failed: %v", sinkErr))
-		return ErrAbandoned
-	}
-	n.emit(TraceChunk, -1, n.bytesIn.Add(size), "")
-	return nil
-}
-
-// fetchGap retrieves the byte range [from,to) directly from the sender via
-// PGET (§III-D2): the predecessor's replay window no longer holds the data
-// this node still needs, so node 0 is the only remaining source. A FORGET
-// answer from node 0 means the data is gone for good (streamed input) and
-// the caller must abandon.
-func (n *Node) fetchGap(ctx context.Context, from, to uint64) error {
-	if from >= to {
-		return nil
-	}
-	n.emit(TraceGapFetchStart, 0, from, fmt.Sprintf("to %d", to))
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
-		// Restart from wherever the previous attempt got to.
-		err := n.fetchGapOnce(n.st.Head(), to)
-		if err == nil || errors.Is(err, ErrAbandoned) {
-			detail := "ok"
-			if err != nil {
-				detail = err.Error()
-			}
-			n.emit(TraceGapFetchDone, 0, n.st.Head(), detail)
-			return err
-		}
-		lastErr = err
-	}
-	n.emit(TraceGapFetchDone, 0, n.st.Head(), lastErr.Error())
-	return lastErr
-}
-
-func (n *Node) fetchGapOnce(from, to uint64) error {
-	if from >= to {
-		return nil
-	}
-	c, err := n.cfg.Network.Dial(n.peers()[0].Addr, n.opts.DialTimeout)
-	if err != nil {
-		return fmt.Errorf("kascade: dialing sender for gap fetch: %w", err)
-	}
-	w := n.newWire(c)
-	defer w.close()
-	w.setWriteDeadlineIn(n.opts.GetTimeout)
-	if err := w.writeHello(RoleFetch, n.cfg.Index); err != nil {
-		return err
-	}
-	if err := w.writePGet(from, to); err != nil {
-		return err
-	}
-	for {
-		w.setReadDeadlineIn(n.opts.FetchTimeout)
-		typ, err := w.readType()
-		if err != nil {
-			return err
-		}
-		switch typ {
-		case MsgData:
-			c, err := w.readData(n.pool)
-			if err != nil {
-				return err
-			}
-			if err := n.ingest(c); err != nil {
-				return err
-			}
-		case MsgEnd:
-			if _, err := w.readUint64(); err != nil {
-				return err
-			}
-			if n.st.Head() < to {
-				return fmt.Errorf("kascade: gap fetch ended early at %d of %d", n.st.Head(), to)
-			}
-			return nil
-		case MsgForget:
-			_, _ = w.readUint64()
-			return ErrAbandoned
-		default:
-			return &errProtocol{want: MsgData, got: typ}
-		}
-	}
-}
-
-// abandon marks the node as failed-by-loss: it stops answering pings
-// (listener closed) so its predecessor skips it, and poisons the store so
-// the downstream manager sends QUIT(abandon) to the successor.
-func (n *Node) abandon(reason string) {
-	n.mu.Lock()
-	already := n.abandoned
-	n.abandoned = true
-	if !already {
-		n.abandonReason = reason
-	}
-	n.mu.Unlock()
-	if already {
-		return
-	}
-	n.emit(TraceAbandoned, -1, n.bytesIn.Load(), reason)
-	_ = n.cfg.Listener.Close()
-	n.st.Abort(ErrAbandoned)
-}
-
-// AbandonReason describes why the node abandoned (empty if it did not).
-func (n *Node) AbandonReason() string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.abandonReason
-}
-
-// stepAside retires an excluded node: listener closed (pings stop, so the
-// pipeline routes around it), store poisoned with ErrExcluded so the
-// downstream manager terminates without cascading a QUIT (its former
-// successor now belongs to the excluding predecessor).
-func (n *Node) stepAside(reason string) {
-	n.mu.Lock()
-	already := n.abandoned
-	n.abandoned = true
-	if !already {
-		n.abandonReason = reason
-	}
-	n.mu.Unlock()
-	if already {
-		return
-	}
-	n.emit(TraceSteppedAside, -1, n.bytesIn.Load(), reason)
-	_ = n.cfg.Listener.Close()
-	n.st.Abort(ErrExcluded)
 }
 
 func (n *Node) setUpReport(rep *Report) {

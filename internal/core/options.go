@@ -133,6 +133,13 @@ func (o Options) pollInterval() time.Duration {
 	return p
 }
 
+// SessionID identifies one broadcast among the many a shared engine (or
+// agent process) may carry concurrently. It travels in every HELLO v2
+// frame so the accept path can route connections to the right pipeline.
+// The zero ID is the v1-compatible default session: nodes running under it
+// emit byte-identical v1 frames, and v1 dialers land on it.
+type SessionID uint64
+
 // Peer identifies one pipeline member.
 type Peer struct {
 	// Name is the host name (used in reports and for fabric addressing).
@@ -142,11 +149,14 @@ type Peer struct {
 }
 
 // Plan is the shared description of one broadcast: the ordered pipeline
-// (element 0 is the sending node) and the protocol options. Every node
-// receives the same plan.
+// (element 0 is the sending node), the protocol options, and the broadcast
+// session ID. Every node receives the same plan.
 type Plan struct {
 	Peers []Peer
 	Opts  Options
+	// Session identifies this broadcast on shared data listeners. 0 keeps
+	// the node on the v1 wire format (single-broadcast processes).
+	Session SessionID
 }
 
 // Validate checks the plan is runnable.

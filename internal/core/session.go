@@ -21,8 +21,19 @@ type SessionConfig struct {
 	Peers []Peer
 	Opts  Options
 
+	// Session identifies this broadcast on shared engines. Required
+	// (non-zero) when EngineFor is set; 0 keeps the v1 wire format.
+	Session SessionID
+
 	// NetworkFor returns the network surface of pipeline member i.
 	NetworkFor func(i int) transport.Network
+
+	// EngineFor, when set, attaches pipeline member i to a shared
+	// per-process Engine instead of binding a dedicated listener: the
+	// peer's address becomes the engine's shared data address and its
+	// connections are routed by Session. This is how many overlapping
+	// broadcasts run through the same set of processes.
+	EngineFor func(i int) *Engine
 
 	// Input is the streamed source payload; InputFile/InputSize take
 	// precedence when InputFile is non-nil (random-access source).
@@ -98,29 +109,40 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	if cfg.NetworkFor == nil {
 		return nil, fmt.Errorf("kascade: session needs a NetworkFor function")
 	}
+	if cfg.EngineFor != nil && cfg.Session == 0 {
+		return nil, fmt.Errorf("kascade: engine-attached sessions need a non-zero session ID")
+	}
 	peers := append([]Peer(nil), cfg.Peers...)
 
-	// Bind every listener up front so no dial can race a listen.
+	// Bind every listener up front so no dial can race a listen. On
+	// shared engines there is nothing to bind: each member's address is
+	// its engine's (already listening) data address, and connections
+	// arriving before the member registers are parked by the engine.
 	listeners := make([]transport.Listener, len(peers))
+	closeListeners := func() {
+		for _, l := range listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
 	for i := range peers {
+		if cfg.EngineFor != nil {
+			peers[i].Addr = cfg.EngineFor(i).Addr()
+			continue
+		}
 		l, err := cfg.NetworkFor(i).Listen(peers[i].Addr)
 		if err != nil {
-			for _, b := range listeners[:i] {
-				if b != nil {
-					b.Close()
-				}
-			}
+			closeListeners()
 			return nil, fmt.Errorf("kascade: binding %s: %w", peers[i].Addr, err)
 		}
 		listeners[i] = l
 		peers[i].Addr = l.Addr() // resolve ephemeral ports
 	}
 
-	plan := Plan{Peers: peers, Opts: cfg.Opts}
+	plan := Plan{Peers: peers, Opts: cfg.Opts, Session: cfg.Session}
 	if err := plan.Validate(); err != nil {
-		for _, l := range listeners {
-			l.Close()
-		}
+		closeListeners()
 		return nil, err
 	}
 
@@ -133,6 +155,9 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 			Listener: listeners[i],
 			Trace:    cfg.Trace,
 		}
+		if cfg.EngineFor != nil {
+			nc.Engine = cfg.EngineFor(i)
+		}
 		if i == 0 {
 			nc.InputFile = cfg.InputFile
 			nc.InputSize = cfg.InputSize
@@ -144,9 +169,7 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		}
 		n, err := NewNode(nc)
 		if err != nil {
-			for _, l := range listeners {
-				l.Close()
-			}
+			closeListeners()
 			return nil, err
 		}
 		nodes[i] = n

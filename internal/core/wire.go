@@ -28,6 +28,7 @@ const (
 	MsgPassed                    // report reached node 1; sender may exit
 	MsgPing                      // liveness probe
 	MsgPong                      // liveness answer
+	MsgHello2                    // HELLO v2: role + node index + session ID
 )
 
 func (m MsgType) String() string {
@@ -54,6 +55,8 @@ func (m MsgType) String() string {
 		return "PING"
 	case MsgPong:
 		return "PONG"
+	case MsgHello2:
+		return "HELLO2"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(m))
 	}
@@ -166,6 +169,36 @@ func (w *wire) readHello() (Role, int, error) {
 	return Role(b[0]), int(binary.BigEndian.Uint32(b[1:])), nil
 }
 
+// readHello2 parses the payload of a HELLO v2 frame (after its type byte):
+// role, node index, then the 8-byte broadcast session ID.
+func (w *wire) readHello2() (Role, int, SessionID, error) {
+	var b [13]byte
+	if err := w.readFull(b[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	return Role(b[0]), int(binary.BigEndian.Uint32(b[1:5])), SessionID(binary.BigEndian.Uint64(b[5:])), nil
+}
+
+// readHelloAny reads the connection-opening frame, accepting both protocol
+// versions: a v1 HELLO (no session ID) maps onto the default session 0,
+// a v2 HELLO2 carries its broadcast session ID explicitly. This is the
+// backward-detection point: a v2 accept path serves v1 dialers unchanged.
+func (w *wire) readHelloAny() (Role, int, SessionID, error) {
+	typ, err := w.readType()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	switch typ {
+	case MsgHello:
+		role, from, err := w.readHello()
+		return role, from, 0, err
+	case MsgHello2:
+		return w.readHello2()
+	default:
+		return 0, 0, 0, &errProtocol{want: MsgHello, got: typ}
+	}
+}
+
 // readData reads a DATA payload (after the type byte) straight into a
 // buffer owned by pool and returns the chunk with one reference, which the
 // caller owns (a nil pool serves one-off buffers). There is no intermediate
@@ -236,6 +269,20 @@ func (w *wire) writeHello(role Role, index int) error {
 	w.hdr[1] = byte(role)
 	binary.BigEndian.PutUint32(w.hdr[2:6], uint32(index))
 	return w.writeAll(w.hdr[:6])
+}
+
+// writeHelloFor opens a connection for session sid: the default session 0
+// emits a byte-identical v1 HELLO (full backward compatibility); any other
+// session emits HELLO2 with the ID, so a shared accept path can route it.
+func (w *wire) writeHelloFor(role Role, index int, sid SessionID) error {
+	if sid == 0 {
+		return w.writeHello(role, index)
+	}
+	w.hdr[0] = byte(MsgHello2)
+	w.hdr[1] = byte(role)
+	binary.BigEndian.PutUint32(w.hdr[2:6], uint32(index))
+	binary.BigEndian.PutUint64(w.hdr[6:14], uint64(sid))
+	return w.writeAll(w.hdr[:14])
 }
 
 func (w *wire) writeGet(offset uint64) error {
