@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// The -compare subcommand is the CI regression gate: it reads a committed
+// baseline JSON (BENCH_1.json engine rows, BENCH_2.json mux rows, or
+// CHAOS_1.json recovery report — the shape is sniffed) and one or more
+// fresh result files of the same shape, reduces the fresh runs to
+// per-metric medians (noise tolerance: CI runs each bench three times),
+// and fails when:
+//
+//   - engine/mux: the aggregate MB/s across rows present in both files
+//     regresses by more than the tolerance (default 25%);
+//   - chaos: any fresh scenario reports a failed recovery invariant, or
+//     the overall detect p50 regresses by more than the detect factor
+//     (default 2x).
+//
+// Usage:
+//
+//	kascade-bench -compare BENCH_1.json fresh1.json fresh2.json fresh3.json -tolerance 0.25
+//	kascade-bench -compare CHAOS_1.json fresh_chaos.json
+//
+// (Trailing -tolerance/-detect-factor after the file list are accepted, so
+// the documented one-line form works despite flag-package ordering.)
+
+// compareOptions tunes the gate thresholds.
+type compareOptions struct {
+	// Tolerance is the allowed fractional aggregate-MB/s regression for
+	// engine and mux comparisons (0.25 = fail below 75% of baseline).
+	Tolerance float64
+	// DetectFactor is the allowed multiple of the baseline detect p50 for
+	// chaos comparisons (2 = fail above 2x).
+	DetectFactor float64
+}
+
+// median reduces a non-empty sample to its median (mean of the middle two
+// on even sizes).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// fileKind sniffs which benchmark artifact a JSON file holds.
+type fileKind int
+
+const (
+	kindEngine fileKind = iota + 1 // map name -> engineResult
+	kindMux                        // array of muxRow
+	kindChaos                      // chaosReport object
+)
+
+func sniffKind(data []byte) (fileKind, error) {
+	var probe any
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return 0, err
+	}
+	switch v := probe.(type) {
+	case []any:
+		return kindMux, nil
+	case map[string]any:
+		if _, ok := v["scenarios"]; ok {
+			return kindChaos, nil
+		}
+		return kindEngine, nil
+	default:
+		return 0, fmt.Errorf("unrecognised benchmark file shape")
+	}
+}
+
+// loadRows flattens one benchmark file into metric-name -> value rows; the
+// aggregate metric used for the gate is the sum over shared rows.
+//   - engine files: row per benchmark, value = MB/s
+//   - mux files: row per session count, value = aggregate MB/s
+func loadRows(path string) (fileKind, map[string]float64, *chaosReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	kind, err := sniffKind(data)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch kind {
+	case kindEngine:
+		var rows map[string]engineResult
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := make(map[string]float64, len(rows))
+		for name, r := range rows {
+			out[name] = r.MBPerSec
+		}
+		return kind, out, nil, nil
+	case kindMux:
+		var rows []muxRow
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := make(map[string]float64, len(rows))
+		for _, r := range rows {
+			out[fmt.Sprintf("mux/sessions=%d", r.Sessions)] = r.AggregateMBPerSec
+		}
+		return kind, out, nil, nil
+	case kindChaos:
+		var rep chaosReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return kind, nil, &rep, nil
+	}
+	return 0, nil, nil, fmt.Errorf("%s: unrecognised shape", path)
+}
+
+// runCompare executes the gate: baseline vs the medians of fresh files.
+func runCompare(baselinePath string, freshPaths []string, opts compareOptions) error {
+	if len(freshPaths) == 0 {
+		return fmt.Errorf("-compare needs at least one fresh result file")
+	}
+	baseKind, baseRows, baseChaos, err := loadRows(baselinePath)
+	if err != nil {
+		return err
+	}
+
+	freshRowSets := make([]map[string]float64, 0, len(freshPaths))
+	freshChaos := make([]*chaosReport, 0, len(freshPaths))
+	for _, p := range freshPaths {
+		kind, rows, chaosRep, err := loadRows(p)
+		if err != nil {
+			return err
+		}
+		if kind != baseKind {
+			return fmt.Errorf("%s: shape differs from baseline %s", p, baselinePath)
+		}
+		if kind == kindChaos {
+			freshChaos = append(freshChaos, chaosRep)
+		} else {
+			freshRowSets = append(freshRowSets, rows)
+		}
+	}
+
+	if baseKind == kindChaos {
+		return compareChaos(baselinePath, baseChaos, freshChaos, opts)
+	}
+	return compareThroughput(baselinePath, baseRows, freshRowSets, opts)
+}
+
+// compareThroughput gates engine and mux files on aggregate MB/s.
+func compareThroughput(baselinePath string, base map[string]float64, fresh []map[string]float64, opts compareOptions) error {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var baseAgg, freshAgg float64
+	var missing []string
+	fmt.Printf("%-34s %12s %12s %8s\n", "benchmark", "baseline", "fresh(med)", "delta")
+	for _, name := range names {
+		var sample []float64
+		for _, rows := range fresh {
+			if v, ok := rows[name]; ok {
+				sample = append(sample, v)
+			}
+		}
+		if len(sample) == 0 {
+			missing = append(missing, name)
+			continue
+		}
+		med := median(sample)
+		baseAgg += base[name]
+		freshAgg += med
+		fmt.Printf("%-34s %9.1f MB/s %9.1f MB/s %+7.1f%%\n",
+			name, base[name], med, (med/base[name]-1)*100)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("fresh results are missing baseline rows %v", missing)
+	}
+	if baseAgg <= 0 {
+		return fmt.Errorf("baseline %s has no throughput rows", baselinePath)
+	}
+	delta := freshAgg/baseAgg - 1
+	floor := baseAgg * (1 - opts.Tolerance)
+	fmt.Printf("%-34s %9.1f MB/s %9.1f MB/s %+7.1f%%  (floor %.1f MB/s, tolerance %.0f%%)\n",
+		"AGGREGATE", baseAgg, freshAgg, delta*100, floor, opts.Tolerance*100)
+	if freshAgg < floor {
+		return fmt.Errorf("aggregate throughput regressed %.1f%% (%.1f -> %.1f MB/s; tolerance %.0f%%)",
+			-delta*100, baseAgg, freshAgg, opts.Tolerance*100)
+	}
+	fmt.Println("compare: PASS")
+	return nil
+}
+
+// compareChaos gates a recovery report: zero fresh scenario failures, and
+// the overall detect p50 within DetectFactor of the baseline.
+func compareChaos(baselinePath string, base *chaosReport, fresh []*chaosReport, opts compareOptions) error {
+	failures := 0
+	var detectP50s []float64
+	for _, rep := range fresh {
+		for _, row := range rep.Scenarios {
+			if !row.OK {
+				failures++
+				fmt.Printf("FAIL scenario %-28s: %s\n", row.Name, row.CheckErr)
+			}
+		}
+		detectP50s = append(detectP50s, rep.DetectMs.P50)
+	}
+	freshP50 := median(detectP50s)
+	limit := base.DetectMs.P50 * opts.DetectFactor
+	fmt.Printf("chaos: %d fresh failure(s); detect p50 %.1f ms vs baseline %.1f ms (limit %.1f ms, factor %.1fx)\n",
+		failures, freshP50, base.DetectMs.P50, limit, opts.DetectFactor)
+	if failures > 0 {
+		return fmt.Errorf("%d fresh chaos scenario(s) failed their recovery invariants", failures)
+	}
+	if base.DetectMs.P50 > 0 && freshP50 > limit {
+		return fmt.Errorf("detect p50 regressed %.1fx (%.1f -> %.1f ms; limit %.1fx)",
+			freshP50/base.DetectMs.P50, base.DetectMs.P50, freshP50, opts.DetectFactor)
+	}
+	fmt.Println("compare: PASS")
+	return nil
+}
+
+// parseCompareArgs splits the post-flag argument list into fresh result
+// files and trailing threshold flags, so the documented
+// `kascade-bench -compare old.json new.json -tolerance 0.25` form works
+// even though the flag package stops at the first positional argument.
+func parseCompareArgs(args []string, opts compareOptions) ([]string, compareOptions, error) {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-tolerance", "--tolerance":
+			if i+1 >= len(args) {
+				return nil, opts, fmt.Errorf("%s needs a value", args[i])
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return nil, opts, fmt.Errorf("bad tolerance %q: %w", args[i+1], err)
+			}
+			opts.Tolerance = v
+			i++
+		case "-detect-factor", "--detect-factor":
+			if i+1 >= len(args) {
+				return nil, opts, fmt.Errorf("%s needs a value", args[i])
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return nil, opts, fmt.Errorf("bad detect factor %q: %w", args[i+1], err)
+			}
+			opts.DetectFactor = v
+			i++
+		default:
+			files = append(files, args[i])
+		}
+	}
+	return files, opts, nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kascade/internal/benchkit"
+)
+
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func engineFile(t *testing.T, dir, name string, mbps ...float64) string {
+	rows := map[string]engineResult{}
+	for i, v := range mbps {
+		rows["bench/"+string(rune('a'+i))] = engineResult{MBPerSec: v, NsPerOp: 1, Iterations: 1}
+	}
+	return writeJSON(t, dir, name, rows)
+}
+
+// TestCompareEnginePassAndFail: the aggregate gate passes inside the
+// tolerance and fails beyond it, using medians across fresh files.
+func TestCompareEnginePassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	base := engineFile(t, dir, "base.json", 100, 200)
+	opts := compareOptions{Tolerance: 0.25, DetectFactor: 2}
+
+	// Median of three runs: {90,95,100} -> 95, {180,190,200} -> 190;
+	// aggregate 285 vs 300 baseline: -5%, inside 25%.
+	f1 := engineFile(t, dir, "f1.json", 90, 180)
+	f2 := engineFile(t, dir, "f2.json", 95, 190)
+	f3 := engineFile(t, dir, "f3.json", 100, 200)
+	if err := runCompare(base, []string{f1, f2, f3}, opts); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+
+	// One noisy outlier run must not fail the gate: median absorbs it.
+	noisy := engineFile(t, dir, "noisy.json", 10, 20)
+	if err := runCompare(base, []string{f1, noisy, f3}, opts); err != nil {
+		t.Fatalf("median did not absorb the outlier: %v", err)
+	}
+
+	// A real regression (aggregate 150 vs 300 = -50%) fails.
+	slow := engineFile(t, dir, "slow.json", 50, 100)
+	err := runCompare(base, []string{slow, slow, slow}, opts)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("50%% regression passed the 25%% gate: %v", err)
+	}
+
+	// Fresh files missing a baseline row fail loudly, not silently.
+	partial := engineFile(t, dir, "partial.json", 100)
+	if err := runCompare(base, []string{partial}, opts); err == nil {
+		t.Fatal("missing rows passed")
+	}
+}
+
+// TestCompareMux: mux-shaped files (arrays) gate on the summed aggregate
+// MB/s across session counts.
+func TestCompareMux(t *testing.T) {
+	dir := t.TempDir()
+	mux := func(name string, aggs ...float64) string {
+		rows := make([]muxRow, len(aggs))
+		for i, v := range aggs {
+			rows[i] = muxRow{Sessions: 1 << (2 * i), Nodes: 5, AggregateMBPerSec: v}
+		}
+		return writeJSON(t, dir, name, rows)
+	}
+	base := mux("base.json", 700, 550, 430)
+	opts := compareOptions{Tolerance: 0.25, DetectFactor: 2}
+	if err := runCompare(base, []string{mux("ok.json", 650, 520, 400)}, opts); err != nil {
+		t.Fatalf("mux within tolerance: %v", err)
+	}
+	if err := runCompare(base, []string{mux("bad.json", 300, 250, 200)}, opts); err == nil {
+		t.Fatal("mux regression passed")
+	}
+	// Shape mismatch between baseline and fresh is an error.
+	eng := engineFile(t, dir, "eng.json", 100)
+	if err := runCompare(base, []string{eng}, opts); err == nil {
+		t.Fatal("shape mismatch passed")
+	}
+}
+
+// TestCompareChaos: any fresh scenario failure or a >2x detect-p50
+// regression fails the chaos gate.
+func TestCompareChaos(t *testing.T) {
+	dir := t.TempDir()
+	chaosFile := func(name string, failures int, detectP50 float64) string {
+		rep := chaosReport{Seed: 1, DetectMs: benchkit.Quantiles{N: 30, P50: detectP50, P90: detectP50 * 2, Max: detectP50 * 3}}
+		for i := 0; i < 3; i++ {
+			row := chaosScenarioRow{Name: "sc", Nodes: 3, OK: i >= failures}
+			if !row.OK {
+				row.CheckErr = "injected"
+			}
+			rep.Scenarios = append(rep.Scenarios, row)
+		}
+		return writeJSON(t, dir, name, rep)
+	}
+	base := chaosFile("base.json", 0, 2.4)
+	opts := compareOptions{Tolerance: 0.25, DetectFactor: 2}
+
+	if err := runCompare(base, []string{chaosFile("ok.json", 0, 3.0)}, opts); err != nil {
+		t.Fatalf("chaos within factor: %v", err)
+	}
+	err := runCompare(base, []string{chaosFile("failing.json", 1, 2.4)}, opts)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("fresh failure passed the gate: %v", err)
+	}
+	err = runCompare(base, []string{chaosFile("slow.json", 0, 6.0)}, opts)
+	if err == nil || !strings.Contains(err.Error(), "detect p50") {
+		t.Fatalf("2.5x detect regression passed: %v", err)
+	}
+}
+
+// TestParseCompareArgs: the documented trailing-flag form parses.
+func TestParseCompareArgs(t *testing.T) {
+	files, opts, err := parseCompareArgs(
+		[]string{"new1.json", "new2.json", "-tolerance", "0.10", "-detect-factor", "3"},
+		compareOptions{Tolerance: 0.25, DetectFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0] != "new1.json" {
+		t.Fatalf("files %v", files)
+	}
+	if opts.Tolerance != 0.10 || opts.DetectFactor != 3 {
+		t.Fatalf("opts %+v", opts)
+	}
+	if _, _, err := parseCompareArgs([]string{"-tolerance"}, compareOptions{}); err == nil {
+		t.Fatal("dangling -tolerance accepted")
+	}
+}

@@ -126,10 +126,18 @@ func runMuxBench(path string) error {
 	size := int64(benchkit.EngineBenchSize)
 	for _, sessions := range benchkit.MuxSessionCounts {
 		var best muxRow
+		got := 0
+		var lastErr error
 		for rep := 0; rep < muxBenchReps; rep++ {
 			results, elapsed, err := benchkit.MuxBroadcast(sessions, muxBenchNodes, size, muxBenchChunk)
 			if err != nil {
-				return fmt.Errorf("mux sessions=%d: %w", sessions, err)
+				// A rep can fail spuriously on an oversubscribed builder
+				// (scheduler starvation tripping a failure detector); the
+				// best-of discipline tolerates it, and only an all-reps
+				// failure fails the artifact.
+				lastErr = err
+				fmt.Fprintf(os.Stderr, "mux sessions=%d rep %d/%d failed (discarded): %v\n", sessions, rep+1, muxBenchReps, err)
+				continue
 			}
 			row := muxRow{
 				Sessions:          sessions,
@@ -147,9 +155,13 @@ func runMuxBench(path string) error {
 				}
 			}
 			row.MinSessionMBPerS = min
-			if rep == 0 || row.AggregateMBPerSec > best.AggregateMBPerSec {
+			if got == 0 || row.AggregateMBPerSec > best.AggregateMBPerSec {
 				best = row
 			}
+			got++
+		}
+		if got == 0 {
+			return fmt.Errorf("mux sessions=%d: all %d reps failed: %w", sessions, muxBenchReps, lastErr)
 		}
 		rows = append(rows, best)
 		fmt.Printf("mux sessions=%-3d nodes=%d %8.0f ms  aggregate %7.1f MB/s  per-session mean %6.1f MB/s  min %6.1f MB/s\n",
@@ -260,7 +272,22 @@ func main() {
 	mux := flag.Bool("mux", false, "benchmark concurrent broadcasts multiplexed through shared engines")
 	chaosRun := flag.Bool("chaos", false, "run the fault-injection scenario matrix and record recovery latencies")
 	jsonPath := flag.String("json", "BENCH_1.json", "output path for -engine / -mux / -chaos results")
+	compare := flag.String("compare", "", "baseline JSON; compare the fresh result files given as arguments against it (CI regression gate)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional aggregate-MB/s regression for -compare")
+	detectFactor := flag.Float64("detect-factor", 2.0, "allowed multiple of the baseline detect p50 for chaos -compare")
 	flag.Parse()
+
+	if *compare != "" {
+		files, opts, err := parseCompareArgs(flag.Args(), compareOptions{Tolerance: *tolerance, DetectFactor: *detectFactor})
+		if err == nil {
+			err = runCompare(*compare, files, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kascade-bench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *engine {
 		if err := runEngineBench(*jsonPath); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,26 +9,44 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sync/atomic"
+	"time"
 
+	"kascade/internal/control"
 	"kascade/internal/core"
 	"kascade/internal/transport"
 )
 
-// The control protocol between the sender and its agents is two JSON
-// messages per session: "prepare" (the agent reports its shared data
-// address) then "start" (full plan + this agent's index, session ID and
-// sink). The agent answers "result" when its node finishes. Keeping the
-// control connection open for the session doubles as a liveness signal.
+// The control plane between the sender and its agents is the framed,
+// request-ID-multiplexed protocol of internal/control: exactly one
+// long-lived control connection per sender↔agent pair, carrying
+// interleaved PREPARE/START/STATUS/RELEASE frames for any number of
+// concurrent broadcast sessions, with per-session liveness provided by
+// HEARTBEAT leases instead of per-session connections.
+//
+// Every PREPARE runs engine admission before the sender dials a single
+// data connection: the reservation is accepted (and debited), queued
+// until budget frees on a session end, or refused with a typed error the
+// sender can match on.
+//
+// Legacy v1 dialers — one JSON blob per message, one connection per
+// session, connection-open as the liveness signal — are detected by their
+// first byte ('{' versus the frame magic) and served unchanged on the
+// same port.
 //
 // One agent process carries any number of concurrent sessions: a single
 // core.Engine owns the one advertised data port, routes inbound
 // connections by the session ID in their HELLO, and accounts every
-// session's chunk pool against a global memory budget. Senders that
-// predate session IDs keep working — their v1 HELLOs land on session 0 —
-// but since all of them share that one default session, a v1 sender is
-// limited to one broadcast at a time per agent (the engine refuses a
-// second session-0 registration with a descriptive error).
+// session's chunk pool against a global memory budget. v1 senders all
+// share the default session 0, so a v1 sender is limited to one broadcast
+// at a time per agent (the engine refuses a second session-0 registration
+// with a descriptive error).
 
+// sinkSpec is the v1 JSON name for the control sink description; the
+// framed protocol carries the identical shape.
+type sinkSpec = control.SinkSpec
+
+// ctrlRequest is one legacy v1 control message (sender → agent).
 type ctrlRequest struct {
 	Op      string         `json:"op"` // "prepare" | "start"
 	Index   int            `json:"index,omitempty"`
@@ -37,19 +56,141 @@ type ctrlRequest struct {
 	Output  sinkSpec       `json:"output,omitempty"`
 }
 
-type sinkSpec struct {
-	// Path writes the stream to a file; Command pipes it through a shell
-	// command (`sh -c`). At most one may be set; neither discards.
-	Path    string `json:"path,omitempty"`
-	Command string `json:"command,omitempty"`
-}
-
+// ctrlResponse is one legacy v1 control message (agent → sender).
 type ctrlResponse struct {
 	Op       string       `json:"op"` // "prepared" | "result"
 	DataAddr string       `json:"data_addr,omitempty"`
 	Err      string       `json:"err,omitempty"`
 	Report   *core.Report `json:"report,omitempty"`
 	Bytes    uint64       `json:"bytes,omitempty"`
+}
+
+// agent is one agent process's serving state: the shared data-plane
+// engine and the control server in front of it.
+type agent struct {
+	engine    *core.Engine
+	advertise string
+	srv       *control.Server
+
+	// ctrlConns counts control connections currently open, v1 and framed
+	// alike — the multiplexing invariant (one per sender, however many
+	// sessions) is asserted on it in tests.
+	ctrlConns atomic.Int64
+	// ctrlConnsTotal counts control connections ever accepted.
+	ctrlConnsTotal atomic.Int64
+}
+
+// newAgent builds the serving state around an engine. leaseTTL <= 0
+// selects the control server's default.
+func newAgent(engine *core.Engine, advertise string, leaseTTL time.Duration) *agent {
+	a := &agent{engine: engine, advertise: advertise}
+	a.srv = &control.Server{
+		Engine:   engine,
+		DataAddr: func(conn net.Conn) string { return advertiseAddr(engine.Addr(), conn, advertise) },
+		Run:      a.runSession,
+		LeaseTTL: leaseTTL,
+	}
+	return a
+}
+
+// serve accepts control connections until the listener closes.
+func (a *agent) serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			a.ctrlConns.Add(1)
+			a.ctrlConnsTotal.Add(1)
+			defer a.ctrlConns.Add(-1)
+			defer conn.Close()
+			if err := a.serveConn(conn); err != nil {
+				fmt.Fprintf(os.Stderr, "kascade agent: control: %v\n", err)
+			}
+		}()
+	}
+}
+
+// serveConn sniffs the first byte of a fresh control connection: the
+// frame magic selects the multiplexed protocol, '{' a legacy v1 dialer.
+func (a *agent) serveConn(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil // dialer went away before speaking
+	}
+	switch first[0] {
+	case control.Magic:
+		return a.srv.ServeConn(conn, br)
+	case '{':
+		return a.serveV1(conn, br)
+	default:
+		return fmt.Errorf("unknown control protocol (first byte 0x%02x)", first[0])
+	}
+}
+
+// runSession executes one framed-control session to completion: realise
+// the sink, attach a node to the shared engine, run it. ctx is cancelled
+// by lease expiry, RELEASE, or the control channel dropping.
+func (a *agent) runSession(ctx context.Context, req control.StartRequest) control.ResultReply {
+	sink, closeSink, err := openSink(req.Output)
+	if err != nil {
+		return control.ResultReply{Err: err.Error()}
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Index:   req.Index,
+		Plan:    core.Plan{Peers: req.Peers, Opts: req.Opts, Session: req.Session},
+		Network: transport.TCP{},
+		Engine:  a.engine,
+		Sink:    sink,
+	})
+	if err != nil {
+		closeSink()
+		return control.ResultReply{Err: err.Error()}
+	}
+	report, runErr := node.Run(ctx)
+	closeSink()
+	resp := control.ResultReply{Report: report, Bytes: node.BytesReceived()}
+	if runErr != nil {
+		resp.Err = runErr.Error()
+	}
+	return resp
+}
+
+// serveV1 handles one legacy prepare/start exchange — one session per
+// connection, liveness by connection-open — exactly as pre-framing
+// senders expect.
+func (a *agent) serveV1(conn net.Conn, br *bufio.Reader) error {
+	dec := json.NewDecoder(br)
+	enc := json.NewEncoder(conn)
+
+	var req ctrlRequest
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	if req.Op != "prepare" {
+		return fmt.Errorf("expected prepare, got %q", req.Op)
+	}
+	dataAddr := advertiseAddr(a.engine.Addr(), conn, a.advertise)
+	if err := enc.Encode(ctrlResponse{Op: "prepared", DataAddr: dataAddr}); err != nil {
+		return err
+	}
+
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	if req.Op != "start" {
+		return fmt.Errorf("expected start, got %q", req.Op)
+	}
+	res := a.runSession(context.Background(), control.StartRequest{
+		Session: req.Session,
+		Index:   req.Index,
+		Peers:   req.Peers,
+		Opts:    req.Opts,
+		Output:  req.Output,
+	})
+	return enc.Encode(ctrlResponse{Op: "result", Err: res.Err, Report: res.Report, Bytes: res.Bytes})
 }
 
 // runAgent serves broadcast sessions forever on the control address. All
@@ -65,68 +206,9 @@ func runAgent(listen, dataListen, advertise string) error {
 		return err
 	}
 	defer engine.Close()
+	a := newAgent(engine, advertise, 0)
 	fmt.Fprintf(os.Stderr, "kascade agent: control on %s, data on %s\n", l.Addr(), engine.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
-		}
-		go func() {
-			defer conn.Close()
-			if err := serveSession(conn, engine, advertise); err != nil {
-				fmt.Fprintf(os.Stderr, "kascade agent: session: %v\n", err)
-			}
-		}()
-	}
-}
-
-// serveSession handles one prepare/start exchange on an open control
-// connection and runs the node to completion. Any number of sessions run
-// concurrently; each attaches its node to the shared engine.
-func serveSession(conn net.Conn, engine *core.Engine, advertise string) error {
-	dec := json.NewDecoder(conn)
-	enc := json.NewEncoder(conn)
-
-	var req ctrlRequest
-	if err := dec.Decode(&req); err != nil {
-		return err
-	}
-	if req.Op != "prepare" {
-		return fmt.Errorf("expected prepare, got %q", req.Op)
-	}
-	dataAddr := advertiseAddr(engine.Addr(), conn, advertise)
-	if err := enc.Encode(ctrlResponse{Op: "prepared", DataAddr: dataAddr}); err != nil {
-		return err
-	}
-
-	if err := dec.Decode(&req); err != nil {
-		return err
-	}
-	if req.Op != "start" {
-		return fmt.Errorf("expected start, got %q", req.Op)
-	}
-	sink, closeSink, err := openSink(req.Output)
-	if err != nil {
-		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
-	}
-	node, err := core.NewNode(core.NodeConfig{
-		Index:   req.Index,
-		Plan:    core.Plan{Peers: req.Peers, Opts: req.Opts, Session: req.Session},
-		Network: transport.TCP{},
-		Engine:  engine,
-		Sink:    sink,
-	})
-	if err != nil {
-		closeSink()
-		return enc.Encode(ctrlResponse{Op: "result", Err: err.Error()})
-	}
-	report, runErr := node.Run(context.Background())
-	closeSink()
-	resp := ctrlResponse{Op: "result", Report: report, Bytes: node.BytesReceived()}
-	if runErr != nil {
-		resp.Err = runErr.Error()
-	}
-	return enc.Encode(resp)
+	return a.serve(l)
 }
 
 // advertiseAddr rewrites the bound address with the advertised host (or,

@@ -1,0 +1,322 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kascade/internal/control"
+	"kascade/internal/core"
+	"kascade/internal/iolimit"
+	"kascade/internal/transport"
+)
+
+// startTestAgent runs an in-process agent on loopback TCP and returns it
+// with its control address.
+func startTestAgent(t *testing.T, engineOpts core.EngineOptions, leaseTTL time.Duration) (*agent, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(transport.TCP{}, "127.0.0.1:0", engineOpts)
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	a := newAgent(engine, "127.0.0.1", leaseTTL)
+	go a.serve(l)
+	t.Cleanup(func() { l.Close(); engine.Close() })
+	return a, l.Addr().String()
+}
+
+// testProtoOptions are small, fast protocol options for loopback tests.
+func testProtoOptions() core.Options {
+	return core.Options{
+		ChunkSize:         32 << 10,
+		WindowChunks:      8,
+		WriteStallTimeout: 500 * time.Millisecond,
+		ReportTimeout:     5 * time.Second,
+	}
+}
+
+// runSessionThrough drives one complete broadcast through an agent over an
+// already-open control channel: PREPARE (admission), START, in-process
+// sender node, RESULT.
+func runSessionThrough(ctx context.Context, client *control.Client, sid core.SessionID, payload []byte, outPath string) error {
+	opts := testProtoOptions()
+	rep, err := client.Prepare(ctx, control.PrepareRequest{Session: sid, Reservation: opts.PoolReservation()})
+	if err != nil {
+		return fmt.Errorf("prepare: %w", err)
+	}
+
+	rootListener, err := transport.TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer rootListener.Close()
+	peers := []core.Peer{
+		{Name: "sender", Addr: rootListener.Addr()},
+		{Name: fmt.Sprintf("agent-%d", sid), Addr: rep.DataAddr},
+	}
+	pending, err := client.Start(control.StartRequest{
+		Session: sid, Index: 1, Peers: peers, Opts: opts,
+		Output: sinkSpec{Path: outPath},
+	})
+	if err != nil {
+		return fmt.Errorf("start: %w", err)
+	}
+
+	node, err := core.NewNode(core.NodeConfig{
+		Index:     0,
+		Plan:      core.Plan{Peers: peers, Opts: opts, Session: sid},
+		Network:   transport.TCP{},
+		Listener:  rootListener,
+		InputFile: bytes.NewReader(payload),
+		InputSize: int64(len(payload)),
+	})
+	if err != nil {
+		return err
+	}
+	report, err := node.Run(ctx)
+	if err != nil {
+		return fmt.Errorf("sender: %w", err)
+	}
+	if len(report.Failures) != 0 {
+		return fmt.Errorf("failures: %v", report)
+	}
+	res, err := pending.Wait(ctx)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	if res.Err != "" {
+		return fmt.Errorf("agent result: %s", res.Err)
+	}
+	if res.Bytes != uint64(len(payload)) {
+		return fmt.Errorf("agent ingested %d of %d bytes", res.Bytes, len(payload))
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("sink corrupted: %d of %d bytes", len(got), len(payload))
+	}
+	return nil
+}
+
+// TestControlMux16SessionsOneConnection is the multiplexing acceptance
+// invariant: an agent serving 16 concurrent sessions from one sender holds
+// exactly ONE control connection, with all PREPARE/START/RESULT exchanges
+// interleaved on it, every payload bit-perfect.
+func TestControlMux16SessionsOneConnection(t *testing.T) {
+	const sessions = 16
+	a, addr := startTestAgent(t, core.EngineOptions{}, 0)
+	client, err := control.Dial(addr, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		payload := make([]byte, (s+1)*64<<10+977*s+1)
+		iolimit.NewPattern(int64(len(payload)), uint64(s+1)).Read(payload)
+		wg.Add(1)
+		go func(s int, payload []byte) {
+			defer wg.Done()
+			out := filepath.Join(dir, fmt.Sprintf("out-%d", s))
+			errs[s] = runSessionThrough(ctx, client, core.SessionID(s+1), payload, out)
+		}(s, payload)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Errorf("session %d: %v", s+1, err)
+		}
+	}
+
+	if got := a.ctrlConnsTotal.Load(); got != 1 {
+		t.Fatalf("agent accepted %d control connections for %d sessions, want exactly 1", got, sessions)
+	}
+	// Admission bookkeeping balanced out: every grant released.
+	if st := a.engine.Stats(); st.Sessions != 0 || st.PoolReserved != 0 || st.Admitted != sessions {
+		t.Fatalf("engine after %d sessions: %+v", sessions, st)
+	}
+}
+
+// TestControlV1DialerCompat speaks the legacy one-JSON-blob-per-session
+// protocol at a framed-era agent: first-byte detection must route it to
+// the v1 path and the broadcast must complete bit-perfect.
+func TestControlV1DialerCompat(t *testing.T) {
+	_, addr := startTestAgent(t, core.EngineOptions{}, 0)
+	payload := make([]byte, 300<<10)
+	iolimit.NewPattern(int64(len(payload)), 3).Read(payload)
+	out := filepath.Join(t.TempDir(), "v1-out")
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := json.NewEncoder(conn), json.NewDecoder(conn)
+
+	if err := enc.Encode(ctrlRequest{Op: "prepare"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp ctrlResponse
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if resp.Op != "prepared" || resp.DataAddr == "" {
+		t.Fatalf("v1 prepare response: %+v", resp)
+	}
+
+	opts := testProtoOptions()
+	rootListener, err := transport.TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootListener.Close()
+	peers := []core.Peer{
+		{Name: "sender", Addr: rootListener.Addr()},
+		{Name: "v1-agent", Addr: resp.DataAddr},
+	}
+	// A v1 sender predates session IDs: session 0 on the wire.
+	if err := enc.Encode(ctrlRequest{Op: "start", Index: 1, Peers: peers, Opts: opts, Output: sinkSpec{Path: out}}); err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Index:     0,
+		Plan:      core.Plan{Peers: peers, Opts: opts},
+		Network:   transport.TCP{},
+		Listener:  rootListener,
+		InputFile: bytes.NewReader(payload),
+		InputSize: int64(len(payload)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := node.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failures) != 0 {
+		t.Fatalf("v1 broadcast failures: %v", report)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != "result" || resp.Err != "" || resp.Bytes != uint64(len(payload)) {
+		t.Fatalf("v1 result: %+v", resp)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("v1 sink corrupted: %d of %d bytes", len(got), len(payload))
+	}
+}
+
+// TestControlAdmissionRefusalBeforeDataDial: an overload refusal arrives
+// as the typed *core.AdmissionError from PREPARE — before the sender has
+// dialed (or even learned) any data address.
+func TestControlAdmissionRefusalBeforeDataDial(t *testing.T) {
+	_, addr := startTestAgent(t, core.EngineOptions{MemBudget: 64 << 10}, 0)
+	client, err := control.Dial(addr, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	_, err = client.Prepare(ctx, control.PrepareRequest{Session: 1, Reservation: 1 << 20})
+	var adErr *core.AdmissionError
+	if !errors.As(err, &adErr) {
+		t.Fatalf("prepare error %v, want typed *core.AdmissionError", err)
+	}
+	if adErr.Session != 1 {
+		t.Fatalf("refusal names session %d, want 1", adErr.Session)
+	}
+}
+
+// TestControlAdmissionQueuedUntilRelease: a session that does not fit
+// queues at PREPARE and is admitted the moment the blocking session is
+// released; the queued broadcast then runs to completion.
+func TestControlAdmissionQueuedUntilRelease(t *testing.T) {
+	opts := testProtoOptions()
+	reservation := opts.PoolReservation()
+	_, addr := startTestAgent(t, core.EngineOptions{
+		MemBudget:         reservation + reservation/2, // room for one session only
+		AdmitQueueTimeout: 30 * time.Second,
+	}, 0)
+	client, err := control.Dial(addr, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Session 1 holds the budget (prepared, never started).
+	if _, err := client.Prepare(ctx, control.PrepareRequest{Session: 1, Reservation: reservation}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2 queues...
+	payload := make([]byte, 200<<10)
+	iolimit.NewPattern(int64(len(payload)), 7).Read(payload)
+	out := filepath.Join(t.TempDir(), "queued-out")
+	done := make(chan error, 1)
+	go func() { done <- runSessionThrough(ctx, client, 2, payload, out) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := client.Status(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Engine.AdmitQueue == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session 2 never queued: %+v", st.Engine)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("queued session resolved early: %v", err)
+	default:
+	}
+
+	// ...until session 1 is released.
+	if known, err := client.Release(ctx, 1); err != nil || !known {
+		t.Fatalf("release: known=%v err=%v", known, err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued session after release: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("queued session never completed after release")
+	}
+}

@@ -4,12 +4,13 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
+	"kascade/internal/control"
 	"kascade/internal/core"
 	"kascade/internal/deploy"
 	"kascade/internal/topology"
@@ -32,19 +33,21 @@ func newSessionID() core.SessionID {
 	}
 }
 
-// agentSession is one prepared agent: its control connection stays open for
-// the duration of the broadcast.
-type agentSession struct {
-	ctrl     net.Conn
-	enc      *json.Encoder
-	dec      *json.Decoder
+// agentHandle is one pipeline slot's view of its agent: the shared control
+// channel (one per distinct agent address, however many slots and sessions
+// it carries), the advertised data address, and the pending result.
+type agentHandle struct {
 	name     string
+	client   *control.Client
 	dataAddr string
+	pending  *control.Pending
 }
 
-// runRoot drives a broadcast as the sending node: contact agents (or spawn
-// local ones), assemble the pipeline plan, stream the input, and gather the
-// final report.
+// runRoot drives a broadcast as the sending node: open one control channel
+// per agent, run admission (PREPARE) for the session on each, assemble the
+// pipeline plan, start every agent's node, stream the input, and gather
+// the final report. An admission refusal or queue timeout surfaces as a
+// typed *core.AdmissionError before any data connection is dialed.
 func runRoot(o rootOptions) (*core.Report, error) {
 	nodes := o.nodes
 	var stopLocal func()
@@ -64,24 +67,25 @@ func runRoot(o rootOptions) (*core.Report, error) {
 		nodes = sorted
 	}
 
-	// Phase 1: prepare every agent (windowed, like TakTuk's windowed
-	// connection mode, §III-B).
-	sessions := make([]*agentSession, len(nodes))
+	opts := o.protocolOptions()
+	session := newSessionID()
+	ctx := context.Background()
+
+	// Phase 1: one control channel per distinct agent address (windowed,
+	// like TakTuk's windowed connection mode, §III-B), then PREPARE the
+	// session on each — engine admission runs here, before the data plane
+	// exists.
+	clients := newClientPool()
+	defer clients.closeAll()
+	handles := make([]*agentHandle, len(nodes))
 	errs := deploy.ParallelWindow(len(nodes), 50, func(i int) error {
-		s, err := prepareAgent(nodes[i])
+		h, err := prepareAgent(ctx, clients, nodes[i], session, opts)
 		if err != nil {
 			return fmt.Errorf("agent %s: %w", nodes[i], err)
 		}
-		sessions[i] = s
+		handles[i] = h
 		return nil
 	})
-	defer func() {
-		for _, s := range sessions {
-			if s != nil {
-				s.ctrl.Close()
-			}
-		}
-	}()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -95,25 +99,28 @@ func runRoot(o rootOptions) (*core.Report, error) {
 	}
 	defer rootListener.Close()
 	peers := []core.Peer{{Name: "sender", Addr: rootListener.Addr()}}
-	for _, s := range sessions {
-		peers = append(peers, core.Peer{Name: s.name, Addr: s.dataAddr})
+	for _, h := range handles {
+		peers = append(peers, core.Peer{Name: h.name, Addr: h.dataAddr})
 	}
-	plan := core.Plan{Peers: peers, Opts: o.protocolOptions(), Session: newSessionID()}
+	plan := core.Plan{Peers: peers, Opts: opts, Session: session}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
 
-	// Phase 3: start every agent.
+	// Phase 3: start every agent. The results ride back on the same
+	// channels whenever the broadcast ends.
 	sinks := sinkSpec{Path: o.outPath, Command: o.outCmd}
-	for i, s := range sessions {
-		req := ctrlRequest{Op: "start", Index: i + 1, Session: plan.Session, Peers: peers, Opts: plan.Opts, Output: sinks}
+	for i, h := range handles {
+		req := control.StartRequest{Session: session, Index: i + 1, Peers: peers, Opts: plan.Opts, Output: sinks}
 		if o.local > 0 && o.outPath != "" {
 			// The demo writes per-node files side by side.
-			req.Output = sinkSpec{Path: fmt.Sprintf("%s-%s", o.outPath, s.name)}
+			req.Output = sinkSpec{Path: fmt.Sprintf("%s-%s", o.outPath, h.name)}
 		}
-		if err := s.enc.Encode(req); err != nil {
-			return nil, fmt.Errorf("starting agent %s: %w", s.name, err)
+		p, err := h.client.Start(req)
+		if err != nil {
+			return nil, fmt.Errorf("starting agent %s: %w", h.name, err)
 		}
+		h.pending = p
 	}
 
 	// Phase 4: run the sender node on the input.
@@ -143,19 +150,25 @@ func runRoot(o rootOptions) (*core.Report, error) {
 		return nil, err
 	}
 	start := time.Now()
-	report, runErr := node.Run(context.Background())
+	report, runErr := node.Run(ctx)
 	elapsed := time.Since(start)
 
 	// Phase 5: gather agent results (best effort: dead agents are in the
-	// report already).
-	for _, s := range sessions {
-		var resp ctrlResponse
-		s.ctrl.SetReadDeadline(time.Now().Add(10 * time.Second))
-		if err := s.dec.Decode(&resp); err != nil {
+	// report already). Each agent gets its own window, as the per-conn
+	// read deadlines of the v1 protocol did — one slow agent must not
+	// consume the budget of everyone behind it.
+	for _, h := range handles {
+		if h.pending == nil {
 			continue
 		}
-		if resp.Err != "" && !o.quiet {
-			fmt.Fprintf(os.Stderr, "kascade: node %s: %s\n", s.name, resp.Err)
+		resCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		res, err := h.pending.Wait(resCtx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		if res.Err != "" && !o.quiet {
+			fmt.Fprintf(os.Stderr, "kascade: node %s: %s\n", h.name, res.Err)
 		}
 	}
 	if report != nil && !o.quiet {
@@ -166,35 +179,69 @@ func runRoot(o rootOptions) (*core.Report, error) {
 	return report, runErr
 }
 
-// prepareAgent opens the control connection and retrieves the data address.
-func prepareAgent(addr string) (*agentSession, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// clientPool holds one control channel per distinct agent address,
+// dialing each at most once even when pipeline slots prepare in parallel.
+type clientPool struct {
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+}
+
+type poolEntry struct {
+	once   sync.Once
+	client *control.Client
+	err    error
+}
+
+func newClientPool() *clientPool {
+	return &clientPool{entries: make(map[string]*poolEntry)}
+}
+
+func (p *clientPool) get(addr string) (*control.Client, error) {
+	p.mu.Lock()
+	e, ok := p.entries[addr]
+	if !ok {
+		e = &poolEntry{}
+		p.entries[addr] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		e.client, e.err = control.Dial(addr, 10*time.Second, control.ClientOptions{})
+	})
+	return e.client, e.err
+}
+
+func (p *clientPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		if e.client != nil {
+			e.client.Close()
+		}
+	}
+}
+
+// prepareAgent runs admission for the session on one agent, reusing the
+// per-address control channel (an agent appearing in several pipeline
+// slots or carrying several concurrent broadcasts still holds exactly one
+// control connection from this sender).
+func prepareAgent(ctx context.Context, clients *clientPool, addr string, session core.SessionID, opts core.Options) (*agentHandle, error) {
+	client, err := clients.get(addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &agentSession{
-		ctrl: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
-		name: addr,
-	}
-	if err := s.enc.Encode(ctrlRequest{Op: "prepare"}); err != nil {
-		conn.Close()
+	// The deadline covers dial-to-PREPARED including agent-side admission
+	// queueing; the agent's own queue deadline resolves sooner and turns
+	// into a typed refusal.
+	prepCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	rep, err := client.Prepare(prepCtx, control.PrepareRequest{
+		Session:     session,
+		Reservation: opts.PoolReservation(),
+	})
+	if err != nil {
 		return nil, err
 	}
-	var resp ctrlResponse
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if err := s.dec.Decode(&resp); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	conn.SetReadDeadline(time.Time{})
-	if resp.Op != "prepared" || resp.DataAddr == "" {
-		conn.Close()
-		return nil, fmt.Errorf("bad prepare response: %+v", resp)
-	}
-	s.dataAddr = resp.DataAddr
-	return s, nil
+	return &agentHandle{name: addr, client: client, dataAddr: rep.DataAddr}, nil
 }
 
 // spawnLocalAgents starts n in-process agents on loopback for the
@@ -228,18 +275,8 @@ func spawnLocalAgents(n int) ([]string, func(), error) {
 		listeners = append(listeners, l)
 		engines = append(engines, engine)
 		addrs = append(addrs, l.Addr().String())
-		go func(l net.Listener, engine *core.Engine) {
-			for {
-				conn, err := l.Accept()
-				if err != nil {
-					return
-				}
-				go func() {
-					defer conn.Close()
-					_ = serveSession(conn, engine, "127.0.0.1")
-				}()
-			}
-		}(l, engine)
+		a := newAgent(engine, "127.0.0.1", 0)
+		go func(l net.Listener) { _ = a.serve(l) }(l)
 	}
 	return addrs, stop, nil
 }

@@ -86,6 +86,19 @@ func EngineOptions(chunk int) core.Options {
 	}
 }
 
+// MuxOptions are the protocol options of the session-multiplexing bench.
+// Failure detection is deliberately slackened: with sessions × nodes
+// goroutine pipelines oversubscribing a small builder, a PONG can starve
+// past the 500 ms production default and a perfectly healthy node gets
+// declared dead, aborting the artifact. The mux bench measures capacity,
+// not detection latency — the detectors exist here only as a safety net.
+func MuxOptions(chunk int) core.Options {
+	o := EngineOptions(chunk)
+	o.WriteStallTimeout = 3 * time.Second
+	o.PingTimeout = 2 * time.Second
+	return o
+}
+
 // Quantiles summarises a latency sample for machine-readable reports
 // (recovery-latency distributions in the chaos bench, hot-path latencies
 // elsewhere). All values carry the caller's unit.
@@ -155,7 +168,7 @@ func MuxBroadcast(sessions, nodes int, size int64, chunk int) ([]*core.SessionRe
 		payload := Payload(size, 100+uint64(s))
 		configs[s] = core.SessionConfig{
 			Peers:      peers,
-			Opts:       EngineOptions(chunk),
+			Opts:       MuxOptions(chunk),
 			Session:    core.SessionID(s + 1),
 			NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
 			EngineFor:  func(i int) *core.Engine { return engines[i] },

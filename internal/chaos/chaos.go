@@ -48,6 +48,12 @@ const (
 	// SlowSink throttles the victim's local sink to Rate bytes/s for
 	// Delay (0 = rest of the run): the slow-receiver case.
 	SlowSink FaultKind = "slow-sink"
+	// SinkCrash makes the victim's local sink fail the write that crosses
+	// the byte mark: the node abandons and detaches, a session-scoped
+	// death. Unlike Crash it kills one session's node, not the host — on
+	// shared engines the host keeps serving its other sessions, which is
+	// what the cross-session scenarios (Sessions > 1) exercise.
+	SinkCrash FaultKind = "sink-crash"
 )
 
 // Mark is a fault trigger: a byte-offset watch on one node's ingested
@@ -133,6 +139,11 @@ type Scenario struct {
 	// Stream selects the streamed source (abandon cascade on FORGET)
 	// instead of the file-backed one (gap fetches always succeed).
 	Stream bool `json:"stream,omitempty"`
+	// Sessions > 1 selects the cross-session harness: every host runs one
+	// shared core.Engine (single data port) carrying this many overlapping
+	// broadcasts; faults apply to session 1 only, and Check additionally
+	// demands the sibling sessions' delivery and latency are undisturbed.
+	Sessions int `json:"sessions,omitempty"`
 	// LinkRate paces every fabric link (bytes/s) so byte marks land
 	// mid-transfer; 0 leaves links unshaped.
 	LinkRate float64 `json:"link_rate,omitempty"`

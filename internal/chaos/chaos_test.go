@@ -149,6 +149,50 @@ func failureReason(res *Result, idx int) string {
 	return ""
 }
 
+// TestCrossSessionIsolation drives the cross-session harness directly: the
+// sink-crash must actually fire (injection recorded, victim named in the
+// faulted session's report) and the sibling outcome must show clean,
+// complete delivery over the shared engines.
+func TestCrossSessionIsolation(t *testing.T) {
+	sc := Scenario{
+		Name:         "cross-session-direct",
+		Nodes:        4,
+		Sessions:     3,
+		PayloadSize:  256 << 10,
+		ChunkSize:    8 << 10,
+		WindowChunks: 8,
+		LinkRate:     4 << 20,
+		Timeout:      20 * time.Second,
+		Faults: []Fault{{
+			Kind: SinkCrash, Victim: 2, Peer: -1,
+			When: Mark{Node: 2, Bytes: 96 << 10},
+		}},
+	}
+	res := Run(context.Background(), sc)
+	if err := Check(res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injections) != 1 {
+		t.Fatalf("sink crash never fired: %+v", res.Injections)
+	}
+	if !res.Report.Failed(2) {
+		t.Fatalf("faulted session's report does not name the victim: %v", res.Report)
+	}
+	if !res.Outcomes[2].Abandoned {
+		t.Fatalf("victim outcome not abandoned: %+v", res.Outcomes[2])
+	}
+	sib := res.Sibling
+	if sib == nil || sib.Sessions != 2 {
+		t.Fatalf("sibling outcome missing: %+v", sib)
+	}
+	if sib.Failures != 0 || sib.Corrupt || !sib.Complete {
+		t.Fatalf("siblings disturbed: %+v", sib)
+	}
+	if sib.BaselineMs <= 0 || sib.ElapsedMs <= 0 {
+		t.Fatalf("latency measurements missing: %+v", sib)
+	}
+}
+
 // TestByteMarkFires: a byte-offset trigger on a mid-transfer mark must
 // actually inject (the fault fires on the chunk boundary crossing the
 // mark), and a short healed write-stall must leave the broadcast clean.

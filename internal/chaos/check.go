@@ -76,8 +76,39 @@ func Check(res *Result) error {
 		}
 	}
 
+	// Cross-session isolation (Sessions > 1): the sibling sessions sharing
+	// the faulted session's engines must be completely undisturbed —
+	// failure-free, bit-perfect, and no slower than the healthy baseline
+	// phase within a generous noise bound.
+	if sib := res.Sibling; sib != nil {
+		if sib.Failures > 0 {
+			fail("sibling sessions reported %d failure(s)", sib.Failures)
+		}
+		if sib.Corrupt {
+			fail("a sibling session's sink diverged from its source prefix")
+		}
+		if !sib.Complete {
+			fail("a sibling session did not deliver its full payload")
+		}
+		if limit := sib.BaselineMs*siblingLatencyFactor + siblingLatencySlackMs; sib.ElapsedMs > limit {
+			fail("sibling latency disturbed: %.0f ms vs %.0f ms baseline (limit %.0f ms)",
+				sib.ElapsedMs, sib.BaselineMs, limit)
+		}
+	}
+
 	if len(bad) == 0 {
 		return nil
 	}
 	return fmt.Errorf("chaos: %s", strings.Join(bad, "; "))
 }
+
+// siblingLatencyFactor and siblingLatencySlackMs bound how much slower the
+// slowest sibling session may run in the faulted phase versus the healthy
+// baseline. The bound catches systemic disturbance (a wedged shared
+// engine, a poisoned park queue, budget starvation) while absorbing
+// scheduler noise on loaded CI runners — note the faulted session usually
+// LIGHTENS the load mid-run, so a healthy engine sits far below it.
+const (
+	siblingLatencyFactor  = 3.0
+	siblingLatencySlackMs = 1000.0
+)

@@ -49,6 +49,26 @@ type NodeOutcome struct {
 	Reborn bool `json:"reborn,omitempty"`
 }
 
+// SiblingOutcome summarises the sibling sessions of a cross-session run
+// (Scenario.Sessions > 1): broadcasts sharing every engine and data port
+// with the faulted session, which must be completely undisturbed by its
+// fault — bit-perfect, failure-free, and no slower than the same sessions
+// in the healthy baseline phase of the same run (within a generous noise
+// bound; Check enforces it).
+type SiblingOutcome struct {
+	// Sessions is the sibling session count (faulted session excluded).
+	Sessions int `json:"sessions"`
+	// Failures is the total failure count across every sibling's report.
+	Failures int `json:"failures"`
+	// Complete and Corrupt aggregate every sibling sink on every node.
+	Complete bool `json:"complete"`
+	Corrupt  bool `json:"corrupt,omitempty"`
+	// ElapsedMs is the slowest sibling's wall clock in the faulted phase;
+	// BaselineMs the slowest sibling's in the healthy baseline phase.
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	BaselineMs float64 `json:"baseline_ms"`
+}
+
 // Result is everything one chaos run produced.
 type Result struct {
 	Scenario   Scenario      `json:"scenario"`
@@ -57,6 +77,8 @@ type Result struct {
 	Outcomes   []NodeOutcome `json:"outcomes"`
 	Injections []Injection   `json:"injections"`
 	Recoveries []Recovery    `json:"recoveries"`
+	// Sibling is set on cross-session runs (Scenario.Sessions > 1).
+	Sibling *SiblingOutcome `json:"sibling,omitempty"`
 	// Err is a harness-level failure: sender error, or the scenario
 	// blowing its Timeout budget (the bounded-recovery bound).
 	Err string `json:"err,omitempty"`
@@ -88,17 +110,21 @@ func (sc Scenario) options() core.Options {
 const DetectBudget = 3 * time.Second
 
 // prefixSink verifies bytes against the expected payload as they arrive
-// and optionally throttles (the slow-receiver fault). Any divergence is
-// remembered as corruption; a prefix is always acceptable (aborted nodes
-// legitimately hold partial data).
+// and optionally throttles (the slow-receiver fault) or fails outright at
+// a byte offset (the sink-crash fault). Any divergence is remembered as
+// corruption; a prefix is always acceptable (aborted nodes legitimately
+// hold partial data).
 type prefixSink struct {
-	want []byte
-	clk  core.Clock    // throttle pacing: the scenario's clock, not raw time.Sleep
-	rate atomic.Uint64 // bytes/s; 0 = full speed
+	want   []byte
+	clk    core.Clock    // throttle pacing: the scenario's clock, not raw time.Sleep
+	rate   atomic.Uint64 // bytes/s; 0 = full speed
+	failAt int           // fail the write crossing this offset (0 = never)
+	onFail func()        // observed exactly once, when the failure fires
 
 	mu      sync.Mutex
 	off     int
 	corrupt bool
+	failed  bool
 }
 
 func newPrefixSink(want []byte, clk core.Clock) *prefixSink {
@@ -110,12 +136,22 @@ func (s *prefixSink) Write(p []byte) (int, error) {
 		s.clk.Sleep(time.Duration(float64(len(p)) / float64(r) * float64(time.Second)))
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	end := s.off + len(p)
 	if end > len(s.want) || !bytes.Equal(p, s.want[s.off:end]) {
 		s.corrupt = true
 	}
+	if s.failAt > 0 && end >= s.failAt && !s.failed {
+		s.failed = true
+		onFail := s.onFail
+		off := s.off
+		s.mu.Unlock()
+		if onFail != nil {
+			onFail()
+		}
+		return 0, fmt.Errorf("chaos: injected sink crash at offset %d", off)
+	}
 	s.off = end
+	s.mu.Unlock()
 	return len(p), nil
 }
 
@@ -170,6 +206,9 @@ func Run(ctx context.Context, sc Scenario) *Result {
 func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 	if sc.Timeout <= 0 {
 		sc.Timeout = 30 * time.Second
+	}
+	if sc.Sessions > 1 {
+		return runCross(ctx, sc, clk)
 	}
 	r := &runner{
 		sc:       sc,

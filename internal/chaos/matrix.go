@@ -104,6 +104,19 @@ func Matrix(seed int64, full bool) []Scenario {
 		})
 	}
 
+	// Cross-session isolation: every host runs one shared engine (single
+	// data port) carrying three overlapping sessions; session 1 loses its
+	// middle node to a sink crash — a session-scoped death that must leave
+	// the sibling sessions' delivery and latency undisturbed.
+	{
+		shape := shapeFor(5)
+		add("cross-session/n=5", shape, func(sc *Scenario) {
+			sc.Sessions = 3
+			sc.Faults = []Fault{{Kind: SinkCrash, Victim: 2, Peer: -1,
+				When: Mark{Node: 2, Bytes: uint64(shape.PayloadSize / 3)}}}
+		})
+	}
+
 	// Streamed source + crash with a tiny replay window: the gap can
 	// outgrow every window, forcing the FORGET → abandon cascade.
 	for _, n := range []int{3, 7} {

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// admitTestEngine builds an engine with a small budget for admission tests.
+func admitTestEngine(t *testing.T, budget int64, opts EngineOptions) *Engine {
+	t.Helper()
+	fabric := transport.NewFabric(64 << 10)
+	opts.MemBudget = budget
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestAdmitAcceptRefuse covers the immediate decisions: a fitting
+// reservation is accepted and debited; an impossible one (larger than the
+// whole budget) and a duplicate are refused with reasons.
+func TestAdmitAcceptRefuse(t *testing.T) {
+	e := admitTestEngine(t, 10<<10, EngineOptions{})
+
+	tk := e.Admit(1, 8<<10)
+	if tk.Decision() != AdmitAccepted {
+		t.Fatalf("fitting reservation: %v (%v)", tk.Decision(), tk.Err())
+	}
+	if st := e.Stats(); st.PoolReserved != 8<<10 || st.Admitted != 1 {
+		t.Fatalf("accepted reservation not debited: %+v", st)
+	}
+
+	// Impossible: larger than the entire budget — refused, never queued.
+	tk = e.Admit(2, 11<<10)
+	if tk.Decision() != AdmitRefused {
+		t.Fatalf("impossible reservation: %v", tk.Decision())
+	}
+	var adErr *AdmissionError
+	if err := tk.Err(); !errors.As(err, &adErr) || adErr.Session != 2 || adErr.Queued {
+		t.Fatalf("refusal error: %v", err)
+	}
+
+	// Duplicate of an admitted session.
+	if tk := e.Admit(1, 1<<10); tk.Decision() != AdmitRefused {
+		t.Fatalf("duplicate admit: %v", tk.Decision())
+	}
+	// The default v1 session may not be admitted explicitly.
+	if tk := e.Admit(0, 1<<10); tk.Decision() != AdmitRefused {
+		t.Fatalf("session-0 admit: %v", tk.Decision())
+	}
+	if st := e.Stats(); st.Refused != 3 {
+		t.Fatalf("refused counter %d, want 3", st.Refused)
+	}
+}
+
+// TestAdmitQueueReleasedOnSessionEnd: a reservation that does not fit now
+// queues, is observable in EngineStats, and is admitted the moment a
+// running session's release frees the budget.
+func TestAdmitQueueReleasedOnSessionEnd(t *testing.T) {
+	e := admitTestEngine(t, 10<<10, EngineOptions{AdmitQueueTimeout: 30 * time.Second})
+	h := newFakeHandler()
+
+	tkA := e.Admit(1, 8<<10)
+	if tkA.Decision() != AdmitAccepted {
+		t.Fatalf("session 1: %v", tkA.Decision())
+	}
+	if _, err := e.register(1, h, 1<<10, 8); err != nil { // adopt the grant
+		t.Fatal(err)
+	}
+	e.attach(1, h)
+
+	tkB := e.Admit(2, 6<<10) // does not fit until session 1 ends
+	if tkB.Decision() != AdmitQueued {
+		t.Fatalf("session 2: %v, want queued", tkB.Decision())
+	}
+	if st := e.Stats(); st.AdmitQueue != 1 || st.Queued != 1 {
+		t.Fatalf("queue not observable: %+v", st)
+	}
+
+	waitDone := make(chan AdmitDecision, 1)
+	go func() {
+		d, _ := tkB.Wait(context.Background())
+		waitDone <- d
+	}()
+	select {
+	case d := <-waitDone:
+		t.Fatalf("queued ticket resolved early: %v", d)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	e.unregister(1, h) // release hook: budget frees, the queue pumps
+	select {
+	case d := <-waitDone:
+		if d != AdmitAccepted {
+			t.Fatalf("after release: %v (%v)", d, tkB.Err())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued admission never resolved after budget freed")
+	}
+	st := e.Stats()
+	if st.AdmitQueue != 0 || st.PoolReserved != 6<<10 {
+		t.Fatalf("post-release stats: %+v", st)
+	}
+
+	// The admitted-but-unregistered grant is cancellable (lease expiry).
+	tkB.Cancel()
+	if st := e.Stats(); st.PoolReserved != 0 {
+		t.Fatalf("cancel left %d B reserved", st.PoolReserved)
+	}
+}
+
+// TestAdmitQueueFIFONoStarvation: the queue resolves strictly FIFO — a
+// large reservation at the head is not starved by a small one behind it.
+func TestAdmitQueueFIFONoStarvation(t *testing.T) {
+	e := admitTestEngine(t, 10<<10, EngineOptions{AdmitQueueTimeout: 30 * time.Second})
+	h := newFakeHandler()
+	if _, err := e.register(1, h, 1<<10, 9); err != nil {
+		t.Fatal(err)
+	}
+	e.attach(1, h)
+
+	big := e.Admit(2, 8<<10)   // queued first
+	small := e.Admit(3, 1<<10) // would fit right now, but must wait its turn
+	if big.Decision() != AdmitQueued || small.Decision() != AdmitQueued {
+		t.Fatalf("decisions: big=%v small=%v", big.Decision(), small.Decision())
+	}
+
+	e.unregister(1, h) // frees 9 KiB: head (8 KiB) fits, then small (1 KiB)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if d, err := big.Wait(ctx); d != AdmitAccepted {
+		t.Fatalf("big: %v (%v)", d, err)
+	}
+	if d, err := small.Wait(ctx); d != AdmitAccepted {
+		t.Fatalf("small: %v (%v)", d, err)
+	}
+}
+
+// TestAdmitQueueTimeout: a queued session whose deadline passes without
+// budget freeing resolves to a typed, queue-flagged refusal.
+func TestAdmitQueueTimeout(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	e := admitTestEngine(t, 10<<10, EngineOptions{AdmitQueueTimeout: 5 * time.Second, Clock: clk})
+	h := newFakeHandler()
+	if _, err := e.register(1, h, 1<<10, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	tk := e.Admit(2, 8<<10)
+	if tk.Decision() != AdmitQueued {
+		t.Fatalf("decision %v, want queued", tk.Decision())
+	}
+	clk.Advance(6 * time.Second)
+	d, err := tk.Wait(context.Background())
+	if d != AdmitRefused {
+		t.Fatalf("after deadline: %v", d)
+	}
+	var adErr *AdmissionError
+	if !errors.As(err, &adErr) || !adErr.Queued {
+		t.Fatalf("timeout error not typed/queued: %v", err)
+	}
+	if st := e.Stats(); st.QueueTimeouts != 1 || st.AdmitQueue != 0 {
+		t.Fatalf("timeout stats: %+v", st)
+	}
+}
+
+// TestAdmitMaxSessionsCap: the session cap queues sessions even when the
+// byte budget would fit them, and frees on session end.
+func TestAdmitMaxSessionsCap(t *testing.T) {
+	e := admitTestEngine(t, 1<<20, EngineOptions{MaxSessions: 1, AdmitQueueTimeout: 30 * time.Second})
+	h := newFakeHandler()
+	if _, err := e.register(1, h, 1<<10, 4); err != nil {
+		t.Fatal(err)
+	}
+	tk := e.Admit(2, 4<<10)
+	if tk.Decision() != AdmitQueued {
+		t.Fatalf("over session cap: %v, want queued", tk.Decision())
+	}
+	e.unregister(1, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if d, err := tk.Wait(ctx); d != AdmitAccepted {
+		t.Fatalf("after cap freed: %v (%v)", d, err)
+	}
+}
+
+// TestAdmittedReservationAdoptedByRegister: register adopts the admitted
+// byte grant instead of re-reserving, so admission and registration never
+// double-count.
+func TestAdmittedReservationAdoptedByRegister(t *testing.T) {
+	e := admitTestEngine(t, 10<<10, EngineOptions{})
+	opts := Options{ChunkSize: 1 << 10, PoolChunks: 6, WindowChunks: 4}
+	if tk := e.Admit(4, opts.PoolReservation()); tk.Decision() != AdmitAccepted {
+		t.Fatalf("admit: %v", tk.Decision())
+	}
+	h := newFakeHandler()
+	if _, err := e.register(4, h, opts.ChunkSize, opts.PoolChunks); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.PoolReserved != 6<<10 || len(st.PerSession) != 1 {
+		t.Fatalf("double-counted adoption: %+v", st)
+	}
+	// Now owned: a second register of the same sid is a duplicate.
+	if _, err := e.register(4, newFakeHandler(), 1<<10, 2); err == nil {
+		t.Fatal("duplicate register after adoption accepted")
+	}
+	e.unregister(4, h)
+	if st := e.Stats(); st.PoolReserved != 0 {
+		t.Fatalf("release after adoption leaked: %+v", st)
+	}
+}
+
+// TestStaleCancelCannotRevokeNewerGrant: a Cancel from an old ticket must
+// not revoke a NEWER admission that reused the same session ID (the
+// agent's post-run cleanup races re-prepares of recycled IDs).
+func TestStaleCancelCannotRevokeNewerGrant(t *testing.T) {
+	e := admitTestEngine(t, 10<<10, EngineOptions{})
+	h := newFakeHandler()
+
+	old := e.Admit(1, 2<<10)
+	if old.Decision() != AdmitAccepted {
+		t.Fatalf("first admit: %v", old.Decision())
+	}
+	if _, err := e.register(1, h, 1<<10, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.unregister(1, h) // session 1's first run ends; the ID is free again
+
+	fresh := e.Admit(1, 3<<10) // a new broadcast reuses the ID
+	if fresh.Decision() != AdmitAccepted {
+		t.Fatalf("re-admit: %v", fresh.Decision())
+	}
+	old.Cancel() // the first run's cleanup fires late
+	if st := e.Stats(); st.PoolReserved != 3<<10 {
+		t.Fatalf("stale cancel revoked the new grant: %+v", st)
+	}
+	fresh.Cancel()
+	if st := e.Stats(); st.PoolReserved != 0 {
+		t.Fatalf("owning cancel failed: %+v", st)
+	}
+}
+
+// TestAdmitEngineCloseResolvesQueue: closing the engine refuses every
+// queued admission instead of leaving waiters hung.
+func TestAdmitEngineCloseResolvesQueue(t *testing.T) {
+	e := admitTestEngine(t, 10<<10, EngineOptions{AdmitQueueTimeout: time.Hour})
+	h := newFakeHandler()
+	if _, err := e.register(1, h, 1<<10, 8); err != nil {
+		t.Fatal(err)
+	}
+	tk := e.Admit(2, 8<<10)
+	if tk.Decision() != AdmitQueued {
+		t.Fatalf("decision %v", tk.Decision())
+	}
+	e.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if d, err := tk.Wait(ctx); d != AdmitRefused || err == nil {
+		t.Fatalf("after close: %v (%v)", d, err)
+	}
+}

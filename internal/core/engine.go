@@ -11,8 +11,9 @@ import (
 // Engine is the per-process accept layer of a long-lived broadcast agent:
 // one shared data listener whose connections are routed to the broadcast
 // session named in their opening HELLO, a registry of the sessions in
-// flight, and a global memory budget that the per-session chunk pools are
-// accounted against.
+// flight, an admission policy deciding which new sessions may run (see
+// admission.go), and a global memory budget that the per-session chunk
+// pools are accounted against.
 //
 // The single-broadcast tools (the CLI sender, the protocol tests) keep
 // giving each Node its own listener; an agent that must carry many
@@ -21,44 +22,69 @@ import (
 // for sessions that have not registered yet — the prepare/start race, a
 // predecessor dialing a successor whose start message is still in flight —
 // are parked briefly instead of refused, preserving the listener-backlog
-// semantics of the one-listener-per-node design.
+// semantics of the one-listener-per-node design. A parked connection is
+// watched for remote close, so a dialer that gives up frees its park slot
+// immediately instead of pinning it until ParkTimeout.
 type Engine struct {
 	opts EngineOptions
 	clk  Clock
 	lst  transport.Listener
 
 	mu       sync.Mutex
-	sessions map[SessionID]connHandler  // attached (routable) sessions
-	reserved map[SessionID]*reservation // budget accounting, from register to unregister
-	used     int64                      // sum of reserved bytes
+	sessions map[SessionID]connHandler // attached (routable) sessions
+	reserved map[SessionID]*grant      // budget accounting, admission to unregister
+	used     int64                     // sum of reserved bytes
+	admitQ   []*admitWaiter            // FIFO of queued admissions
 	parked   map[SessionID][]*parkedConn
 	nParked  int
 	closed   bool
+
+	// Monotonic admission / park counters (EngineStats).
+	admittedTotal uint64
+	queuedTotal   uint64
+	refusedTotal  uint64
+	queueTimeouts uint64
+	parkExpired   uint64
+	parkReaped    uint64
 }
 
-// reservation is one session's claim on the pool budget. It exists from
-// register (before the session is routable) until unregister, so a node
-// mid-prepare cannot lose its session ID to a racing duplicate.
-type reservation struct {
-	owner connHandler
-	bytes int64
+// grant is one session's claim on the pool budget. It exists from admission
+// (or register, for sessions that skip explicit admission) until
+// unregister, so a node mid-prepare cannot lose its session ID to a racing
+// duplicate. owner is nil while the grant is admitted but not yet adopted
+// by a running node; ticket then records which admission created it, so a
+// stale Cancel from an earlier ticket for the same (since recycled)
+// session ID cannot revoke a newer admission's grant.
+type grant struct {
+	owner  connHandler
+	bytes  int64
+	ticket *Ticket
 }
 
 // EngineOptions tunes the shared accept layer. The zero value selects
 // production defaults.
 type EngineOptions struct {
-	// Clock is the engine's time source (HELLO deadlines, park expiry),
-	// the same seam Options.Clock gives the per-session nodes, so
-	// deterministic harnesses can fake engine time too. Nil selects the
-	// system clock.
+	// Clock is the engine's time source (HELLO deadlines, park expiry,
+	// admission queue deadlines), the same seam Options.Clock gives the
+	// per-session nodes, so deterministic harnesses can fake engine time
+	// too. Nil selects the system clock.
 	Clock Clock
-	// MemBudget bounds the total bytes of pooled payload buffers parked
-	// across all sessions. A session asking for more than the remaining
-	// budget gets a trimmed pool (never below a small floor): correctness
-	// is unaffected — a pool is a free list, not an allocator — the
-	// session merely recycles less and leans on the GC more.
-	// Defaults to 256 MiB.
+	// MemBudget bounds the total bytes of pooled payload buffers reserved
+	// across all sessions. A session whose reservation does not fit is no
+	// longer silently granted a floor-sized pool: Admit queues or refuses
+	// it, and a direct register without prior admission is refused with a
+	// typed *AdmissionError. Defaults to 256 MiB.
 	MemBudget int64
+	// MaxSessions caps the number of concurrently admitted sessions
+	// (registered plus admitted-but-not-yet-started). 0 means no cap
+	// beyond the memory budget.
+	MaxSessions int
+	// AdmitQueueTimeout is how long a session that does not fit right now
+	// may wait in the admission queue for budget to free. Defaults to 30 s.
+	AdmitQueueTimeout time.Duration
+	// MaxAdmitQueue caps the admission queue length; admissions beyond it
+	// are refused outright. Defaults to 64.
+	MaxAdmitQueue int
 	// HelloTimeout bounds reading the opening HELLO frame of an accepted
 	// connection. Defaults to 10 s.
 	HelloTimeout time.Duration
@@ -73,6 +99,12 @@ type EngineOptions struct {
 func (o EngineOptions) withDefaults() EngineOptions {
 	if o.MemBudget <= 0 {
 		o.MemBudget = 256 << 20
+	}
+	if o.AdmitQueueTimeout <= 0 {
+		o.AdmitQueueTimeout = 30 * time.Second
+	}
+	if o.MaxAdmitQueue <= 0 {
+		o.MaxAdmitQueue = 64
 	}
 	if o.HelloTimeout <= 0 {
 		o.HelloTimeout = 10 * time.Second
@@ -102,14 +134,22 @@ type connHandler interface {
 }
 
 // parkedConn is a routed connection waiting for its session to attach.
-// Exactly one of two things happens to it: attach removes it from the
-// park and hands it to the session (stop releases the expiry watcher), or
-// the expiry watcher removes it and closes it.
+// Exactly one resolution is ever sent: attach hands it to the session,
+// expiry/reaping/engine-close drop it (nil handler). The park watcher
+// goroutine (watchParked) is the only code touching the connection while
+// parked, which keeps the remote-close Peek and the session's own reads
+// from ever running concurrently.
 type parkedConn struct {
-	w    *wire
-	role Role
-	from int
-	stop chan struct{}
+	w       *wire
+	role    Role
+	from    int
+	resolve chan parkResolution // buffered 1; sent by whoever unparks it
+}
+
+// parkResolution is the single outcome of a parked connection: adopt into
+// handler h, or (nil h) close and drop.
+type parkResolution struct {
+	h connHandler
 }
 
 // NewEngine binds addr on network and starts the shared accept loop.
@@ -127,7 +167,7 @@ func NewEngine(network transport.Network, addr string, opts EngineOptions) (*Eng
 		clk:      o.Clock,
 		lst:      l,
 		sessions: make(map[SessionID]connHandler),
-		reserved: make(map[SessionID]*reservation),
+		reserved: make(map[SessionID]*grant),
 		parked:   make(map[SessionID][]*parkedConn),
 	}
 	go e.acceptLoop()
@@ -137,8 +177,8 @@ func NewEngine(network transport.Network, addr string, opts EngineOptions) (*Eng
 // Addr reports the shared data listener's bound address.
 func (e *Engine) Addr() string { return e.lst.Addr() }
 
-// Close shuts the shared listener down and notifies every registered
-// session that no further connections can arrive.
+// Close shuts the shared listener down, refuses every queued admission and
+// notifies every registered session that no further connections can arrive.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -148,8 +188,10 @@ func (e *Engine) Close() error {
 	e.closed = true
 	handlers := e.allHandlersLocked()
 	e.dropParkedLocked()
+	resolved := e.pumpAdmitQueueLocked() // closed: refuses every waiter
 	e.mu.Unlock()
 
+	closeTickets(resolved)
 	err := e.lst.Close()
 	for _, h := range handlers {
 		h.listenerFailed(transport.ErrClosed)
@@ -170,19 +212,39 @@ func (e *Engine) allHandlersLocked() []connHandler {
 	return handlers
 }
 
-// EngineStats is a snapshot of the registry and the pooled-memory
-// accounting, for tests and operational introspection.
+// EngineStats is a snapshot of the registry, the pooled-memory accounting
+// and the admission/park counters, for tests and operational introspection.
 type EngineStats struct {
 	// Sessions is the number of registered broadcasts.
-	Sessions int
+	Sessions int `json:"sessions"`
 	// PoolBudget and PoolReserved are the configured global budget and
-	// the bytes currently accounted to sessions.
-	PoolBudget   int64
-	PoolReserved int64
-	// PerSession maps each registered session to its reserved bytes.
-	PerSession map[SessionID]int64
+	// the bytes currently accounted to sessions (including admitted
+	// sessions that have not registered yet).
+	PoolBudget   int64 `json:"pool_budget"`
+	PoolReserved int64 `json:"pool_reserved"`
+	// PerSession maps each admitted or registered session to its reserved
+	// bytes.
+	PerSession map[SessionID]int64 `json:"per_session,omitempty"`
 	// Parked is the number of connections waiting for their session.
-	Parked int
+	Parked int `json:"parked"`
+
+	// AdmitQueue is the current admission queue depth: sessions parked
+	// until budget frees.
+	AdmitQueue int `json:"admit_queue"`
+	// Admitted/Queued/Refused count admission outcomes since the engine
+	// started (a queued session that is later accepted counts in both
+	// Queued and Admitted; one that times out counts in Queued, Refused
+	// and QueueTimeouts).
+	Admitted      uint64 `json:"admitted"`
+	Queued        uint64 `json:"queued"`
+	Refused       uint64 `json:"refused"`
+	QueueTimeouts uint64 `json:"queue_timeouts"`
+
+	// ParkExpired counts parked connections dropped at ParkTimeout;
+	// ParkReaped counts those reclaimed early because the remote end
+	// closed while parked.
+	ParkExpired uint64 `json:"park_expired"`
+	ParkReaped  uint64 `json:"park_reaped"`
 }
 
 // Stats snapshots the engine's accounting.
@@ -190,11 +252,18 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := EngineStats{
-		Sessions:     len(e.sessions),
-		PoolBudget:   e.opts.MemBudget,
-		PoolReserved: e.used,
-		PerSession:   make(map[SessionID]int64, len(e.reserved)),
-		Parked:       e.nParked,
+		Sessions:      len(e.sessions),
+		PoolBudget:    e.opts.MemBudget,
+		PoolReserved:  e.used,
+		PerSession:    make(map[SessionID]int64, len(e.reserved)),
+		Parked:        e.nParked,
+		AdmitQueue:    len(e.admitQ),
+		Admitted:      e.admittedTotal,
+		Queued:        e.queuedTotal,
+		Refused:       e.refusedTotal,
+		QueueTimeouts: e.queueTimeouts,
+		ParkExpired:   e.parkExpired,
+		ParkReaped:    e.parkReaped,
 	}
 	for sid, r := range e.reserved {
 		st.PerSession[sid] = r.bytes
@@ -202,23 +271,36 @@ func (e *Engine) Stats() EngineStats {
 	return st
 }
 
-// minPoolChunks is the pool-capacity floor every session is granted even
-// when the global budget is exhausted: enough parked buffers to keep the
-// frame-in-flight churn off the allocator.
-const minPoolChunks = 4
 
-// register claims a session ID and reserves its chunk pool against the
-// remaining global budget. The session is NOT routable yet: the caller
-// finishes building its stores first and then calls attach, so a
-// connection can never be routed into a half-constructed node. The
-// returned pool stays valid until unregister releases the reservation.
+// register claims a session ID and its chunk-pool grant. A session that
+// went through Admit adopts its admitted reservation; one that registers
+// directly (in-process sessions, v1 dialers on the default session) gets
+// an implicit immediate admission — accepted if the reservation fits,
+// refused with a typed *AdmissionError otherwise. register never queues:
+// a node inside Run must not block on other sessions, so callers that
+// want queue-with-deadline semantics call Admit first and register only
+// after the ticket resolves.
+//
+// The session is NOT routable yet: the caller finishes building its stores
+// first and then calls attach, so a connection can never be routed into a
+// half-constructed node. The returned pool stays valid until unregister
+// releases the grant.
 func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks int) (*chunkPool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, fmt.Errorf("kascade: engine is closed")
 	}
-	if _, dup := e.reserved[sid]; dup {
+	if r, ok := e.reserved[sid]; ok {
+		if r.owner == nil {
+			// Adopt the admitted reservation.
+			r.owner = h
+			capacity := int(r.bytes / int64(chunkSize))
+			if capacity < 1 {
+				capacity = 1
+			}
+			return newChunkPool(chunkSize, capacity), nil
+		}
 		if sid == 0 {
 			// Two concurrent v1 (pre-session-ID) broadcasts: the shared
 			// data port can only carry one default session at a time.
@@ -227,24 +309,38 @@ func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks in
 		return nil, fmt.Errorf("kascade: session %d already registered on this engine", sid)
 	}
 
-	// Per-session accounting against the global budget: grant what fits,
-	// never less than the floor.
-	want := int64(chunkSize) * int64(poolChunks)
-	grant := e.opts.MemBudget - e.used
-	if grant > want {
-		grant = want
+	// Implicit admission: accept immediately or refuse — never the silent
+	// floor-sized pool of old (admission made that fallback obsolete), and
+	// never ahead of sessions already queued (their freed-budget claim is
+	// strictly FIFO; a register may not take the bytes the queue head is
+	// waiting for). The pool parks exactly the debited capacity: budget
+	// accounting and parkable bytes can never diverge.
+	capacity := poolChunks
+	if capacity < 1 {
+		capacity = 1
 	}
-	if floor := int64(chunkSize) * minPoolChunks; grant < floor {
-		grant = floor
+	want := int64(chunkSize) * int64(capacity)
+	if len(e.admitQ) > 0 || !e.fitsLocked(want) {
+		e.refusedTotal++
+		reason := fmt.Sprintf("pool reservation of %d B does not fit (%d of %d B budget in use across %d sessions)",
+			want, e.used, e.opts.MemBudget, len(e.reserved))
+		switch {
+		case len(e.admitQ) > 0:
+			reason = fmt.Sprintf("%d session(s) queued ahead (admission is FIFO; use Admit to wait)", len(e.admitQ))
+		case e.opts.MaxSessions > 0 && len(e.reserved) >= e.opts.MaxSessions:
+			reason = fmt.Sprintf("engine at its session cap (%d)", e.opts.MaxSessions)
+		}
+		return nil, &AdmissionError{Session: sid, Reason: reason}
 	}
-	e.reserved[sid] = &reservation{owner: h, bytes: grant}
-	e.used += grant
-	return newChunkPool(chunkSize, int(grant/int64(chunkSize))), nil
+	e.reserved[sid] = &grant{owner: h, bytes: want}
+	e.used += want
+	e.admittedTotal++
+	return newChunkPool(chunkSize, capacity), nil
 }
 
 // attach publishes a registered session: the registry routes its
 // connections from now on and parked connections are flushed to it. The
-// caller must hold the sid reservation from a successful register. If the
+// caller must hold the sid grant from a successful register. If the
 // engine died in between, the handler is told immediately.
 func (e *Engine) attach(sid SessionID, h connHandler) {
 	e.mu.Lock()
@@ -260,27 +356,30 @@ func (e *Engine) attach(sid SessionID, h connHandler) {
 	e.mu.Unlock()
 
 	for _, pc := range flush {
-		close(pc.stop) // release the expiry watcher; it can no longer win
-		go h.handleWire(pc.w, pc.role, pc.from)
+		pc.resolve <- parkResolution{h: h} // the park watcher hands it over
 	}
 }
 
 // unregister detaches a session: its connections are refused from now on
 // (inbound pings go unanswered, so predecessors route around it, exactly
-// as if a dedicated listener had closed) and its pool reservation returns
-// to the global budget. Only the owning handler may detach its session;
-// stale calls are no-ops, so abandon paths and the Run epilogue can both
-// call it safely.
+// as if a dedicated listener had closed) and its pool grant returns to the
+// global budget, which is the admission queue's release hook — freed
+// budget immediately admits as many queued sessions as now fit. Only the
+// owning handler may detach its session; stale calls are no-ops, so
+// abandon paths and the Run epilogue can both call it safely.
 func (e *Engine) unregister(sid SessionID, h connHandler) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	r, ok := e.reserved[sid]
 	if !ok || r.owner != h {
+		e.mu.Unlock()
 		return
 	}
 	delete(e.sessions, sid)
 	e.used -= r.bytes
 	delete(e.reserved, sid)
+	resolved := e.pumpAdmitQueueLocked()
+	e.mu.Unlock()
+	closeTickets(resolved)
 }
 
 func (e *Engine) acceptLoop() {
@@ -292,7 +391,9 @@ func (e *Engine) acceptLoop() {
 			e.closed = true
 			handlers := e.allHandlersLocked()
 			e.dropParkedLocked()
+			resolved := e.pumpAdmitQueueLocked()
 			e.mu.Unlock()
+			closeTickets(resolved)
 			if !wasClosed {
 				// The listener died underneath running sessions (host
 				// killed, fd exhaustion): release the socket and let
@@ -333,26 +434,80 @@ func (e *Engine) route(c transport.Conn) {
 		_ = w.close()
 		return
 	}
-	pc := &parkedConn{w: w, role: role, from: from, stop: make(chan struct{})}
+	pc := &parkedConn{w: w, role: role, from: from, resolve: make(chan parkResolution, 1)}
 	e.parked[sid] = append(e.parked[sid], pc)
 	e.nParked++
 	e.mu.Unlock()
 
-	timer := e.clk.NewTimer(e.opts.ParkTimeout)
-	go func() {
-		defer timer.Stop()
-		select {
-		case <-timer.C():
-			e.expire(sid, pc)
-		case <-pc.stop:
-		}
-	}()
+	// Clear the HELLO deadline before the watcher starts: the peek must
+	// wait as long as the park does, and only the adoption path may arm a
+	// (wake-up) deadline from here on.
+	_ = w.conn.SetReadDeadline(time.Time{})
+	go e.watchParked(sid, pc)
 }
 
-// expire drops one parked connection whose session never attached. The
-// connection is only closed if this call actually removed it from the
-// park — attach may have already handed it to the session.
-func (e *Engine) expire(sid SessionID, pc *parkedConn) {
+// watchParked owns a parked connection until exactly one of three things
+// happens: the session attaches (adopt), the park deadline passes (drop),
+// or the remote end closes while parked (reap — the leak fix: a dialer
+// that gave up must not pin a park slot until ParkTimeout). Remote close
+// is observed with a blocking Peek on the connection's buffered reader,
+// which never consumes protocol bytes — a fetch dialer's early PGET stays
+// intact for the adopting session.
+func (e *Engine) watchParked(sid SessionID, pc *parkedConn) {
+	peeked := make(chan error, 1)
+	go func() {
+		_, err := pc.w.br.Peek(1)
+		peeked <- err
+	}()
+
+	timer := e.clk.NewTimer(e.opts.ParkTimeout)
+	defer timer.Stop()
+
+	var res parkResolution
+	peekDone := false
+	select {
+	case res = <-pc.resolve:
+	case <-timer.C():
+		e.unpark(sid, pc, &e.parkExpired)
+		res = <-pc.resolve
+	case err := <-peeked:
+		peekDone = true
+		if err == nil || transport.IsTimeout(err) {
+			// Bytes are waiting (or a stray deadline fired): the remote is
+			// alive; park on until adoption or expiry.
+			select {
+			case res = <-pc.resolve:
+			case <-timer.C():
+				e.unpark(sid, pc, &e.parkExpired)
+				res = <-pc.resolve
+			}
+		} else {
+			// Remote closed while parked: reap the slot immediately.
+			e.unpark(sid, pc, &e.parkReaped)
+			res = <-pc.resolve
+		}
+	}
+
+	if res.h == nil {
+		_ = pc.w.close()
+		return
+	}
+	// Adopted: stop the peeker before the session touches the reader (the
+	// bufio.Reader must never be shared), then clear the wake-up deadline.
+	if !peekDone {
+		_ = pc.w.conn.SetReadDeadline(time.Unix(1, 0))
+		<-peeked
+	}
+	_ = pc.w.conn.SetReadDeadline(time.Time{})
+	res.h.handleWire(pc.w, pc.role, pc.from)
+}
+
+// unpark removes pc from the park (if something else has not already) and
+// resolves it as dropped, bumping counter when this call did the removal.
+// Exactly one resolution is ever sent per parked connection: if attach or
+// dropParkedLocked got there first, their resolution is already in flight
+// and this call is a no-op.
+func (e *Engine) unpark(sid SessionID, pc *parkedConn, counter *uint64) {
 	e.mu.Lock()
 	found := false
 	queue := e.parked[sid]
@@ -369,18 +524,21 @@ func (e *Engine) expire(sid SessionID, pc *parkedConn) {
 	} else {
 		e.parked[sid] = queue
 	}
+	if found && counter != nil {
+		*counter++
+	}
 	e.mu.Unlock()
 	if found {
-		_ = pc.w.close()
+		pc.resolve <- parkResolution{}
 	}
 }
 
-// dropParkedLocked closes every parked connection. Caller holds e.mu.
+// dropParkedLocked resolves every parked connection as dropped; their
+// watchers do the closing. Caller holds e.mu.
 func (e *Engine) dropParkedLocked() {
 	for sid, queue := range e.parked {
 		for _, pc := range queue {
-			close(pc.stop)
-			_ = pc.w.close()
+			pc.resolve <- parkResolution{}
 		}
 		delete(e.parked, sid)
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -137,8 +139,9 @@ func TestEngineParksEarlyConnections(t *testing.T) {
 }
 
 // TestEnginePoolBudget checks the per-session accounting: grants come out
-// of the shared budget, are trimmed when it runs low (never below the
-// floor), and return to the budget on unregister.
+// of the shared budget, a reservation that does not fit is refused with a
+// typed *AdmissionError (no more silent floor-sized pools), and grants
+// return to the budget on unregister.
 func TestEnginePoolBudget(t *testing.T) {
 	fabric := transport.NewFabric(64 << 10)
 	const chunk = 1 << 10
@@ -153,7 +156,16 @@ func TestEnginePoolBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.attach(1, hA)
-	if _, err := e.register(2, hB, chunk, 8); err != nil { // 2 left: floor raises to 4
+	// 2 chunks left of the budget: an 8-chunk reservation is refused with
+	// the typed admission error, not floored.
+	var adErr *AdmissionError
+	if _, err := e.register(2, hB, chunk, 8); !errors.As(err, &adErr) {
+		t.Fatalf("overload register: %v, want *AdmissionError", err)
+	} else if adErr.Session != 2 {
+		t.Fatalf("admission error names session %d, want 2", adErr.Session)
+	}
+	// A 2-chunk reservation still fits.
+	if _, err := e.register(2, hB, chunk, 2); err != nil {
 		t.Fatal(err)
 	}
 	e.attach(2, hB)
@@ -161,11 +173,14 @@ func TestEnginePoolBudget(t *testing.T) {
 	if st.PerSession[1] != 8*chunk {
 		t.Fatalf("session 1 reserved %d, want %d", st.PerSession[1], 8*chunk)
 	}
-	if st.PerSession[2] != minPoolChunks*chunk {
-		t.Fatalf("session 2 reserved %d, want floor %d", st.PerSession[2], minPoolChunks*chunk)
+	if st.PerSession[2] != 2*chunk {
+		t.Fatalf("session 2 reserved %d, want %d", st.PerSession[2], 2*chunk)
 	}
-	if st.PoolReserved != (8+minPoolChunks)*chunk {
-		t.Fatalf("total reserved %d, want %d", st.PoolReserved, (8+minPoolChunks)*chunk)
+	if st.PoolReserved != 10*chunk {
+		t.Fatalf("total reserved %d, want %d", st.PoolReserved, 10*chunk)
+	}
+	if st.Refused != 1 {
+		t.Fatalf("refused counter %d, want 1", st.Refused)
 	}
 
 	// Duplicate session IDs are refused.
@@ -180,8 +195,8 @@ func TestEnginePoolBudget(t *testing.T) {
 
 	// Releasing session 1 returns its grant; a new session can take it.
 	e.unregister(1, hA)
-	if st := e.Stats(); st.PoolReserved != minPoolChunks*chunk {
-		t.Fatalf("reserved %d after release, want %d", st.PoolReserved, minPoolChunks*chunk)
+	if st := e.Stats(); st.PoolReserved != 2*chunk {
+		t.Fatalf("reserved %d after release, want %d", st.PoolReserved, 2*chunk)
 	}
 	if _, err := e.register(3, hC, chunk, 6); err != nil {
 		t.Fatal(err)
@@ -190,6 +205,114 @@ func TestEnginePoolBudget(t *testing.T) {
 		t.Fatalf("session 3 reserved %d, want %d", st.PerSession[3], 6*chunk)
 	}
 }
+
+// TestEngineParkReapsRemoteClose is the parked-connection leak fix: a
+// parked dialer that gives up and closes its end frees the park slot
+// immediately, well before ParkTimeout, and is counted as reaped.
+func TestEngineParkReapsRemoteClose(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", EngineOptions{ParkTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	client := fabric.Host("cli")
+
+	w := dialHello(t, client, "srv:7000", RoleData, 1, 42) // never registered: parked
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Parked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = w.close() // the dialer gives up long before the 1-minute ParkTimeout
+
+	for e.Stats().Parked != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked slot still pinned after remote close: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := e.Stats(); st.ParkReaped != 1 || st.ParkExpired != 0 {
+		t.Fatalf("reaped=%d expired=%d, want 1/0", st.ParkReaped, st.ParkExpired)
+	}
+}
+
+// TestEngineParkedBytesSurviveAdoption: a parked connection that already
+// sent protocol bytes (a fetch dialer's early PGET) must hand those bytes
+// intact to the adopting session — the remote-close watcher peeks, never
+// consumes.
+func TestEngineParkedBytesSurviveAdoption(t *testing.T) {
+	fabric := transport.NewFabric(64 << 10)
+	e, err := NewEngine(fabric.Host("srv"), "srv:7000", EngineOptions{ParkTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	client := fabric.Host("cli")
+
+	w := dialHello(t, client, "srv:7000", RoleFetch, 2, 7)
+	if err := w.writePGet(123, 456); err != nil { // bytes arrive while parked
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Parked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give the watcher a moment to observe the pending bytes, then adopt.
+	time.Sleep(20 * time.Millisecond)
+
+	type gotFrame struct {
+		role     Role
+		from     int
+		lo, hi   uint64
+		frameErr error
+	}
+	frames := make(chan gotFrame, 1)
+	h := &funcHandler{fn: func(w *wire, role Role, from int) {
+		g := gotFrame{role: role, from: from}
+		w.setReadDeadlineIn(time.Second)
+		typ, err := w.readType()
+		if err != nil || typ != MsgPGet {
+			g.frameErr = fmt.Errorf("first frame %v, err %v", typ, err)
+		} else {
+			g.lo, g.hi, g.frameErr = w.readPGet()
+		}
+		frames <- g
+		_ = w.close()
+	}}
+	if _, err := e.register(7, h, 1024, 4); err != nil {
+		t.Fatal(err)
+	}
+	e.attach(7, h)
+
+	select {
+	case g := <-frames:
+		if g.frameErr != nil {
+			t.Fatalf("adopted conn corrupted: %v", g.frameErr)
+		}
+		if g.role != RoleFetch || g.from != 2 || g.lo != 123 || g.hi != 456 {
+			t.Fatalf("got role=%v from=%d pget=[%d,%d)", g.role, g.from, g.lo, g.hi)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked conn never handed to the session")
+	}
+	if st := e.Stats(); st.ParkReaped != 0 {
+		t.Fatalf("adoption counted as reap: %+v", st)
+	}
+}
+
+// funcHandler adapts a function to connHandler for routing tests.
+type funcHandler struct {
+	fn func(w *wire, role Role, from int)
+}
+
+func (h *funcHandler) handleWire(w *wire, role Role, from int) { h.fn(w, role, from) }
+func (h *funcHandler) listenerFailed(err error)               {}
 
 // TestEngineCloseNotifiesSessions checks that closing the engine (the
 // shared accept path dying) reaches every registered session.

@@ -108,6 +108,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// PoolReservation is the pooled-buffer byte budget a session running with
+// these options asks its engine for — the admission reservation the control
+// plane submits before any data connection is dialed.
+func (o Options) PoolReservation() int64 {
+	d := o.withDefaults()
+	return int64(d.ChunkSize) * int64(d.PoolChunks)
+}
+
 // Validate rejects configurations the engine cannot run with.
 func (o Options) Validate() error {
 	o = o.withDefaults()
