@@ -37,6 +37,13 @@ type compareOptions struct {
 	// DetectFactor is the allowed multiple of the baseline detect p50 for
 	// chaos comparisons (2 = fail above 2x).
 	DetectFactor float64
+	// Fairness is the minimum within-class per-session min/mean
+	// throughput ratio demanded of every fresh mux row (median across
+	// fresh runs). It is an absolute gate on the fresh results — the
+	// baseline is not consulted — so a scheduler change that starves one
+	// session inside a class fails CI even if the aggregate improved.
+	// 0 disables the check.
+	Fairness float64
 }
 
 // median reduces a non-empty sample to its median (mean of the middle two
@@ -84,45 +91,46 @@ func sniffKind(data []byte) (fileKind, error) {
 // loadRows flattens one benchmark file into metric-name -> value rows; the
 // aggregate metric used for the gate is the sum over shared rows.
 //   - engine files: row per benchmark, value = MB/s
-//   - mux files: row per session count, value = aggregate MB/s
-func loadRows(path string) (fileKind, map[string]float64, *chaosReport, error) {
+//   - mux files: row per session count (and variant label), value =
+//     aggregate MB/s; the structured rows ride along for the fairness gate
+func loadRows(path string) (fileKind, map[string]float64, []muxRow, *chaosReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	kind, err := sniffKind(data)
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return 0, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	switch kind {
 	case kindEngine:
 		var rows map[string]engineResult
 		if err := json.Unmarshal(data, &rows); err != nil {
-			return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+			return 0, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		out := make(map[string]float64, len(rows))
 		for name, r := range rows {
 			out[name] = r.MBPerSec
 		}
-		return kind, out, nil, nil
+		return kind, out, nil, nil, nil
 	case kindMux:
 		var rows []muxRow
 		if err := json.Unmarshal(data, &rows); err != nil {
-			return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+			return 0, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		out := make(map[string]float64, len(rows))
 		for _, r := range rows {
-			out[fmt.Sprintf("mux/sessions=%d", r.Sessions)] = r.AggregateMBPerSec
+			out[r.key()] = r.AggregateMBPerSec
 		}
-		return kind, out, nil, nil
+		return kind, out, rows, nil, nil
 	case kindChaos:
 		var rep chaosReport
 		if err := json.Unmarshal(data, &rep); err != nil {
-			return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+			return 0, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return kind, nil, &rep, nil
+		return kind, nil, nil, &rep, nil
 	}
-	return 0, nil, nil, fmt.Errorf("%s: unrecognised shape", path)
+	return 0, nil, nil, nil, fmt.Errorf("%s: unrecognised shape", path)
 }
 
 // runCompare executes the gate: baseline vs the medians of fresh files.
@@ -130,15 +138,16 @@ func runCompare(baselinePath string, freshPaths []string, opts compareOptions) e
 	if len(freshPaths) == 0 {
 		return fmt.Errorf("-compare needs at least one fresh result file")
 	}
-	baseKind, baseRows, baseChaos, err := loadRows(baselinePath)
+	baseKind, baseRows, _, baseChaos, err := loadRows(baselinePath)
 	if err != nil {
 		return err
 	}
 
 	freshRowSets := make([]map[string]float64, 0, len(freshPaths))
+	freshMux := make([][]muxRow, 0, len(freshPaths))
 	freshChaos := make([]*chaosReport, 0, len(freshPaths))
 	for _, p := range freshPaths {
-		kind, rows, chaosRep, err := loadRows(p)
+		kind, rows, muxRows, chaosRep, err := loadRows(p)
 		if err != nil {
 			return err
 		}
@@ -149,13 +158,85 @@ func runCompare(baselinePath string, freshPaths []string, opts compareOptions) e
 			freshChaos = append(freshChaos, chaosRep)
 		} else {
 			freshRowSets = append(freshRowSets, rows)
+			freshMux = append(freshMux, muxRows)
 		}
 	}
 
 	if baseKind == kindChaos {
 		return compareChaos(baselinePath, baseChaos, freshChaos, opts)
 	}
-	return compareThroughput(baselinePath, baseRows, freshRowSets, opts)
+	if err := compareThroughput(baselinePath, baseRows, freshRowSets, opts); err != nil {
+		return err
+	}
+	if baseKind == kindMux {
+		return compareMuxFairness(freshMux, opts)
+	}
+	return nil
+}
+
+// compareMuxFairness gates the fresh mux runs on within-class fairness:
+// for every row and every class in it, the per-session min/mean throughput
+// ratio (median across the fresh runs) must reach opts.Fairness. Rows
+// without per-class stats (older artifacts) fall back to their row-level
+// min/mean. The gate is absolute — a committed baseline cannot grandfather
+// an unfair scheduler in.
+func compareMuxFairness(fresh [][]muxRow, opts compareOptions) error {
+	if opts.Fairness <= 0 {
+		return nil
+	}
+	// (row key, class) -> per-fresh-run ratios.
+	type cell struct{ key, class string }
+	samples := make(map[cell][]float64)
+	var order []cell
+	for _, rows := range fresh {
+		for _, r := range rows {
+			if len(r.PerClass) == 0 {
+				// Fallback: single implicit class at row level.
+				ratio := 0.0
+				if r.MeanSessionMBPerS > 0 {
+					ratio = r.MinSessionMBPerS / r.MeanSessionMBPerS
+				}
+				c := cell{key: r.key(), class: "(all)"}
+				if _, ok := samples[c]; !ok {
+					order = append(order, c)
+				}
+				samples[c] = append(samples[c], ratio)
+				continue
+			}
+			for class, cs := range r.PerClass {
+				if cs.Sessions < 2 {
+					continue // min/mean of one session is vacuous
+				}
+				c := cell{key: r.key(), class: class}
+				if _, ok := samples[c]; !ok {
+					order = append(order, c)
+				}
+				samples[c] = append(samples[c], fairnessRatio(cs))
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].key != order[j].key {
+			return order[i].key < order[j].key
+		}
+		return order[i].class < order[j].class
+	})
+	failed := 0
+	for _, c := range order {
+		ratio := median(samples[c])
+		verdict := "ok"
+		if ratio < opts.Fairness {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("fairness %-26s class %-12s min/mean %.3f (floor %.2f) %s\n",
+			c.key, c.class, ratio, opts.Fairness, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d class(es) below the within-class fairness floor of %.2f", failed, opts.Fairness)
+	}
+	fmt.Println("fairness: PASS")
+	return nil
 }
 
 // compareThroughput gates engine and mux files on aggregate MB/s.
@@ -260,6 +341,16 @@ func parseCompareArgs(args []string, opts compareOptions) ([]string, compareOpti
 				return nil, opts, fmt.Errorf("bad detect factor %q: %w", args[i+1], err)
 			}
 			opts.DetectFactor = v
+			i++
+		case "-fairness", "--fairness":
+			if i+1 >= len(args) {
+				return nil, opts, fmt.Errorf("%s needs a value", args[i])
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return nil, opts, fmt.Errorf("bad fairness floor %q: %w", args[i+1], err)
+			}
+			opts.Fairness = v
 			i++
 		default:
 			files = append(files, args[i])

@@ -142,3 +142,70 @@ func TestParseCompareArgs(t *testing.T) {
 		t.Fatal("dangling -tolerance accepted")
 	}
 }
+
+// TestCompareMuxFairnessGate: the fairness gate fails a fresh mux run
+// whose within-class min/mean drops below the floor — regardless of the
+// baseline — passes fair runs, and skips cleanly when disabled.
+func TestCompareMuxFairnessGate(t *testing.T) {
+	dir := t.TempDir()
+	muxWithClasses := func(name string, bulkMin, bulkMean float64) string {
+		rows := []muxRow{{
+			Sessions: 16, Nodes: 5, AggregateMBPerSec: 500,
+			MeanSessionMBPerS: bulkMean, MinSessionMBPerS: bulkMin,
+			PerClass: map[string]muxClassStats{
+				"bulk":        {Sessions: 8, MeanMBPerS: bulkMean, MinMBPerS: bulkMin},
+				"interactive": {Sessions: 8, MeanMBPerS: 120, MinMBPerS: 110},
+			},
+		}}
+		return writeJSON(t, dir, name, rows)
+	}
+	base := muxWithClasses("base.json", 30, 31)
+	opts := compareOptions{Tolerance: 0.25, DetectFactor: 2, Fairness: 0.8}
+
+	if err := runCompare(base, []string{muxWithClasses("fair.json", 30, 31)}, opts); err != nil {
+		t.Fatalf("fair run failed the gate: %v", err)
+	}
+	err := runCompare(base, []string{muxWithClasses("unfair.json", 10, 31)}, opts)
+	if err == nil || !strings.Contains(err.Error(), "fairness") {
+		t.Fatalf("starved class passed the fairness gate: %v", err)
+	}
+	// The gate is absolute: an unfair BASELINE cannot grandfather an
+	// unfair fresh run in.
+	unfairBase := muxWithClasses("unfair_base.json", 5, 31)
+	err = runCompare(unfairBase, []string{muxWithClasses("unfair2.json", 10, 31)}, opts)
+	if err == nil {
+		t.Fatal("unfair baseline grandfathered an unfair fresh run")
+	}
+	// Disabled floor: only the aggregate gate applies.
+	opts.Fairness = 0
+	if err := runCompare(base, []string{muxWithClasses("unfair3.json", 10, 31)}, opts); err != nil {
+		t.Fatalf("disabled fairness gate still failed: %v", err)
+	}
+	// Rows without per-class stats (older artifacts) fall back to the
+	// row-level min/mean.
+	opts.Fairness = 0.8
+	legacy := writeJSON(t, dir, "legacy.json", []muxRow{{
+		Sessions: 16, Nodes: 5, AggregateMBPerSec: 500,
+		MeanSessionMBPerS: 31, MinSessionMBPerS: 10,
+	}})
+	legacyBase := writeJSON(t, dir, "legacy_base.json", []muxRow{{
+		Sessions: 16, Nodes: 5, AggregateMBPerSec: 500,
+		MeanSessionMBPerS: 31, MinSessionMBPerS: 30,
+	}})
+	if err := runCompare(legacyBase, []string{legacy}, opts); err == nil {
+		t.Fatal("legacy-shape unfair run passed")
+	}
+}
+
+// TestParseCompareArgsFairness: the trailing -fairness flag parses too.
+func TestParseCompareArgsFairness(t *testing.T) {
+	files, opts, err := parseCompareArgs(
+		[]string{"new.json", "-fairness", "0.9"},
+		compareOptions{Tolerance: 0.25, DetectFactor: 2, Fairness: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || opts.Fairness != 0.9 {
+		t.Fatalf("files %v opts %+v", files, opts)
+	}
+}

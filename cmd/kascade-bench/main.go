@@ -31,6 +31,7 @@ import (
 
 	"kascade/internal/benchkit"
 	"kascade/internal/chaos"
+	"kascade/internal/core"
 	"kascade/internal/experiments"
 )
 
@@ -95,15 +96,33 @@ func runEngineBench(path string) error {
 
 // muxRow is one row of the session-multiplexing benchmark: aggregate and
 // per-session throughput with S overlapping broadcasts sharing one engine
-// (single data listener) per pipeline host.
+// (single data listener) per pipeline host, broken down by priority class.
 type muxRow struct {
-	Sessions          int     `json:"sessions"`
-	Nodes             int     `json:"nodes"`
-	PayloadBytes      int64   `json:"payload_bytes"`
-	ElapsedMs         float64 `json:"elapsed_ms"`
-	AggregateMBPerSec float64 `json:"aggregate_mb_per_s"`
-	MeanSessionMBPerS float64 `json:"mean_session_mb_per_s"`
-	MinSessionMBPerS  float64 `json:"min_session_mb_per_s"`
+	Sessions          int                      `json:"sessions"`
+	Label             string                   `json:"label,omitempty"` // variant tag, e.g. "mixed" (class mix)
+	Nodes             int                      `json:"nodes"`
+	PayloadBytes      int64                    `json:"payload_bytes"`
+	ElapsedMs         float64                  `json:"elapsed_ms"`
+	AggregateMBPerSec float64                  `json:"aggregate_mb_per_s"`
+	MeanSessionMBPerS float64                  `json:"mean_session_mb_per_s"`
+	MinSessionMBPerS  float64                  `json:"min_session_mb_per_s"`
+	PerClass          map[string]muxClassStats `json:"per_class,omitempty"`
+}
+
+// muxClassStats summarises the sessions of one priority class in a mux
+// row; min/mean is the within-class fairness ratio the CI gate checks.
+type muxClassStats struct {
+	Sessions   int     `json:"sessions"`
+	MeanMBPerS float64 `json:"mean_mb_per_s"`
+	MinMBPerS  float64 `json:"min_mb_per_s"`
+}
+
+// key names the row in compare tables: variant rows carry their label.
+func (r muxRow) key() string {
+	if r.Label != "" {
+		return fmt.Sprintf("mux/sessions=%d/%s", r.Sessions, r.Label)
+	}
+	return fmt.Sprintf("mux/sessions=%d", r.Sessions)
 }
 
 // muxBenchNodes/muxBenchChunk fix the pipeline shape of the mux sweep so
@@ -118,41 +137,95 @@ const (
 // loaded builder schedule noisily).
 const muxBenchReps = 3
 
-// runMuxBench sweeps benchkit.MuxSessionCounts concurrent broadcasts
-// through shared per-host engines and writes the aggregate/per-session
-// throughput table to path.
-func runMuxBench(path string) error {
-	rows := make([]muxRow, 0, len(benchkit.MuxSessionCounts))
-	size := int64(benchkit.EngineBenchSize)
+// muxSpec is one point of the mux sweep: a session count, and optionally a
+// class mix (nil = all bulk).
+type muxSpec struct {
+	sessions int
+	label    string
+	classFor func(s int) string
+}
+
+// muxSweep is the benchmark matrix: the uniform-class concurrency sweep,
+// plus a mixed bulk/interactive run at the highest concurrency that
+// exercises the weighted scheduler's cross-class split (within-class
+// fairness must still hold; across classes the interactive sessions earn
+// their weight).
+func muxSweep() []muxSpec {
+	specs := make([]muxSpec, 0, len(benchkit.MuxSessionCounts)+1)
 	for _, sessions := range benchkit.MuxSessionCounts {
+		specs = append(specs, muxSpec{sessions: sessions})
+	}
+	top := benchkit.MuxSessionCounts[len(benchkit.MuxSessionCounts)-1]
+	specs = append(specs, muxSpec{
+		sessions: top,
+		label:    "mixed",
+		classFor: func(s int) string {
+			if s%2 == 1 {
+				return core.ClassInteractive
+			}
+			return core.ClassBulk
+		},
+	})
+	return specs
+}
+
+// muxClassOf mirrors a spec's class assignment for reporting.
+func (sp muxSpec) classOf(s int) string {
+	if sp.classFor == nil {
+		return core.ClassBulk
+	}
+	return sp.classFor(s)
+}
+
+// runMuxBench sweeps muxSweep through shared per-host engines and writes
+// the aggregate/per-session/per-class throughput table to path.
+func runMuxBench(path string) error {
+	specs := muxSweep()
+	rows := make([]muxRow, 0, len(specs))
+	size := int64(benchkit.EngineBenchSize)
+	for _, sp := range specs {
 		var best muxRow
 		got := 0
 		var lastErr error
 		for rep := 0; rep < muxBenchReps; rep++ {
-			results, elapsed, err := benchkit.MuxBroadcast(sessions, muxBenchNodes, size, muxBenchChunk)
+			results, elapsed, err := benchkit.MuxBroadcastClasses(sp.sessions, muxBenchNodes, size, muxBenchChunk, sp.classFor)
 			if err != nil {
 				// A rep can fail spuriously on an oversubscribed builder
 				// (scheduler starvation tripping a failure detector); the
 				// best-of discipline tolerates it, and only an all-reps
 				// failure fails the artifact.
 				lastErr = err
-				fmt.Fprintf(os.Stderr, "mux sessions=%d rep %d/%d failed (discarded): %v\n", sessions, rep+1, muxBenchReps, err)
+				fmt.Fprintf(os.Stderr, "mux sessions=%d%s rep %d/%d failed (discarded): %v\n", sp.sessions, sp.label, rep+1, muxBenchReps, err)
 				continue
 			}
 			row := muxRow{
-				Sessions:          sessions,
+				Sessions:          sp.sessions,
+				Label:             sp.label,
 				Nodes:             muxBenchNodes,
 				PayloadBytes:      size,
 				ElapsedMs:         float64(elapsed) / 1e6,
-				AggregateMBPerSec: float64(sessions) * float64(size) / 1e6 / elapsed.Seconds(),
+				AggregateMBPerSec: float64(sp.sessions) * float64(size) / 1e6 / elapsed.Seconds(),
+				PerClass:          make(map[string]muxClassStats),
 			}
 			min := 0.0
 			for i, r := range results {
 				mbps := r.Throughput() / 1e6
-				row.MeanSessionMBPerS += mbps / float64(sessions)
+				row.MeanSessionMBPerS += mbps / float64(sp.sessions)
 				if i == 0 || mbps < min {
 					min = mbps
 				}
+				class := sp.classOf(i)
+				cs := row.PerClass[class]
+				cs.Sessions++
+				cs.MeanMBPerS += mbps // sum for now; divided below
+				if cs.Sessions == 1 || mbps < cs.MinMBPerS {
+					cs.MinMBPerS = mbps
+				}
+				row.PerClass[class] = cs
+			}
+			for class, cs := range row.PerClass {
+				cs.MeanMBPerS /= float64(cs.Sessions)
+				row.PerClass[class] = cs
 			}
 			row.MinSessionMBPerS = min
 			if got == 0 || row.AggregateMBPerSec > best.AggregateMBPerSec {
@@ -161,11 +234,15 @@ func runMuxBench(path string) error {
 			got++
 		}
 		if got == 0 {
-			return fmt.Errorf("mux sessions=%d: all %d reps failed: %w", sessions, muxBenchReps, lastErr)
+			return fmt.Errorf("mux sessions=%d%s: all %d reps failed: %w", sp.sessions, sp.label, muxBenchReps, lastErr)
 		}
 		rows = append(rows, best)
-		fmt.Printf("mux sessions=%-3d nodes=%d %8.0f ms  aggregate %7.1f MB/s  per-session mean %6.1f MB/s  min %6.1f MB/s\n",
-			best.Sessions, best.Nodes, best.ElapsedMs, best.AggregateMBPerSec, best.MeanSessionMBPerS, best.MinSessionMBPerS)
+		fmt.Printf("%-22s nodes=%d %8.0f ms  aggregate %7.1f MB/s  per-session mean %6.1f MB/s  min %6.1f MB/s\n",
+			best.key(), best.Nodes, best.ElapsedMs, best.AggregateMBPerSec, best.MeanSessionMBPerS, best.MinSessionMBPerS)
+		for class, cs := range best.PerClass {
+			fmt.Printf("  class %-12s sessions=%-3d mean %6.1f MB/s  min %6.1f MB/s  (min/mean %.2f)\n",
+				class, cs.Sessions, cs.MeanMBPerS, cs.MinMBPerS, fairnessRatio(cs))
+		}
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
@@ -177,6 +254,15 @@ func runMuxBench(path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// fairnessRatio is a class's within-class min/mean throughput ratio (1 =
+// perfectly fair; the CI gate demands ≥ 0.8 by default).
+func fairnessRatio(cs muxClassStats) float64 {
+	if cs.MeanMBPerS <= 0 {
+		return 0
+	}
+	return cs.MinMBPerS / cs.MeanMBPerS
 }
 
 // chaosScenarioRow is one scenario's verdict and latency summary in the
@@ -275,10 +361,11 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON; compare the fresh result files given as arguments against it (CI regression gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional aggregate-MB/s regression for -compare")
 	detectFactor := flag.Float64("detect-factor", 2.0, "allowed multiple of the baseline detect p50 for chaos -compare")
+	fairness := flag.Float64("fairness", 0.8, "minimum within-class per-session min/mean ratio for mux -compare (0 disables)")
 	flag.Parse()
 
 	if *compare != "" {
-		files, opts, err := parseCompareArgs(flag.Args(), compareOptions{Tolerance: *tolerance, DetectFactor: *detectFactor})
+		files, opts, err := parseCompareArgs(flag.Args(), compareOptions{Tolerance: *tolerance, DetectFactor: *detectFactor, Fairness: *fairness})
 		if err == nil {
 			err = runCompare(*compare, files, opts)
 		}

@@ -60,6 +60,7 @@ type rootOptions struct {
 	outCmd   string
 	chunkKiB int
 	window   int
+	class    string
 	noSort   bool
 	listen   string
 	timeout  time.Duration
@@ -76,6 +77,7 @@ func rootMain(args []string) {
 	fs.StringVar(&o.outCmd, "O", "", "shell command consuming the stream on every destination")
 	fs.IntVar(&o.chunkKiB, "chunk", 1024, "chunk size in KiB")
 	fs.IntVar(&o.window, "window", 64, "replay window in chunks")
+	fs.StringVar(&o.class, "class", core.ClassBulk, "priority class on shared agents (bulk|interactive; drives admission order and scheduler weight)")
 	fs.BoolVar(&o.noSort, "no-sort", false, "keep -N order instead of sorting by host number")
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "sender data address to bind")
 	fs.DurationVar(&o.timeout, "stall-timeout", time.Second, "write-stall failure detection timeout")
@@ -108,6 +110,7 @@ func (o rootOptions) protocolOptions() core.Options {
 	return core.Options{
 		ChunkSize:         o.chunkKiB << 10,
 		WindowChunks:      o.window,
+		Class:             o.class,
 		WriteStallTimeout: o.timeout,
 	}
 }

@@ -237,6 +237,7 @@ func prepareAgent(ctx context.Context, clients *clientPool, addr string, session
 	rep, err := client.Prepare(prepCtx, control.PrepareRequest{
 		Session:     session,
 		Reservation: opts.PoolReservation(),
+		Class:       opts.Class,
 	})
 	if err != nil {
 		return nil, err

@@ -142,13 +142,23 @@ func Summarize(sample []float64) Quantiles {
 var MuxSessionCounts = []int{1, 4, 16}
 
 // MuxBroadcast pushes `sessions` concurrent broadcasts of size bytes each
-// through one shared Engine per fabric host: every host runs a single data
-// listener and the overlapping sessions are routed by their session IDs,
-// exactly as a production agent carries overlapping broadcasts on one
-// advertised port. It returns the per-session results (every session
-// verified failure-free and byte-complete) and the wall-clock time of the
-// broadcast phase alone (setup and payload generation excluded).
+// through one shared Engine per fabric host, all under the default bulk
+// class. See MuxBroadcastClasses.
 func MuxBroadcast(sessions, nodes int, size int64, chunk int) ([]*core.SessionResult, time.Duration, error) {
+	return MuxBroadcastClasses(sessions, nodes, size, chunk, nil)
+}
+
+// MuxBroadcastClasses pushes `sessions` concurrent broadcasts of size
+// bytes each through one shared Engine per fabric host: every host runs a
+// single data listener and the overlapping sessions are routed by their
+// session IDs, exactly as a production agent carries overlapping
+// broadcasts on one advertised port. classFor assigns each session its
+// priority class (nil runs everything as core.ClassBulk), exercising the
+// engines' weighted scheduler and class-ordered admission. It returns the
+// per-session results (every session verified failure-free and
+// byte-complete) and the wall-clock time of the broadcast phase alone
+// (setup and payload generation excluded).
+func MuxBroadcastClasses(sessions, nodes int, size int64, chunk int, classFor func(s int) string) ([]*core.SessionResult, time.Duration, error) {
 	fabric := transport.NewFabric(1 << 20)
 	peers := make([]core.Peer, nodes)
 	engines := make([]*core.Engine, nodes)
@@ -166,9 +176,14 @@ func MuxBroadcast(sessions, nodes int, size int64, chunk int) ([]*core.SessionRe
 	configs := make([]core.SessionConfig, sessions)
 	for s := 0; s < sessions; s++ {
 		payload := Payload(size, 100+uint64(s))
+		opts := MuxOptions(chunk)
+		opts.Class = core.ClassBulk
+		if classFor != nil {
+			opts.Class = classFor(s)
+		}
 		configs[s] = core.SessionConfig{
 			Peers:      peers,
-			Opts:       MuxOptions(chunk),
+			Opts:       opts,
 			Session:    core.SessionID(s + 1),
 			NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
 			EngineFor:  func(i int) *core.Engine { return engines[i] },

@@ -1,0 +1,15 @@
+package benchkit
+
+import "testing"
+
+// BenchmarkMux16 drives the 16-session multiplexed broadcast shape of
+// `kascade-bench -mux`, so the convoy behaviour can be profiled with the
+// standard -cpuprofile/-benchtime machinery.
+func BenchmarkMux16(b *testing.B) {
+	b.SetBytes(16 * EngineBenchSize)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MuxBroadcast(16, 5, EngineBenchSize, 256<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

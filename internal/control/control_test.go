@@ -54,10 +54,10 @@ func TestFrameRoundTrip(t *testing.T) {
 // harness wires a Server and a Client over an in-memory duplex pipe, with
 // a real engine behind the server.
 type harness struct {
-	engine *core.Engine
-	server *Server
-	client *Client
-	runs   sync.Map // SessionID -> *runRecord
+	engine   *core.Engine
+	server   *Server
+	client   *Client
+	runs     sync.Map // SessionID -> *runRecord
 	serveErr chan error
 }
 

@@ -171,6 +171,11 @@ type PrepareRequest struct {
 	// Reservation is the pooled-buffer byte budget the session asks the
 	// agent's engine for (core.Options.PoolReservation).
 	Reservation int64 `json:"reservation"`
+	// Class names the session's priority class (e.g. core.ClassBulk,
+	// core.ClassInteractive): it orders the agent's admission queue and
+	// weights the session's data-plane scheduling quanta. Empty behaves
+	// as weight 1.
+	Class string `json:"class,omitempty"`
 }
 
 // PrepareReply reports the agent's shared data address for an admitted

@@ -171,7 +171,7 @@ func (sc *serverConn) handlePrepare(f frame) {
 		sc.writeErr(f.Req, CodeBadRequest, err.Error())
 		return
 	}
-	ticket := sc.s.Engine.Admit(req.Session, req.Reservation)
+	ticket := sc.s.Engine.AdmitClass(req.Session, req.Reservation, req.Class)
 	queued := false
 	if ticket.Decision() == core.AdmitQueued {
 		queued = true

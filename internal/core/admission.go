@@ -148,27 +148,41 @@ func (t *Ticket) Cancel() {
 	t.e.cancelAdmission(t)
 }
 
-// admitWaiter is one queued admission, FIFO in Engine.admitQ.
+// admitWaiter is one queued admission in Engine.admitQ: FIFO within its
+// class, weighted round-robin across classes at the pump.
 type admitWaiter struct {
 	ticket      *Ticket
 	reservation int64
+	class       string
+	weight      int
 	timer       Timer
 }
 
 // Admit decides whether a session asking for `reservation` bytes of pooled
-// payload buffers may run on this engine. Reservation normally comes from
-// Options.PoolReservation of the session's protocol options. The returned
-// ticket is final for AdmitAccepted and AdmitRefused; for AdmitQueued the
-// caller waits on it. An accepted reservation is held against the budget
-// (ownerless) until the session's node registers and adopts it; callers
-// that accept but never start must Cancel the ticket (lease expiry does
-// this in the agent).
+// payload buffers may run on this engine, under the default (weight-1)
+// class. See AdmitClass.
 func (e *Engine) Admit(sid SessionID, reservation int64) *Ticket {
+	return e.AdmitClass(sid, reservation, "")
+}
+
+// AdmitClass decides whether a session asking for `reservation` bytes of
+// pooled payload buffers may run on this engine. Reservation normally
+// comes from Options.PoolReservation of the session's protocol options;
+// class names the priority class (EngineOptions.Classes) that orders the
+// admission queue and later scales the session's data-plane quanta. The
+// returned ticket is final for AdmitAccepted and AdmitRefused; for
+// AdmitQueued the caller waits on it. An accepted reservation is held
+// against the budget (ownerless) until the session's node registers and
+// adopts it; callers that accept but never start must Cancel the ticket
+// (lease expiry does this in the agent).
+func (e *Engine) AdmitClass(sid SessionID, reservation int64, class string) *Ticket {
+	class = e.canonicalClass(class)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
 	refuse := func(reason string) *Ticket {
 		e.refusedTotal++
+		e.classCounterLocked(class).refused++
 		return &Ticket{Session: sid, e: e, decision: AdmitRefused, reason: reason}
 	}
 	switch {
@@ -184,14 +198,17 @@ func (e *Engine) Admit(sid SessionID, reservation int64) *Ticket {
 		return refuse(fmt.Sprintf("reservation of %d B exceeds the engine budget of %d B", reservation, e.opts.MemBudget))
 	}
 
-	// Strict FIFO: while anyone is queued, newcomers queue behind them even
-	// if their smaller reservation would fit right now — otherwise a stream
-	// of small sessions starves a large queued one forever.
+	// No bypass of the pump: while anyone is queued, newcomers queue
+	// behind them even if their smaller reservation would fit right now —
+	// otherwise a stream of small sessions starves a large queued one
+	// forever. (Ordering among the queued is the pump's weighted
+	// round-robin, FIFO within a class.)
 	if len(e.admitQ) == 0 && e.fitsLocked(reservation) {
 		t := &Ticket{Session: sid, e: e, decision: AdmitAccepted}
-		e.reserved[sid] = &grant{owner: nil, bytes: reservation, ticket: t}
+		e.reserved[sid] = &grant{owner: nil, bytes: reservation, ticket: t, class: class}
 		e.used += reservation
 		e.admittedTotal++
+		e.classCounterLocked(class).admitted++
 		return t
 	}
 
@@ -207,10 +224,11 @@ func (e *Engine) Admit(sid SessionID, reservation int64) *Ticket {
 		decision: AdmitQueued,
 		queued:   true,
 	}
-	w := &admitWaiter{ticket: t, reservation: reservation}
+	w := &admitWaiter{ticket: t, reservation: reservation, class: class, weight: e.sched.weightFor(class)}
 	w.timer = e.clk.NewTimer(e.opts.AdmitQueueTimeout)
 	e.admitQ = append(e.admitQ, w)
 	e.queuedTotal++
+	e.classCounterLocked(class).queued++
 	go func() {
 		defer w.timer.Stop()
 		select {
@@ -246,32 +264,101 @@ func (e *Engine) isKnownLocked(sid SessionID) bool {
 }
 
 // pumpAdmitQueueLocked re-examines the admission queue after budget freed
-// (a session released its reservation — the engine's release hook). Waiters
-// are admitted strictly FIFO: the head either fits and is accepted, or
-// keeps its place, so a large reservation cannot be starved by a stream of
-// small ones slipping past it. Caller holds e.mu; resolved tickets are
-// returned so their channels can be closed after unlock (Wait callers run
-// arbitrary code).
+// (a session released its reservation — the engine's release hook).
+//
+// Selection is class-ordered: smooth weighted round-robin across the
+// classes present in the queue, FIFO within each class. A high-weight
+// class is offered proportionally more admission turns, but every class
+// keeps taking turns, so the low-weight one is starvation-free. When a
+// chosen head does not fit, it becomes the sticky head-of-line claimant:
+// the pump admits NOTHING else until it fits (or leaves the queue), so
+// every byte of freed budget accumulates for it — the strict-FIFO
+// guarantee that a large reservation cannot be starved by a stream of
+// small ones slipping past, carried over across classes. The spent pick
+// keeps the round-robin honest (refunding it would let a blocked
+// high-weight class outgrow everyone). Caller holds e.mu; resolved
+// tickets are returned so their channels can be closed after unlock (Wait
+// callers run arbitrary code).
 func (e *Engine) pumpAdmitQueueLocked() []*Ticket {
 	var resolved []*Ticket
 	for len(e.admitQ) > 0 {
-		w := e.admitQ[0]
 		if e.closed {
+			w := e.admitQ[0]
+			e.admitQ = e.admitQ[1:]
+			if e.admitHol == w {
+				e.admitHol = nil
+			}
 			w.ticket.decision = AdmitRefused
 			w.ticket.reason = "engine closed while queued"
 			e.refusedTotal++
-		} else if e.fitsLocked(w.reservation) {
-			e.reserved[w.ticket.Session] = &grant{owner: nil, bytes: w.reservation, ticket: w.ticket}
-			e.used += w.reservation
-			w.ticket.decision = AdmitAccepted
-			e.admittedTotal++
+			e.classCounterLocked(w.class).refused++
+			resolved = append(resolved, w.ticket)
+			continue
+		}
+		w := e.admitHol
+		idx := -1
+		if w != nil {
+			for i, q := range e.admitQ {
+				if q == w {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				// The claimant expired or was cancelled off-queue.
+				e.admitHol = nil
+				continue
+			}
 		} else {
+			idx = e.pickAdmitLocked()
+			w = e.admitQ[idx]
+		}
+		if !e.fitsLocked(w.reservation) {
+			// Head-block: stop pumping, and let freed budget accumulate
+			// for this claimant until it fits.
+			e.admitHol = w
 			break
 		}
-		e.admitQ = e.admitQ[1:]
+		e.admitHol = nil
+		e.reserved[w.ticket.Session] = &grant{owner: nil, bytes: w.reservation, ticket: w.ticket, class: w.class}
+		e.used += w.reservation
+		w.ticket.decision = AdmitAccepted
+		e.admittedTotal++
+		e.classCounterLocked(w.class).admitted++
+		e.admitQ = append(e.admitQ[:idx], e.admitQ[idx+1:]...)
 		resolved = append(resolved, w.ticket)
 	}
 	return resolved
+}
+
+// pickAdmitLocked selects the queue index of the next admission candidate
+// by smooth weighted round-robin over the classes present: every class
+// with waiters earns its weight in credit, the richest class wins the turn
+// and pays the total back. FIFO within the winning class: its first waiter
+// is the candidate. Caller holds e.mu with len(admitQ) > 0.
+func (e *Engine) pickAdmitLocked() int {
+	first := make(map[string]int, 4) // class -> earliest queue index
+	var order []string               // classes by first appearance (tie-break)
+	total := 0
+	for i, w := range e.admitQ {
+		if _, ok := first[w.class]; !ok {
+			first[w.class] = i
+			order = append(order, w.class)
+			total += w.weight
+		}
+	}
+	if len(order) == 1 {
+		return first[order[0]]
+	}
+	winner := ""
+	for _, class := range order {
+		e.admitRR[class] += e.admitQ[first[class]].weight
+		if winner == "" || e.admitRR[class] > e.admitRR[winner] {
+			winner = class
+		}
+	}
+	e.admitRR[winner] -= total
+	return first[winner]
 }
 
 // closeTickets closes resolved tickets' ready channels (outside e.mu).
@@ -281,7 +368,9 @@ func closeTickets(ts []*Ticket) {
 	}
 }
 
-// expireAdmission resolves one queued waiter whose deadline passed.
+// expireAdmission resolves one queued waiter whose deadline passed. If it
+// was the sticky head-of-line claimant, the budget it was accumulating is
+// up for grabs again, so the queue pumps.
 func (e *Engine) expireAdmission(w *admitWaiter) {
 	e.mu.Lock()
 	found := false
@@ -292,16 +381,23 @@ func (e *Engine) expireAdmission(w *admitWaiter) {
 			break
 		}
 	}
+	var resolved []*Ticket
 	if found {
 		w.ticket.decision = AdmitRefused
 		w.ticket.reason = fmt.Sprintf("queued %v without budget freeing (queue deadline)", e.opts.AdmitQueueTimeout)
 		e.refusedTotal++
 		e.queueTimeouts++
+		e.classCounterLocked(w.class).refused++
+		if e.admitHol == w {
+			e.admitHol = nil
+			resolved = e.pumpAdmitQueueLocked()
+		}
 	}
 	e.mu.Unlock()
 	if found {
 		close(w.ticket.ready)
 	}
+	closeTickets(resolved)
 }
 
 // cancelAdmission withdraws one ticket's pending admission: a queued
@@ -316,6 +412,9 @@ func (e *Engine) cancelAdmission(t *Ticket) {
 	for i, q := range e.admitQ {
 		if q.ticket == t {
 			e.admitQ = append(e.admitQ[:i], e.admitQ[i+1:]...)
+			if e.admitHol == q {
+				e.admitHol = nil
+			}
 			q.ticket.decision = AdmitRefused
 			q.ticket.reason = "admission cancelled"
 			cancelled = q.ticket
@@ -326,6 +425,10 @@ func (e *Engine) cancelAdmission(t *Ticket) {
 	if r, ok := e.reserved[t.Session]; ok && r.owner == nil && r.ticket == t {
 		delete(e.reserved, t.Session)
 		e.used -= r.bytes
+		resolved = e.pumpAdmitQueueLocked()
+	} else if cancelled != nil {
+		// A withdrawn waiter (possibly the sticky claimant) may unblock
+		// the rest of the queue.
 		resolved = e.pumpAdmitQueueLocked()
 	}
 	e.mu.Unlock()

@@ -106,15 +106,23 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, erro
 	var drained float64
 	var writing time.Duration
 
-	// batch gathers consecutive ready chunks so headers and payloads go
-	// out in one vectored write; reused across iterations.
-	batch := make([]*chunk, 0, 16)
-	releaseBatch := func() {
-		for i, c := range batch {
+	// scratch backs the direct-path batch; scheduled turns arrive with
+	// their own claimed batch. Either way the chunks come back retained
+	// and are released right after the vectored write. Sized to the
+	// largest batch the byte cap allows so it never regrows per batch.
+	batchCap := n.opts.MaxBatchBytes/n.opts.ChunkSize + 1
+	if batchCap > maxBatchChunks {
+		batchCap = maxBatchChunks
+	}
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	scratch := make([]*chunk, 0, batchCap)
+	release := func(cs []*chunk) {
+		for i, c := range cs {
 			c.release()
-			batch[i] = nil
+			cs[i] = nil
 		}
-		batch = batch[:0]
 	}
 
 streamLoop:
@@ -122,30 +130,14 @@ streamLoop:
 		if cerr := ctx.Err(); cerr != nil {
 			return outcomeTerminal, cerr
 		}
-		chunk, cerr := n.st.ChunkAt(off)
+		batch, batchBytes, cerr := n.nextBatch(off, scratch[:0])
 		var fe *ForgetError
 		switch {
 		case cerr == nil:
-			// Coalesce everything already buffered behind the first
-			// chunk, up to the batch budget: one writev instead of
-			// 2×k socket writes.
-			batch = append(batch, chunk)
-			batchBytes := len(chunk.bytes())
-			// Admit another chunk only while a full-size one still fits
-			// (chunks are at most ChunkSize), so the batch never
-			// overshoots the configured byte cap.
-			for len(batch) < maxBatchChunks && batchBytes+n.opts.ChunkSize <= n.opts.MaxBatchBytes {
-				next, ok := n.st.TryChunkAt(off + uint64(batchBytes))
-				if !ok {
-					break
-				}
-				batch = append(batch, next)
-				batchBytes += len(next.bytes())
-			}
 			wStart := n.clk.Now()
 			werr := w.writeDataBatch(batch)
 			writing += n.clk.Now().Sub(wStart)
-			releaseBatch()
+			release(batch)
 			if werr != nil {
 				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
 			}
@@ -218,6 +210,40 @@ streamLoop:
 	}
 	n.markPassed()
 	return outcomeDone, nil
+}
+
+// nextBatch produces the next forwardable chunk batch starting at off.
+// Engine-attached nodes park here until the engine's weighted scheduler
+// hands them a turn — a claimed chunk batch, or the store's terminal
+// condition — so a host full of overlapping sessions wakes each forwarder
+// once per batch instead of once per chunk. Nodes owning their listener
+// (and sessions whose engine shut down mid-stream) block on the store
+// directly and coalesce whatever is buffered, exactly the old hot path.
+// The returned chunks are retained; the caller releases them after the
+// write.
+func (n *Node) nextBatch(off uint64, scratch []*chunk) ([]*chunk, int, error) {
+	if t := n.sentry.next(off); !t.inline {
+		return t.batch, t.n, t.err
+	}
+	first, err := n.st.ChunkAt(off)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Coalesce everything already buffered behind the first chunk, up to
+	// the batch budget: one writev instead of 2×k socket writes. Admit
+	// another chunk only while a full-size one still fits (chunks are at
+	// most ChunkSize), so the batch never overshoots the byte cap.
+	batch := append(scratch, first)
+	total := len(first.bytes())
+	for len(batch) < maxBatchChunks && total+n.opts.ChunkSize <= n.opts.MaxBatchBytes {
+		next, ok := n.st.TryChunkAt(off + uint64(total))
+		if !ok {
+			break
+		}
+		batch = append(batch, next)
+		total += len(next.bytes())
+	}
+	return batch, total, nil
 }
 
 // finishAsTail closes the pipeline ring: the tail delivers the aggregated

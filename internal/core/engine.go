@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -26,16 +28,20 @@ import (
 // watched for remote close, so a dialer that gives up frees its park slot
 // immediately instead of pinning it until ParkTimeout.
 type Engine struct {
-	opts EngineOptions
-	clk  Clock
-	lst  transport.Listener
+	opts  EngineOptions
+	clk   Clock
+	lst   transport.Listener
+	sched *scheduler // the weighted data-plane scheduler (sched.go)
 
 	mu       sync.Mutex
 	sessions map[SessionID]connHandler // attached (routable) sessions
 	reserved map[SessionID]*grant      // budget accounting, admission to unregister
 	used     int64                     // sum of reserved bytes
-	admitQ   []*admitWaiter            // FIFO of queued admissions
+	admitQ   []*admitWaiter            // queued admissions: FIFO per class, weighted RR across classes
+	admitRR  map[string]int            // smooth-WRR credit per class for the admit pump
+	admitHol *admitWaiter              // blocked head-of-line: freed budget accumulates for it
 	parked   map[SessionID][]*parkedConn
+	parkedIP map[string]int // parked connections per remote IP
 	nParked  int
 	closed   bool
 
@@ -46,6 +52,16 @@ type Engine struct {
 	queueTimeouts uint64
 	parkExpired   uint64
 	parkReaped    uint64
+	parkSessOver  uint64 // refused at the per-session park cap
+	parkIPOver    uint64 // refused at the per-IP park cap
+	classAdmit    map[string]*classCounter
+}
+
+// classCounter accumulates per-class admission outcomes.
+type classCounter struct {
+	admitted uint64
+	queued   uint64
+	refused  uint64
 }
 
 // grant is one session's claim on the pool budget. It exists from admission
@@ -59,6 +75,7 @@ type grant struct {
 	owner  connHandler
 	bytes  int64
 	ticket *Ticket
+	class  string // priority class fixed at admission (or first register)
 }
 
 // EngineOptions tunes the shared accept layer. The zero value selects
@@ -94,6 +111,51 @@ type EngineOptions struct {
 	// MaxParked caps the connections parked across all sessions.
 	// Defaults to 64.
 	MaxParked int
+	// MaxParkedPerSession caps how many of the parked connections may
+	// wait for the same (unregistered) session ID, so a flood of dials
+	// naming one bogus session cannot consume the whole shared park.
+	// Defaults to 8.
+	MaxParkedPerSession int
+	// MaxParkedPerIP caps the parked connections per remote IP, bounding
+	// what one untrusted dialer can pin regardless of how many session
+	// IDs it invents. Defaults to 16.
+	MaxParkedPerIP int
+
+	// Workers sizes the data-plane scheduler's worker pool: the
+	// goroutines pulling ready-session work items (forwardable chunk
+	// batches) off the weighted round-robin run queue. Defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Quantum is the per-turn byte budget of a weight-1 session; a class
+	// of weight w may claim up to w×Quantum bytes per scheduled turn
+	// (capped by the session's MaxBatchBytes — one turn is one vectored
+	// write). Defaults to 2 MiB.
+	Quantum int
+	// Classes maps priority-class names to scheduling weights. The same
+	// weights order the admission-queue pump (weighted round-robin
+	// across classes, FIFO within one) and size the run-queue quanta.
+	// Nil selects DefaultClasses. The empty class weighs 1, and names
+	// outside the table are folded into it — class strings arrive from
+	// untrusted control clients and must not grow per-class state.
+	Classes map[string]int
+}
+
+// Priority-class names understood out of the box (any other name is legal
+// too, at weight 1 unless EngineOptions.Classes says otherwise).
+const (
+	// ClassBulk is the steady background-transfer class (weight 1).
+	ClassBulk = "bulk"
+	// ClassInteractive is the latency-sensitive class: weight 4, so its
+	// sessions get 4× bulk's admission share and up to 4× its per-turn
+	// byte budget — the budget is still capped by the session's
+	// MaxBatchBytes, since one turn is one vectored write (with the
+	// defaults, 4 MiB against bulk's 2 MiB).
+	ClassInteractive = "interactive"
+)
+
+// DefaultClasses is the default priority-class weight table.
+func DefaultClasses() map[string]int {
+	return map[string]int{ClassBulk: 1, ClassInteractive: 4}
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -114,6 +176,21 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	}
 	if o.MaxParked <= 0 {
 		o.MaxParked = 64
+	}
+	if o.MaxParkedPerSession <= 0 {
+		o.MaxParkedPerSession = 8
+	}
+	if o.MaxParkedPerIP <= 0 {
+		o.MaxParkedPerIP = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = 2 << 20
+	}
+	if o.Classes == nil {
+		o.Classes = DefaultClasses()
 	}
 	if o.Clock == nil {
 		o.Clock = SystemClock()
@@ -143,6 +220,7 @@ type parkedConn struct {
 	w       *wire
 	role    Role
 	from    int
+	ip      string              // remote IP, for the per-IP park cap accounting
 	resolve chan parkResolution // buffered 1; sent by whoever unparks it
 }
 
@@ -163,12 +241,16 @@ func NewEngine(network transport.Network, addr string, opts EngineOptions) (*Eng
 	}
 	o := opts.withDefaults()
 	e := &Engine{
-		opts:     o,
-		clk:      o.Clock,
-		lst:      l,
-		sessions: make(map[SessionID]connHandler),
-		reserved: make(map[SessionID]*grant),
-		parked:   make(map[SessionID][]*parkedConn),
+		opts:       o,
+		clk:        o.Clock,
+		lst:        l,
+		sched:      newScheduler(o.Workers, o.Quantum, o.Classes, o.Clock),
+		sessions:   make(map[SessionID]connHandler),
+		reserved:   make(map[SessionID]*grant),
+		admitRR:    make(map[string]int),
+		parked:     make(map[SessionID][]*parkedConn),
+		parkedIP:   make(map[string]int),
+		classAdmit: make(map[string]*classCounter),
 	}
 	go e.acceptLoop()
 	return e, nil
@@ -192,6 +274,7 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 
 	closeTickets(resolved)
+	e.sched.close()
 	err := e.lst.Close()
 	for _, h := range handlers {
 		h.listenerFailed(transport.ErrClosed)
@@ -245,32 +328,81 @@ type EngineStats struct {
 	// closed while parked.
 	ParkExpired uint64 `json:"park_expired"`
 	ParkReaped  uint64 `json:"park_reaped"`
+	// ParkSessionOverflow / ParkIPOverflow count connections refused at
+	// the per-session and per-remote-IP park caps (the global MaxParked
+	// refusals are not counted separately).
+	ParkSessionOverflow uint64 `json:"park_session_overflow"`
+	ParkIPOverflow      uint64 `json:"park_ip_overflow"`
+
+	// Classes breaks admissions and scheduling down by priority class.
+	Classes map[string]ClassStats `json:"classes,omitempty"`
+}
+
+// ClassStats is one priority class's slice of the engine counters.
+type ClassStats struct {
+	// Weight is the class's configured scheduling weight.
+	Weight int `json:"weight"`
+	// Sessions counts currently admitted or registered sessions.
+	Sessions int `json:"sessions"`
+	// Admitted/Queued/Refused count admission outcomes for this class.
+	Admitted uint64 `json:"admitted"`
+	Queued   uint64 `json:"queued"`
+	Refused  uint64 `json:"refused"`
+	// Turns and ScheduledBytes count the data-plane scheduler's granted
+	// turns and the payload bytes claimed through them.
+	Turns          uint64 `json:"turns"`
+	ScheduledBytes uint64 `json:"scheduled_bytes"`
 }
 
 // Stats snapshots the engine's accounting.
 func (e *Engine) Stats() EngineStats {
+	sched := e.sched.classStats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := EngineStats{
-		Sessions:      len(e.sessions),
-		PoolBudget:    e.opts.MemBudget,
-		PoolReserved:  e.used,
-		PerSession:    make(map[SessionID]int64, len(e.reserved)),
-		Parked:        e.nParked,
-		AdmitQueue:    len(e.admitQ),
-		Admitted:      e.admittedTotal,
-		Queued:        e.queuedTotal,
-		Refused:       e.refusedTotal,
-		QueueTimeouts: e.queueTimeouts,
-		ParkExpired:   e.parkExpired,
-		ParkReaped:    e.parkReaped,
+		Sessions:            len(e.sessions),
+		PoolBudget:          e.opts.MemBudget,
+		PoolReserved:        e.used,
+		PerSession:          make(map[SessionID]int64, len(e.reserved)),
+		Parked:              e.nParked,
+		AdmitQueue:          len(e.admitQ),
+		Admitted:            e.admittedTotal,
+		Queued:              e.queuedTotal,
+		Refused:             e.refusedTotal,
+		QueueTimeouts:       e.queueTimeouts,
+		ParkExpired:         e.parkExpired,
+		ParkReaped:          e.parkReaped,
+		ParkSessionOverflow: e.parkSessOver,
+		ParkIPOverflow:      e.parkIPOver,
+		Classes:             make(map[string]ClassStats),
 	}
 	for sid, r := range e.reserved {
 		st.PerSession[sid] = r.bytes
 	}
+	classRow := func(class string) ClassStats {
+		row, ok := st.Classes[class]
+		if !ok {
+			row.Weight = e.sched.weightFor(class)
+		}
+		return row
+	}
+	for _, r := range e.reserved {
+		row := classRow(r.class)
+		row.Sessions++
+		st.Classes[r.class] = row
+	}
+	for class, c := range e.classAdmit {
+		row := classRow(class)
+		row.Admitted, row.Queued, row.Refused = c.admitted, c.queued, c.refused
+		st.Classes[class] = row
+	}
+	for class, cs := range sched {
+		row := classRow(class)
+		row.Turns, row.ScheduledBytes = cs.turns, cs.bytes
+		st.Classes[class] = row
+	}
 	return st
 }
-
 
 // register claims a session ID and its chunk-pool grant. A session that
 // went through Admit adopts its admitted reservation; one that registers
@@ -285,7 +417,8 @@ func (e *Engine) Stats() EngineStats {
 // first and then calls attach, so a connection can never be routed into a
 // half-constructed node. The returned pool stays valid until unregister
 // releases the grant.
-func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks int) (*chunkPool, error) {
+func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks int, class string) (*chunkPool, error) {
+	class = e.canonicalClass(class)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -293,7 +426,8 @@ func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks in
 	}
 	if r, ok := e.reserved[sid]; ok {
 		if r.owner == nil {
-			// Adopt the admitted reservation.
+			// Adopt the admitted reservation (and its class: the class
+			// named at PREPARE admission is authoritative).
 			r.owner = h
 			capacity := int(r.bytes / int64(chunkSize))
 			if capacity < 1 {
@@ -332,10 +466,54 @@ func (e *Engine) register(sid SessionID, h connHandler, chunkSize, poolChunks in
 		}
 		return nil, &AdmissionError{Session: sid, Reason: reason}
 	}
-	e.reserved[sid] = &grant{owner: h, bytes: want}
+	e.reserved[sid] = &grant{owner: h, bytes: want, class: class}
 	e.used += want
 	e.admittedTotal++
+	e.classCounterLocked(class).admitted++
 	return newChunkPool(chunkSize, capacity), nil
+}
+
+// classCounterLocked returns (allocating on demand) the admission counter
+// bucket of one class. Caller holds e.mu.
+func (e *Engine) classCounterLocked(class string) *classCounter {
+	c := e.classAdmit[class]
+	if c == nil {
+		c = &classCounter{}
+		e.classAdmit[class] = c
+	}
+	return c
+}
+
+// canonicalClass folds class names outside the configured table into the
+// default class. Class strings arrive from untrusted control clients
+// (PREPARE payloads); without the fold, a dialer inventing a fresh name
+// per request would grow the per-class counter and round-robin maps — and
+// every Stats() snapshot — without bound.
+func (e *Engine) canonicalClass(class string) string {
+	if _, ok := e.opts.Classes[class]; ok {
+		return class
+	}
+	return ""
+}
+
+// attachSched seats a registering session in the data-plane scheduler:
+// batches for st are claimed under the session's admitted class (falling
+// back to the class the node carries in its options for direct registers).
+// The caller owns the returned entry and must sched-detach it when the
+// session ends.
+func (e *Engine) attachSched(sid SessionID, st store, fallbackClass string, maxBatch, chunkSize int) *schedEntry {
+	class := e.canonicalClass(fallbackClass)
+	e.mu.Lock()
+	if r, ok := e.reserved[sid]; ok && r.class != "" {
+		class = r.class
+	}
+	e.mu.Unlock()
+	return e.sched.register(st, class, maxBatch, chunkSize)
+}
+
+// detachSched retires a session's scheduler seat (nil-safe).
+func (e *Engine) detachSched(entry *schedEntry) {
+	e.sched.detach(entry)
 }
 
 // attach publishes a registered session: the registry routes its
@@ -353,6 +531,9 @@ func (e *Engine) attach(sid SessionID, h connHandler) {
 	flush := e.parked[sid]
 	delete(e.parked, sid)
 	e.nParked -= len(flush)
+	for _, pc := range flush {
+		e.dropParkIPLocked(pc)
+	}
 	e.mu.Unlock()
 
 	for _, pc := range flush {
@@ -398,6 +579,7 @@ func (e *Engine) acceptLoop() {
 				// The listener died underneath running sessions (host
 				// killed, fd exhaustion): release the socket and let
 				// each session decide whether that is fatal.
+				e.sched.close()
 				_ = e.lst.Close()
 				for _, h := range handlers {
 					h.listenerFailed(err)
@@ -423,6 +605,7 @@ func (e *Engine) route(c transport.Conn) {
 		_ = w.close()
 		return
 	}
+	ip := remoteIP(c.RemoteAddr())
 	e.mu.Lock()
 	if h, ok := e.sessions[sid]; ok {
 		e.mu.Unlock()
@@ -434,8 +617,25 @@ func (e *Engine) route(c transport.Conn) {
 		_ = w.close()
 		return
 	}
-	pc := &parkedConn{w: w, role: role, from: from, resolve: make(chan parkResolution, 1)}
+	// The shared park is further subdivided so no single bogus session ID
+	// and no single remote dialer can pin the whole MaxParked budget.
+	if len(e.parked[sid]) >= e.opts.MaxParkedPerSession {
+		e.parkSessOver++
+		e.mu.Unlock()
+		_ = w.close()
+		return
+	}
+	if ip != "" && e.parkedIP[ip] >= e.opts.MaxParkedPerIP {
+		e.parkIPOver++
+		e.mu.Unlock()
+		_ = w.close()
+		return
+	}
+	pc := &parkedConn{w: w, role: role, from: from, ip: ip, resolve: make(chan parkResolution, 1)}
 	e.parked[sid] = append(e.parked[sid], pc)
+	if ip != "" {
+		e.parkedIP[ip]++
+	}
 	e.nParked++
 	e.mu.Unlock()
 
@@ -515,6 +715,7 @@ func (e *Engine) unpark(sid SessionID, pc *parkedConn, counter *uint64) {
 		if q == pc {
 			queue = append(queue[:i], queue[i+1:]...)
 			e.nParked--
+			e.dropParkIPLocked(pc)
 			found = true
 			break
 		}
@@ -538,9 +739,33 @@ func (e *Engine) unpark(sid SessionID, pc *parkedConn, counter *uint64) {
 func (e *Engine) dropParkedLocked() {
 	for sid, queue := range e.parked {
 		for _, pc := range queue {
+			e.dropParkIPLocked(pc)
 			pc.resolve <- parkResolution{}
 		}
 		delete(e.parked, sid)
 	}
 	e.nParked = 0
+}
+
+// dropParkIPLocked releases one parked connection's per-IP accounting.
+// Caller holds e.mu.
+func (e *Engine) dropParkIPLocked(pc *parkedConn) {
+	if pc.ip == "" {
+		return
+	}
+	if n := e.parkedIP[pc.ip] - 1; n > 0 {
+		e.parkedIP[pc.ip] = n
+	} else {
+		delete(e.parkedIP, pc.ip)
+	}
+}
+
+// remoteIP extracts the host part of a "host:port" remote address (fabric
+// host names count as the IP for park accounting purposes).
+func remoteIP(addr string) string {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	return host
 }

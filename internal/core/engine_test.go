@@ -72,7 +72,7 @@ func TestEngineSessionRouting(t *testing.T) {
 
 	h0, h1, h2 := newFakeHandler(), newFakeHandler(), newFakeHandler()
 	for sid, h := range map[SessionID]*fakeHandler{0: h0, 1: h1, 2: h2} {
-		if _, err := e.register(sid, h, 1024, 4); err != nil {
+		if _, err := e.register(sid, h, 1024, 4, ""); err != nil {
 			t.Fatalf("register %d: %v", sid, err)
 		}
 		e.attach(sid, h)
@@ -116,7 +116,7 @@ func TestEngineParksEarlyConnections(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	h := newFakeHandler()
-	if _, err := e.register(9, h, 1024, 4); err != nil {
+	if _, err := e.register(9, h, 1024, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Registered but not yet attached: still parked (the node is mid-
@@ -152,20 +152,20 @@ func TestEnginePoolBudget(t *testing.T) {
 	defer e.Close()
 
 	hA, hB, hC := newFakeHandler(), newFakeHandler(), newFakeHandler()
-	if _, err := e.register(1, hA, chunk, 8); err != nil { // fits: granted 8
+	if _, err := e.register(1, hA, chunk, 8, ""); err != nil { // fits: granted 8
 		t.Fatal(err)
 	}
 	e.attach(1, hA)
 	// 2 chunks left of the budget: an 8-chunk reservation is refused with
 	// the typed admission error, not floored.
 	var adErr *AdmissionError
-	if _, err := e.register(2, hB, chunk, 8); !errors.As(err, &adErr) {
+	if _, err := e.register(2, hB, chunk, 8, ""); !errors.As(err, &adErr) {
 		t.Fatalf("overload register: %v, want *AdmissionError", err)
 	} else if adErr.Session != 2 {
 		t.Fatalf("admission error names session %d, want 2", adErr.Session)
 	}
 	// A 2-chunk reservation still fits.
-	if _, err := e.register(2, hB, chunk, 2); err != nil {
+	if _, err := e.register(2, hB, chunk, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	e.attach(2, hB)
@@ -184,7 +184,7 @@ func TestEnginePoolBudget(t *testing.T) {
 	}
 
 	// Duplicate session IDs are refused.
-	if _, err := e.register(1, hC, chunk, 2); err == nil {
+	if _, err := e.register(1, hC, chunk, 2, ""); err == nil {
 		t.Fatal("duplicate register accepted")
 	}
 	// A stale unregister (wrong handler) must not evict the owner.
@@ -198,7 +198,7 @@ func TestEnginePoolBudget(t *testing.T) {
 	if st := e.Stats(); st.PoolReserved != 2*chunk {
 		t.Fatalf("reserved %d after release, want %d", st.PoolReserved, 2*chunk)
 	}
-	if _, err := e.register(3, hC, chunk, 6); err != nil {
+	if _, err := e.register(3, hC, chunk, 6, ""); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.PerSession[3] != 6*chunk {
@@ -285,7 +285,7 @@ func TestEngineParkedBytesSurviveAdoption(t *testing.T) {
 		frames <- g
 		_ = w.close()
 	}}
-	if _, err := e.register(7, h, 1024, 4); err != nil {
+	if _, err := e.register(7, h, 1024, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	e.attach(7, h)
@@ -312,7 +312,7 @@ type funcHandler struct {
 }
 
 func (h *funcHandler) handleWire(w *wire, role Role, from int) { h.fn(w, role, from) }
-func (h *funcHandler) listenerFailed(err error)               {}
+func (h *funcHandler) listenerFailed(err error)                {}
 
 // TestEngineCloseNotifiesSessions checks that closing the engine (the
 // shared accept path dying) reaches every registered session.
@@ -323,7 +323,7 @@ func TestEngineCloseNotifiesSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := newFakeHandler()
-	if _, err := e.register(5, h, 1024, 2); err != nil {
+	if _, err := e.register(5, h, 1024, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	e.attach(5, h)
@@ -333,7 +333,7 @@ func TestEngineCloseNotifiesSessions(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("registered session never told the listener died")
 	}
-	if _, err := e.register(6, newFakeHandler(), 1024, 2); err == nil {
+	if _, err := e.register(6, newFakeHandler(), 1024, 2, ""); err == nil {
 		t.Fatal("register on a closed engine accepted")
 	}
 }

@@ -237,3 +237,107 @@ func TestEngineMuxCrashIsolation(t *testing.T) {
 		t.Errorf("crashed session node 1: %d/%d bytes", off, len(payloads[crashed]))
 	}
 }
+
+// TestEngineMuxMixedClasses runs 16 overlapping sessions split between the
+// bulk and interactive priority classes through shared engines, under the
+// race detector in CI. Every session of either class must complete
+// bit-perfectly, no session may be catastrophically starved within its
+// class (the precise min/mean ≥ 0.8 fairness gate runs in the mux bench,
+// where payloads are large enough for per-session timing to mean
+// something; here race-detector scheduling skew on small transfers makes
+// a tight bound flaky), and the per-class scheduler/admission counters
+// must surface in EngineStats.
+func TestEngineMuxMixedClasses(t *testing.T) {
+	const sessions, hosts, chunk = 16, 4, 32 << 10
+	h := newMuxHarness(t, hosts)
+
+	classOf := func(s int) string {
+		if s%2 == 1 {
+			return ClassInteractive
+		}
+		return ClassBulk
+	}
+
+	payloads := make([][]byte, sessions)
+	sinks := make([][]*verifySink, sessions)
+	results := make([]*SessionResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		// Identical sizes so per-class throughput is comparable.
+		payloads[s] = patternPayload(2<<20+4097, byte(s))
+		sinks[s] = make([]*verifySink, hosts)
+		for i := range sinks[s] {
+			sinks[s][i] = &verifySink{want: payloads[s]}
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			cfg := SessionConfig{
+				Peers:      h.peers,
+				Opts:       muxTestOptions(chunk),
+				Session:    SessionID(s + 1),
+				NetworkFor: func(i int) transport.Network { return h.fabric.Host(h.peers[i].Name) },
+				EngineFor:  func(i int) *Engine { return h.engines[i] },
+				SinkFor:    func(i int) io.Writer { return sinks[s][i] },
+				InputFile:  bytes.NewReader(payloads[s]),
+				InputSize:  int64(len(payloads[s])),
+			}
+			cfg.Opts.Class = classOf(s)
+			results[s], errs[s] = RunSession(context.Background(), cfg)
+		}(s)
+	}
+	wg.Wait()
+
+	perClass := map[string][]float64{}
+	for s := 0; s < sessions; s++ {
+		if errs[s] != nil {
+			t.Fatalf("session %d (%s): %v", s+1, classOf(s), errs[s])
+		}
+		if n := len(results[s].Report.Failures); n != 0 {
+			t.Errorf("session %d reported %d failures: %v", s+1, n, results[s].Report)
+		}
+		for i := 1; i < hosts; i++ {
+			off, corrupt := sinks[s][i].state()
+			if corrupt || off != len(payloads[s]) {
+				t.Errorf("session %d node %d: %d/%d bytes, corrupt=%v", s+1, i, off, len(payloads[s]), corrupt)
+			}
+		}
+		perClass[classOf(s)] = append(perClass[classOf(s)], results[s].Throughput())
+	}
+
+	for class, rates := range perClass {
+		min, mean := rates[0], 0.0
+		for _, r := range rates {
+			mean += r / float64(len(rates))
+			if r < min {
+				min = r
+			}
+		}
+		if mean <= 0 || min/mean < 0.2 {
+			t.Errorf("class %s starved within class: min %.1f mean %.1f MB/s (ratio %.2f)", class, min/1e6, mean/1e6, min/mean)
+		}
+	}
+
+	// The engines saw both classes: admissions and scheduled turns are
+	// accounted per class on every host. (The last host runs only tail
+	// nodes, which have no successor to forward to — no turns there.)
+	for i, e := range h.engines {
+		st := e.Stats()
+		for _, class := range []string{ClassBulk, ClassInteractive} {
+			cs, ok := st.Classes[class]
+			if !ok || cs.Admitted != sessions/2 {
+				t.Errorf("engine %d class %s admissions incomplete: %+v", i, class, cs)
+			}
+			if i < hosts-1 && (cs.Turns == 0 || cs.ScheduledBytes == 0) {
+				t.Errorf("engine %d class %s scheduled nothing: %+v", i, class, cs)
+			}
+		}
+		if st.Classes[ClassInteractive].Weight != 4 || st.Classes[ClassBulk].Weight != 1 {
+			t.Errorf("engine %d class weights wrong: %+v", i, st.Classes)
+		}
+		if st.Sessions != 0 || st.PoolReserved != 0 {
+			t.Errorf("engine %d leaked: %d sessions, %d bytes reserved", i, st.Sessions, st.PoolReserved)
+		}
+	}
+}

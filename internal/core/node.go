@@ -85,13 +85,14 @@ type NodeConfig struct {
 
 // Node is one member of a running broadcast pipeline.
 type Node struct {
-	cfg  NodeConfig
-	opts Options
-	clk  Clock
-	sid  SessionID
-	st   store
-	ws   *windowStore // non-nil iff st is a window store
-	pool *chunkPool   // recycled payload buffers for the relay hot path
+	cfg    NodeConfig
+	opts   Options
+	clk    Clock
+	sid    SessionID
+	st     store
+	ws     *windowStore // non-nil iff st is a window store
+	pool   *chunkPool   // recycled payload buffers for the relay hot path
+	sentry *schedEntry  // seat in the engine's data-plane scheduler (nil off-engine)
 
 	ictx   context.Context // internal lifecycle, detached from caller ctx
 	cancel context.CancelFunc
@@ -201,7 +202,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 // death) into a node whose pool or store is still nil.
 func (n *Node) prepare() error {
 	if n.cfg.Engine != nil {
-		pool, err := n.cfg.Engine.register(n.sid, n, n.opts.ChunkSize, n.opts.PoolChunks)
+		pool, err := n.cfg.Engine.register(n.sid, n, n.opts.ChunkSize, n.opts.PoolChunks, n.opts.Class)
 		if err != nil {
 			return err
 		}
@@ -216,6 +217,11 @@ func (n *Node) prepare() error {
 		n.st = n.ws
 	}
 	if n.cfg.Engine != nil {
+		// Engine-attached nodes forward through the engine's weighted
+		// scheduler (sched.go) instead of a free-running goroutine per
+		// session: the seat is taken before attach so the first inbound
+		// GET finds the scheduling path ready.
+		n.sentry = n.cfg.Engine.attachSched(n.sid, n.st, n.opts.Class, n.opts.MaxBatchBytes, n.opts.ChunkSize)
 		n.cfg.Engine.attach(n.sid, n)
 	}
 	return nil
@@ -228,6 +234,7 @@ func (n *Node) detach() {
 	n.detachOnce.Do(func() {
 		if n.cfg.Engine != nil {
 			n.cfg.Engine.unregister(n.sid, n)
+			n.cfg.Engine.detachSched(n.sentry)
 		} else {
 			_ = n.cfg.Listener.Close()
 		}
@@ -275,7 +282,20 @@ func (n *Node) Run(ctx context.Context) (*Report, error) {
 		detail = err.Error()
 	}
 	n.emit(TraceFinished, -1, n.bytesIn.Load(), detail)
+	n.recycle()
 	return rep, err
+}
+
+// recycle hands the node's payload buffers back to the cross-session
+// arena: first the ring slots the replay window still holds, then the
+// pool's parked free list. Runs strictly after detach — no new connection
+// can be routed here — and the store poisons itself so an in-flight PGET
+// server errors out instead of touching recycled memory.
+func (n *Node) recycle() {
+	if n.ws != nil {
+		n.ws.recycle()
+	}
+	n.pool.drain()
 }
 
 func (n *Node) run(ctx context.Context) (*Report, error) {

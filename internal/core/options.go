@@ -26,6 +26,13 @@ type Options struct {
 	// ready chunk is always sent, so a value below ChunkSize disables
 	// batching without stalling. Defaults to 4 MiB.
 	MaxBatchBytes int
+
+	// Class names the broadcast's priority class on shared engines: it
+	// drives admission-queue ordering and the weighted quanta of the
+	// engine's data-plane scheduler (EngineOptions.Classes maps names to
+	// weights; see ClassBulk/ClassInteractive). Empty behaves as weight 1.
+	// It travels with the plan so every host schedules the session alike.
+	Class string `json:"Class,omitempty"`
 	// PoolChunks sizes the free list of the per-node chunk buffer pool.
 	// Defaults to WindowChunks plus a small slack for frames in flight.
 	PoolChunks int

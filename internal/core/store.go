@@ -31,6 +31,16 @@ func (e *ForgetError) Error() string {
 	return fmt.Sprintf("kascade: data before offset %d is no longer buffered", e.Base)
 }
 
+// errNotReady is PollChunkAt's "nothing buffered at this offset yet, and no
+// terminal condition either" answer — the scheduler arms the store notify
+// and parks the session instead of blocking a goroutine in ChunkAt.
+var errNotReady = errors.New("kascade: chunk not buffered yet")
+
+// errRecycled poisons a store whose session ended and returned its buffers
+// to the cross-session arena; stragglers (an in-flight PGET server) see it
+// instead of reading recycled memory.
+var errRecycled = errors.New("kascade: session over, store recycled")
+
 // store is the node-local view of the stream being broadcast: the
 // downstream sender reads sequential chunks from it, and the fetch server
 // (at node 1) answers PGET range requests from it.
@@ -52,6 +62,25 @@ type store interface {
 	// (EOF, FORGET, abort) that ChunkAt reports as an error, which the
 	// caller discovers on its next blocking ChunkAt.
 	TryChunkAt(off uint64) (*chunk, bool)
+	// PollChunkAt is the scheduler-facing variant: never blocking, it
+	// returns errNotReady while the chunk is simply not buffered yet and
+	// otherwise exactly what ChunkAt would (the chunk, io.EOF, a
+	// *ForgetError, or the abort cause) — so an engine worker can claim a
+	// forwardable batch, or learn the terminal condition, without parking
+	// a goroutine per session.
+	PollChunkAt(off uint64) (*chunk, error)
+	// SetNotify installs the store's readiness hook: an edge-triggered
+	// callback fired (at most once per ArmNotify) when the armed offset
+	// becomes readable or a terminal condition arrives. Nil clears it.
+	SetNotify(fn func())
+	// ArmNotify arms a one-shot notification for off: fire once `want`
+	// bytes from off are buffered (the store clamps want to what its
+	// capacity can ever hold, so the threshold is always crossable), or
+	// immediately on any terminal condition. It reports whether the
+	// notify was armed: false means ChunkAt(off) would already return
+	// without blocking, so the caller should poll again instead of
+	// waiting.
+	ArmNotify(off uint64, want int) bool
 	// SetLowWater tells the store that bytes below off are safely at the
 	// successor, making the chunks below off eligible for eviction.
 	SetLowWater(off uint64)
@@ -86,8 +115,9 @@ type store interface {
 // recovering successor keeps its payload alive even if the slot is evicted
 // and the window moves on underneath it.
 type windowStore struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters int // goroutines parked in cond.Wait (skip wakeups when zero)
 
 	chunkSize int
 	pool      *chunkPool
@@ -104,6 +134,15 @@ type windowStore struct {
 	ended bool
 	end   uint64
 	abort error
+
+	// The edge-triggered readiness hook of the scheduled forwarding path:
+	// armed at one offset, fired at most once when that offset becomes
+	// readable (or a terminal condition arrives), then disarmed. This is
+	// what batches wakeups — the engine scheduler is notified once per
+	// drain cycle instead of the downstream goroutine waking per chunk.
+	notify   func()
+	notifyAt uint64
+	armed    bool
 }
 
 func newWindowStore(chunkSize, windowChunks int, pool *chunkPool) *windowStore {
@@ -121,6 +160,41 @@ func newWindowStore(chunkSize, windowChunks int, pool *chunkPool) *windowStore {
 
 // slot returns the ring position of logical chunk index i (0 = oldest).
 func (s *windowStore) slot(i int) int { return (s.start + i) % len(s.ring) }
+
+// waitLocked parks the caller on the store condition, tracking the waiter
+// count so state changes with nobody parked skip the wakeup entirely.
+func (s *windowStore) waitLocked() {
+	s.waiters++
+	s.cond.Wait()
+	s.waiters--
+}
+
+// wakeLocked wakes parked waiters, if any. Caller holds s.mu.
+func (s *windowStore) wakeLocked() {
+	if s.waiters > 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// readyLocked reports whether a notify armed at off should fire: data
+// buffered through off, or a terminal condition (abort, FORGET, EOF).
+// Caller holds s.mu.
+func (s *windowStore) readyLocked(off uint64) bool {
+	return s.abort != nil || off < s.base || off < s.head || s.ended
+}
+
+// maybeNotifyLocked fires the armed readiness hook if its offset became
+// readable (or terminal). The hook runs while holding s.mu — it must only
+// flip scheduler state (the lock order is store.mu → scheduler.mu, never
+// the reverse). Caller holds s.mu.
+func (s *windowStore) maybeNotifyLocked() {
+	if s.armed && s.readyLocked(s.notifyAt) {
+		s.armed = false
+		if s.notify != nil {
+			s.notify()
+		}
+	}
+}
 
 // evictLocked drops the oldest chunk. Caller holds s.mu.
 func (s *windowStore) evictLocked() {
@@ -170,12 +244,13 @@ func (s *windowStore) Append(c *chunk) error {
 		if s.count < len(s.ring) {
 			break
 		}
-		s.cond.Wait()
+		s.waitLocked()
 	}
 	s.ring[s.slot(s.count)] = c
 	s.count++
 	s.head += uint64(len(c.bytes()))
-	s.cond.Broadcast()
+	s.wakeLocked()
+	s.maybeNotifyLocked()
 	return nil
 }
 
@@ -195,7 +270,8 @@ func (s *windowStore) Finish(total uint64) {
 		s.ended = true
 		s.end = total
 	}
-	s.cond.Broadcast()
+	s.wakeLocked()
+	s.maybeNotifyLocked()
 }
 
 func (s *windowStore) ChunkAt(off uint64) (*chunk, error) {
@@ -214,8 +290,61 @@ func (s *windowStore) ChunkAt(off uint64) (*chunk, error) {
 		if s.ended {
 			return nil, io.EOF
 		}
-		s.cond.Wait()
+		s.waitLocked()
 	}
+}
+
+func (s *windowStore) PollChunkAt(off uint64) (*chunk, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.abort != nil:
+		return nil, s.abort
+	case off < s.base:
+		return nil, &ForgetError{Base: s.base}
+	case off < s.head:
+		return s.chunkAtLocked(off)
+	case s.ended:
+		return nil, io.EOF
+	default:
+		return nil, errNotReady
+	}
+}
+
+func (s *windowStore) SetNotify(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify = fn
+	if fn == nil {
+		s.armed = false
+	}
+}
+
+func (s *windowStore) ArmNotify(off uint64, want int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Clamp the batching threshold to half the window: back-pressure
+	// parks the producer only once the ring is full, so a threshold at or
+	// below half of it is always crossable and the notify can never
+	// deadlock against a producer waiting for this consumer.
+	if max := len(s.ring) / 2 * s.chunkSize; want > max {
+		want = max
+	}
+	if want < 1 {
+		want = 1
+	}
+	at := off + uint64(want) - 1
+	if s.abort != nil || s.ended || off < s.base || s.head > at {
+		// Terminal condition, or the threshold is already crossed:
+		// claim now. (Data short of the threshold arms anyway — Append
+		// fires the hook once the backlog builds, and EOF/abort fire it
+		// immediately, so delivery is only deferred while the producer
+		// is actively streaming.)
+		return false
+	}
+	s.notifyAt = at
+	s.armed = true
+	return true
 }
 
 func (s *windowStore) TryChunkAt(off uint64) (*chunk, bool) {
@@ -251,7 +380,7 @@ func (s *windowStore) SetLowWater(off uint64) {
 	defer s.mu.Unlock()
 	if off > s.lowWater {
 		s.lowWater = off
-		s.cond.Broadcast()
+		s.wakeLocked()
 	}
 }
 
@@ -259,14 +388,14 @@ func (s *windowStore) ResetLowWater(off uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lowWater = off
-	s.cond.Broadcast()
+	s.wakeLocked()
 }
 
 func (s *windowStore) ReleaseAll() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.released = true
-	s.cond.Broadcast()
+	s.wakeLocked()
 }
 
 func (s *windowStore) Head() uint64 {
@@ -287,13 +416,30 @@ func (s *windowStore) Abort(cause error) {
 	if s.abort == nil {
 		s.abort = cause
 	}
-	s.cond.Broadcast()
+	s.wakeLocked()
+	s.maybeNotifyLocked()
 }
 
 func (s *windowStore) AbortCause() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.abort
+}
+
+// recycle ends the store's life: it is poisoned (unless already terminal)
+// so late readers get a clean error, and every ring slot's reference is
+// released — parking the buffers in the pool, whose drain hands them to
+// the cross-session arena.
+func (s *windowStore) recycle() {
+	s.mu.Lock()
+	if s.abort == nil {
+		s.abort = errRecycled
+	}
+	for s.count > 0 {
+		s.evictLocked()
+	}
+	s.wakeLocked()
+	s.mu.Unlock()
 }
 
 // Base returns the smallest retained offset (for tests and diagnostics).
@@ -353,6 +499,16 @@ func (s *fileStore) TryChunkAt(off uint64) (*chunk, bool) {
 	}
 	return c, true
 }
+
+// PollChunkAt never answers errNotReady: a random-access source can serve
+// any offset (or its terminal condition) immediately.
+func (s *fileStore) PollChunkAt(off uint64) (*chunk, error) { return s.ChunkAt(off) }
+
+// SetNotify is a no-op: a file store is always ready, nothing to wait for.
+func (s *fileStore) SetNotify(func()) {}
+
+// ArmNotify always reports "ready now": the caller should poll, not wait.
+func (s *fileStore) ArmNotify(uint64, int) bool { return false }
 
 func (s *fileStore) SetLowWater(uint64)   {}
 func (s *fileStore) ResetLowWater(uint64) {}

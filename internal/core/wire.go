@@ -124,7 +124,7 @@ type wire struct {
 }
 
 func newWire(c transport.Conn) *wire {
-	return &wire{conn: c, br: bufio.NewReaderSize(c, 64<<10), out: c, now: time.Now}
+	return &wire{conn: c, br: bufio.NewReaderSize(c, 4<<10), out: c, now: time.Now}
 }
 
 func (w *wire) close() error { return w.conn.Close() }
