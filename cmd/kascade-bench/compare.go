@@ -270,6 +270,20 @@ func compareThroughput(baselinePath string, base map[string]float64, fresh []map
 	if len(missing) > 0 {
 		return fmt.Errorf("fresh results are missing baseline rows %v", missing)
 	}
+	// Fresh-only rows (benchmarks added since the baseline was committed)
+	// cannot be gated — there is nothing to regress against — but silently
+	// dropping them would hide a stale baseline. Announce each skip; the
+	// next baseline refresh folds them in.
+	for _, name := range freshOnlyRows(base, fresh) {
+		var sample []float64
+		for _, rows := range fresh {
+			if v, ok := rows[name]; ok {
+				sample = append(sample, v)
+			}
+		}
+		fmt.Printf("%-34s %12s %9.1f MB/s   (new row, not in baseline: skipped from the gate)\n",
+			name, "-", median(sample))
+	}
 	if baseAgg <= 0 {
 		return fmt.Errorf("baseline %s has no throughput rows", baselinePath)
 	}
@@ -283,6 +297,23 @@ func compareThroughput(baselinePath string, base map[string]float64, fresh []map
 	}
 	fmt.Println("compare: PASS")
 	return nil
+}
+
+// freshOnlyRows returns the sorted row names that appear in at least one
+// fresh result set but not in the baseline.
+func freshOnlyRows(base map[string]float64, fresh []map[string]float64) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rows := range fresh {
+		for name := range rows {
+			if _, inBase := base[name]; !inBase && !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // compareChaos gates a recovery report: zero fresh scenario failures, and

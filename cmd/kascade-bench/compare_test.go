@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,6 +66,52 @@ func TestCompareEnginePassAndFail(t *testing.T) {
 	if err := runCompare(base, []string{partial}, opts); err == nil {
 		t.Fatal("missing rows passed")
 	}
+}
+
+// TestCompareFreshOnlyRowsSkipWithNotice: a fresh row absent from the
+// baseline (a benchmark added since the baseline was committed) must not
+// fail the gate — and must not silently vanish either: the gate prints a
+// skip notice naming it.
+func TestCompareFreshOnlyRowsSkipWithNotice(t *testing.T) {
+	dir := t.TempDir()
+	base := engineFile(t, dir, "base.json", 100, 200)
+	// Three rows vs the baseline's two: bench/c is fresh-only.
+	fresh := engineFile(t, dir, "fresh.json", 100, 200, 300)
+	opts := compareOptions{Tolerance: 0.25, DetectFactor: 2}
+
+	out := captureStdout(t, func() {
+		if err := runCompare(base, []string{fresh}, opts); err != nil {
+			t.Errorf("fresh-only row failed the gate: %v", err)
+		}
+	})
+	if !strings.Contains(out, "bench/c") || !strings.Contains(out, "skipped from the gate") {
+		t.Fatalf("no skip notice for the fresh-only row:\n%s", out)
+	}
+	// The fresh-only row must not count toward the aggregate: identical
+	// shared rows plus a huge new one still reports a 0% delta.
+	if !strings.Contains(out, "compare: PASS") {
+		t.Fatalf("gate verdict missing:\n%s", out)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }
 
 // TestCompareMux: mux-shaped files (arrays) gate on the summed aggregate

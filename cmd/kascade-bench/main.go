@@ -57,7 +57,7 @@ func runEngineBench(path string) error {
 			b.ReportAllocs()
 			b.SetBytes(spec.Size)
 			for i := 0; i < b.N; i++ {
-				if _, err := benchkit.EngineBroadcast(spec.Nodes, spec.Size, spec.Chunk); err != nil {
+				if _, err := spec.Broadcast(); err != nil {
 					broadcastErr = err
 					b.Fatal(err)
 				}

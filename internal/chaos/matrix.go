@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"kascade/internal/core"
 )
 
 // MatrixNodeCounts are the pipeline lengths every fault kind is swept
@@ -127,6 +129,22 @@ func Matrix(seed int64, full bool) []Scenario {
 		add(fmt.Sprintf("stream-crash/n=%d", n), shape, func(sc *Scenario) {
 			sc.Faults = []Fault{{Kind: Crash, Victim: v, Peer: -1, When: Mark{Node: v, Bytes: uint64(shape.PayloadSize / 3)}}}
 		})
+	}
+
+	// Datagram fan-out under loss: the sender→victim packet plane drops 1%
+	// or 5% of datagrams for the whole run; the TCP PGET side channel must
+	// repair every hole, so delivery stays bit-perfect and the ring report
+	// stays empty (Check's PacketLoss invariant).
+	for _, n := range []int{3, 7} {
+		shape := shapeFor(n)
+		for _, rate := range []float64{0.01, 0.05} {
+			rate := rate
+			v := n / 2
+			add(fmt.Sprintf("udp-loss/n=%d/p=%d", n, int(rate*100)), shape, func(sc *Scenario) {
+				sc.Transport = core.TransportUDP
+				sc.Faults = []Fault{{Kind: PacketLoss, Victim: v, Peer: 0, Rate: rate}}
+			})
+		}
 	}
 
 	// Seeded random schedules: the generator's scenario diversity, pinned

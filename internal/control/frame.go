@@ -207,6 +207,11 @@ type StartRequest struct {
 	Peers   []core.Peer    `json:"peers"`
 	Opts    core.Options   `json:"opts"`
 	Output  SinkSpec       `json:"output,omitempty"`
+	// Transport selects the data plane (core.Plan.Transport): "" / "tcp"
+	// for the chunked relay pipeline, "udp" for the batched datagram
+	// fan-out. With "udp" every peer carries a PacketAddr and the agent
+	// binds a datagram endpoint on its own peer's port.
+	Transport string `json:"transport,omitempty"`
 }
 
 // ResultReply is the terminal state of one started session.

@@ -136,6 +136,19 @@ func (n *Node) receiveRingReport(w *wire) {
 	if err != nil {
 		return
 	}
+	if n.cfg.Plan.Transport == TransportUDP {
+		// The datagram fan-out has no pipeline: every receiver closes its
+		// own ring connection. Acknowledge it immediately and publish the
+		// final report once all receivers reported or were recorded dead.
+		n.setUpReport(rep)
+		n.mu.Lock()
+		n.udpReports++
+		n.mu.Unlock()
+		n.maybeCloseUDPRing()
+		w.setWriteDeadlineIn(n.opts.GetTimeout)
+		_ = w.writePassed()
+		return
+	}
 	// Fold in the sender's own observations (e.g. abandons recorded by
 	// the fetch server) before publishing.
 	n.mu.Lock()

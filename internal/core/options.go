@@ -60,6 +60,23 @@ type Options struct {
 	// predecessor connection before giving the transfer up.
 	UpstreamIdleTimeout time.Duration
 
+	// Splice lets pure-relay nodes move chunk payloads from the upstream
+	// socket to the downstream socket inside the kernel (splice(2) via the
+	// runtime's TCP ReadFrom path) instead of staging them in pooled user-
+	// space buffers. It only ever engages on Linux, between real TCP
+	// connections, on nodes with no local consumer (no Sink) — everywhere
+	// else the pooled path runs unchanged, so the flag is safe to set
+	// unconditionally. Requires a file-backed source at node 0: a spliced
+	// relay retains nothing, so a recovering successor's FORGET resolves
+	// against the sender's file store instead of this node's window.
+	Splice bool `json:"Splice,omitempty"`
+
+	// DatagramBytes caps the payload carried by one UDP datagram on the
+	// "udp" transport (header excluded). Defaults to 1200 bytes, safely
+	// under the common 1500-byte path MTU. Only meaningful with
+	// Plan.Transport == "udp".
+	DatagramBytes int `json:"DatagramBytes,omitempty"`
+
 	// MinThroughput enables the paper's future-work extension (§V): a
 	// successor whose drain rate stays below this many bytes/second for
 	// longer than SlowNodeGrace is excluded from the transfer exactly
@@ -108,6 +125,9 @@ func (o Options) withDefaults() Options {
 	def(&o.UpstreamIdleTimeout, time.Minute)
 	if o.MinThroughput > 0 {
 		def(&o.SlowNodeGrace, 10*time.Second)
+	}
+	if o.DatagramBytes <= 0 {
+		o.DatagramBytes = 1200
 	}
 	if o.Clock == nil {
 		o.Clock = SystemClock()
@@ -161,6 +181,9 @@ type Peer struct {
 	Name string
 	// Addr is the node's listen address, "host:port".
 	Addr string
+	// PacketAddr is the node's bound datagram address for the "udp"
+	// transport; empty on TCP plans.
+	PacketAddr string `json:"PacketAddr,omitempty"`
 }
 
 // Plan is the shared description of one broadcast: the ordered pipeline
@@ -172,12 +195,36 @@ type Plan struct {
 	// Session identifies this broadcast on shared data listeners. 0 keeps
 	// the node on the v1 wire format (single-broadcast processes).
 	Session SessionID
+	// Transport selects the data plane: "" or TransportTCP is the chunked
+	// relay pipeline over stream connections; TransportUDP is the batched
+	// datagram fan-out (node 0 sends to every receiver directly, losses are
+	// repaired with PGET range fetches over TCP). Control traffic — HELLO,
+	// PGET repair, the completion ring report — always runs over the stream
+	// transport.
+	Transport string `json:"Transport,omitempty"`
 }
+
+// Data-plane transports carried in Plan.Transport.
+const (
+	TransportTCP = "tcp"
+	TransportUDP = "udp"
+)
 
 // Validate checks the plan is runnable.
 func (p *Plan) Validate() error {
 	if len(p.Peers) == 0 {
 		return fmt.Errorf("kascade: empty plan")
+	}
+	switch p.Transport {
+	case "", TransportTCP:
+	case TransportUDP:
+		for i, peer := range p.Peers {
+			if peer.PacketAddr == "" {
+				return fmt.Errorf("kascade: udp transport: peer %d (%s) has no packet address", i, peer.Name)
+			}
+		}
+	default:
+		return fmt.Errorf("kascade: unknown transport %q", p.Transport)
 	}
 	seen := make(map[string]bool, len(p.Peers))
 	for i, peer := range p.Peers {

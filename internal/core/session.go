@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +25,14 @@ type SessionConfig struct {
 	// Session identifies this broadcast on shared engines. Required
 	// (non-zero) when EngineFor is set; 0 keeps the v1 wire format.
 	Session SessionID
+
+	// Transport selects the data plane (Plan.Transport): "" or
+	// TransportTCP for the chunked relay pipeline, TransportUDP for the
+	// batched datagram fan-out. With TransportUDP every peer's network
+	// must implement transport.PacketNetwork; the session binds a
+	// datagram endpoint per peer (peers with an empty PacketAddr get an
+	// ephemeral port on their stream-address host).
+	Transport string
 
 	// NetworkFor returns the network surface of pipeline member i.
 	NetworkFor func(i int) transport.Network
@@ -119,10 +128,16 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	// its engine's (already listening) data address, and connections
 	// arriving before the member registers are parked by the engine.
 	listeners := make([]transport.Listener, len(peers))
+	packets := make([]transport.PacketConn, len(peers))
 	closeListeners := func() {
 		for _, l := range listeners {
 			if l != nil {
 				l.Close()
+			}
+		}
+		for _, pc := range packets {
+			if pc != nil {
+				pc.Close()
 			}
 		}
 	}
@@ -139,8 +154,31 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		listeners[i] = l
 		peers[i].Addr = l.Addr() // resolve ephemeral ports
 	}
+	if cfg.Transport == TransportUDP {
+		// The datagram endpoints are bound up front too, so every peer's
+		// resolved PacketAddr travels in the shared plan before any node
+		// starts.
+		for i := range peers {
+			pn, ok := cfg.NetworkFor(i).(transport.PacketNetwork)
+			if !ok {
+				closeListeners()
+				return nil, fmt.Errorf("kascade: peer %d's network cannot carry datagrams", i)
+			}
+			addr := peers[i].PacketAddr
+			if addr == "" {
+				addr = packetBindAddr(peers[i].Addr)
+			}
+			pc, err := pn.ListenPacket(addr)
+			if err != nil {
+				closeListeners()
+				return nil, fmt.Errorf("kascade: binding packet %s: %w", addr, err)
+			}
+			packets[i] = pc
+			peers[i].PacketAddr = pc.LocalAddr()
+		}
+	}
 
-	plan := Plan{Peers: peers, Opts: cfg.Opts, Session: cfg.Session}
+	plan := Plan{Peers: peers, Opts: cfg.Opts, Session: cfg.Session, Transport: cfg.Transport}
 	if err := plan.Validate(); err != nil {
 		closeListeners()
 		return nil, err
@@ -153,6 +191,7 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 			Plan:     plan,
 			Network:  cfg.NetworkFor(i),
 			Listener: listeners[i],
+			Packet:   packets[i],
 			Trace:    cfg.Trace,
 		}
 		if cfg.EngineFor != nil {
@@ -198,6 +237,15 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		}(i)
 	}
 	return s, nil
+}
+
+// packetBindAddr derives the default datagram bind address from a resolved
+// stream address: same host, ephemeral port.
+func packetBindAddr(streamAddr string) string {
+	if i := strings.LastIndexByte(streamAddr, ':'); i >= 0 {
+		return streamAddr[:i+1] + "0"
+	}
+	return streamAddr + ":0"
 }
 
 // Wait blocks until every node finished and returns the aggregate result.

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"sync"
+
+	"kascade/internal/transport"
+)
+
+// Kernel pass-through for pure relays (Options.Splice). A relay that keeps
+// no local copy of the stream — no sink, retention satisfied by node 0's
+// file store — does not need the payload in user space at all: frame
+// headers stay in user space, frame payloads move upstream-socket →
+// downstream-socket through the kernel (splice(2), reached via the
+// runtime's TCP ReadFrom path; see transport/splice_linux.go).
+//
+// The handoff between the two per-connection goroutines is a rendezvous
+// gate owned by the node:
+//
+//   - The downstream sender, on finding itself fully caught up (its send
+//     offset == the store head), posts a spliceOffer carrying its offset
+//     and its connection, then parks until the offer resolves.
+//   - The upstream receiver, on the next DATA frame, claims the offer. If
+//     the connections cannot splice (in-memory fabric, non-TCP) it declines
+//     permanently — the sender never offers again on this connection; if
+//     the offsets mismatch it declines transiently; otherwise it engages:
+//     it owns the downstream connection and relays whole frames through the
+//     kernel until a non-DATA frame (or an error) ends the span, then
+//     closes the offer's done channel with the byte count moved.
+//
+// Every frame crosses atomically: the span only ever ends on a frame
+// boundary, so both byte streams stay parseable and the pooled path resumes
+// seamlessly — recovery, replay and END handling are untouched. A mid-frame
+// splice error is the one exception: both streams are then corrupt mid-
+// frame, so both connections are killed and the node falls back to the
+// pooled path permanently (spliceBroken); the existing reconnect/FORGET/
+// PGET machinery re-synchronises both sides without data loss.
+
+// spliceResult is the gate's answer to one offer.
+type spliceResult struct {
+	engaged bool
+	// noRetry marks a permanent decline: this successor connection will
+	// never splice (incapable transport, broken splice, stream over), so
+	// the sender stops offering on it.
+	noRetry bool
+}
+
+// spliceOffer is one parked downstream sender: its catch-up offset, the
+// connection to splice into, and the channels resolving its fate.
+type spliceOffer struct {
+	off  uint64
+	conn transport.Conn
+	resp chan spliceResult // buffered(1): claim or decline
+	done chan struct{}     // engaged only: closed when the span ends
+
+	// Written by the engaging side strictly before close(done).
+	moved uint64
+	err   error // non-nil: both connections died mid-frame
+}
+
+// finish ends an engaged span.
+func (o *spliceOffer) finish() { close(o.done) }
+
+// spliceGate is the node-level rendezvous point. It outlives individual
+// connections on both sides: a pending offer survives an upstream
+// reconnect and is claimed by the replacement predecessor.
+type spliceGate struct {
+	mu        sync.Mutex
+	pending   *spliceOffer
+	suspended bool // offers bounce (transient) while a gap fetch ingests
+	closed    bool // offers bounce (permanent) once the stream is over
+}
+
+// post submits an offer. ok reports whether it was accepted; on false,
+// noRetry distinguishes a closed gate from a transient bounce.
+func (g *spliceGate) post(o *spliceOffer) (ok, noRetry bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false, true
+	}
+	if g.suspended || g.pending != nil {
+		return false, false
+	}
+	g.pending = o
+	return true, false
+}
+
+// take claims the pending offer, if any.
+func (g *spliceGate) take() *spliceOffer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.pending
+	g.pending = nil
+	return o
+}
+
+// withdraw removes o if it is still pending; false means a claim raced the
+// withdrawal and the offerer must wait for the resolution instead.
+func (g *spliceGate) withdraw(o *spliceOffer) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pending == o {
+		g.pending = nil
+		return true
+	}
+	return false
+}
+
+// suspend bounces offers while the upstream goroutine ingests a gap fetch
+// through the pooled path — a parked successor would deadlock the window's
+// back-pressure. resume re-opens the gate.
+func (g *spliceGate) suspend() { g.setSuspended(true) }
+func (g *spliceGate) resume()  { g.setSuspended(false) }
+
+func (g *spliceGate) setSuspended(v bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.suspended = v
+}
+
+// close declines the pending offer (permanently) and every future one: the
+// stream is over, or the upstream lifecycle ended.
+func (g *spliceGate) close() {
+	g.mu.Lock()
+	o := g.pending
+	g.pending = nil
+	g.closed = true
+	g.mu.Unlock()
+	if o != nil {
+		o.resp <- spliceResult{noRetry: true}
+	}
+}
+
+// resolveTransient declines the pending offer without closing the gate
+// (used before a gap fetch: the successor drains pooled, then offers again).
+func (g *spliceGate) resolveTransient() {
+	g.mu.Lock()
+	o := g.pending
+	g.pending = nil
+	g.mu.Unlock()
+	if o != nil {
+		o.resp <- spliceResult{}
+	}
+}
+
+// spliceEligible decides at construction time whether this node may ever
+// relay through the kernel: an opted-in pure relay — not the sender, no
+// local consumer, and no §V drain-rate measurement (exclusion times
+// user-space writes, which a spliced span bypasses).
+func spliceEligible(cfg *NodeConfig, opts *Options) bool {
+	noSink := cfg.Sink == nil || cfg.Sink == io.Discard
+	return opts.Splice && cfg.Index > 0 && noSink && opts.MinThroughput == 0 &&
+		cfg.Plan.Transport != TransportUDP // no relay chain to splice on UDP
+}
+
+// closeSpliceGate shuts the gate down, if the node has one.
+func (n *Node) closeSpliceGate() {
+	if n.splice != nil {
+		n.splice.close()
+	}
+}
+
+// offerSplice posts an offer at off on conn and parks until it resolves.
+// It returns the bytes moved through the kernel (0 on a decline), the
+// resolution, and a connection-level error: a non-nil error means conn is
+// corrupt mid-frame and must be classified like any failed write.
+func (n *Node) offerSplice(ctx context.Context, off uint64, conn transport.Conn) (uint64, spliceResult, error) {
+	o := &spliceOffer{off: off, conn: conn, resp: make(chan spliceResult, 1), done: make(chan struct{})}
+	if ok, noRetry := n.splice.post(o); !ok {
+		return 0, spliceResult{noRetry: noRetry}, nil
+	}
+	select {
+	case res := <-o.resp:
+		if !res.engaged {
+			return 0, res, nil
+		}
+	case <-ctx.Done():
+		if n.splice.withdraw(o) {
+			return 0, spliceResult{}, nil // caller re-checks ctx
+		}
+		// A claim raced the withdrawal: the resolution is owed and, if
+		// engaged, the upstream side owns conn until the span ends.
+		if res := <-o.resp; !res.engaged {
+			return 0, res, nil
+		}
+	}
+	<-o.done
+	return o.moved, spliceResult{engaged: true}, o.err
+}
+
+// spliceFrame relays one DATA frame of the given payload size from the
+// upstream wire to dst: the 5-byte header is written from user space, any
+// payload prefix already sitting in the read buffer is flushed, and the
+// remainder crosses through the kernel. The caller set the upstream read
+// deadline; the write deadline covers the whole frame — the pooled path's
+// stall-probe machinery cannot see into a kernel transfer, so a stuck
+// successor surfaces as a deadline error here and is classified by the
+// offerer like any failed write.
+func (n *Node) spliceFrame(w *wire, dst transport.Conn, size int) error {
+	var hdr [dataFrameHeader]byte
+	hdr[0] = byte(MsgData)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(size))
+	_ = dst.SetWriteDeadline(n.clk.Now().Add(n.opts.FetchTimeout))
+	if _, err := dst.Write(hdr[:]); err != nil {
+		return err
+	}
+	remaining := size
+	for remaining > 0 && w.br.Buffered() > 0 {
+		k := w.br.Buffered()
+		if k > remaining {
+			k = remaining
+		}
+		p, err := w.br.Peek(k)
+		if err != nil {
+			return err
+		}
+		if _, err := dst.Write(p); err != nil {
+			return err
+		}
+		if _, err := w.br.Discard(len(p)); err != nil {
+			return err
+		}
+		remaining -= len(p)
+	}
+	if remaining == 0 {
+		return nil
+	}
+	_, err := dst.(transport.Splicer).SpliceFrom(w.conn, int64(remaining))
+	return err
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// ---------------------------------------------------------------------------
+// Gate unit tests.
+
+func TestSpliceGateLifecycle(t *testing.T) {
+	g := &spliceGate{}
+	o := &spliceOffer{resp: make(chan spliceResult, 1)}
+	if ok, _ := g.post(o); !ok {
+		t.Fatal("fresh gate rejected an offer")
+	}
+	// Only one offer may be pending.
+	if ok, noRetry := g.post(&spliceOffer{}); ok || noRetry {
+		t.Fatal("second offer must bounce transiently")
+	}
+	if got := g.take(); got != o {
+		t.Fatal("take did not claim the pending offer")
+	}
+	if g.take() != nil {
+		t.Fatal("take twice returned an offer")
+	}
+	// Withdraw only wins while the offer is still pending.
+	if ok, _ := g.post(o); !ok {
+		t.Fatal("repost rejected")
+	}
+	if !g.withdraw(o) {
+		t.Fatal("withdraw lost with no claimant")
+	}
+	if g.withdraw(o) {
+		t.Fatal("withdraw won twice")
+	}
+}
+
+func TestSpliceGateSuspendAndClose(t *testing.T) {
+	g := &spliceGate{}
+	g.suspend()
+	if ok, noRetry := g.post(&spliceOffer{}); ok || noRetry {
+		t.Fatal("suspended gate must bounce transiently")
+	}
+	g.resume()
+	o := &spliceOffer{resp: make(chan spliceResult, 1)}
+	if ok, _ := g.post(o); !ok {
+		t.Fatal("resumed gate rejected an offer")
+	}
+	g.close()
+	select {
+	case res := <-o.resp:
+		if res.engaged || !res.noRetry {
+			t.Fatalf("close must decline permanently, got %+v", res)
+		}
+	default:
+		t.Fatal("close left the pending offer unresolved")
+	}
+	if ok, noRetry := g.post(&spliceOffer{}); ok || !noRetry {
+		t.Fatal("closed gate must decline permanently")
+	}
+}
+
+func TestSpliceGateResolveTransient(t *testing.T) {
+	g := &spliceGate{}
+	o := &spliceOffer{resp: make(chan spliceResult, 1)}
+	if ok, _ := g.post(o); !ok {
+		t.Fatal("post rejected")
+	}
+	g.resolveTransient()
+	select {
+	case res := <-o.resp:
+		if res.engaged || res.noRetry {
+			t.Fatalf("transient resolution expected, got %+v", res)
+		}
+	default:
+		t.Fatal("resolveTransient left the offer unresolved")
+	}
+	if ok, _ := g.post(&spliceOffer{resp: make(chan spliceResult, 1)}); !ok {
+		t.Fatal("gate must stay open after a transient resolution")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// spliceFrame unit tests, against fake connections.
+
+// fakeConn is an in-memory transport.Conn: reads from r, writes into w.
+type fakeConn struct {
+	r io.Reader
+	w bytes.Buffer
+}
+
+func (c *fakeConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *fakeConn) Write(p []byte) (int, error)      { return c.w.Write(p) }
+func (c *fakeConn) Close() error                     { return nil }
+func (c *fakeConn) SetDeadline(time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(time.Time) error { return nil }
+func (c *fakeConn) LocalAddr() string                { return "fake:0" }
+func (c *fakeConn) RemoteAddr() string               { return "fake:0" }
+
+// fakeSplicer is a fakeConn with a splice capability that copies n bytes —
+// or fails after failAfter bytes to model a mid-frame kernel error.
+type fakeSplicer struct {
+	fakeConn
+	src       *fakeConn
+	failAfter int64 // <0: never fail
+}
+
+func (c *fakeSplicer) CanSpliceFrom(src transport.Conn) bool { return true }
+
+func (c *fakeSplicer) SpliceFrom(src transport.Conn, n int64) (int64, error) {
+	if c.failAfter >= 0 && n > c.failAfter {
+		moved, _ := io.CopyN(&c.w, src, c.failAfter)
+		return moved, errors.New("fake splice: kernel error mid-frame")
+	}
+	return io.CopyN(&c.w, src, n)
+}
+
+func newSpliceTestNode(t *testing.T) *Node {
+	t.Helper()
+	env := newTestEnv(3, 64<<10)
+	l, err := env.fabric.Host("n2").Listen("n2:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	n, err := NewNode(NodeConfig{
+		Index:    1,
+		Plan:     Plan{Peers: env.peers, Opts: udpTestOpts()},
+		Network:  env.fabric.Host("n2"),
+		Listener: l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSpliceFrameMovesWholeFrame(t *testing.T) {
+	n := newSpliceTestNode(t)
+	payload := testPayload(10<<10, 9)
+	src := &fakeConn{r: bytes.NewReader(payload)}
+	w := n.newWire(src)
+	// Force part of the payload through the bufio prefix-drain path.
+	if _, err := w.br.Peek(1024); err != nil {
+		t.Fatal(err)
+	}
+	dst := &fakeSplicer{failAfter: -1}
+	if err := n.spliceFrame(w, dst, len(payload)); err != nil {
+		t.Fatalf("spliceFrame: %v", err)
+	}
+	out := dst.w.Bytes()
+	if len(out) != dataFrameHeader+len(payload) {
+		t.Fatalf("moved %d bytes, want %d", len(out), dataFrameHeader+len(payload))
+	}
+	if MsgType(out[0]) != MsgData {
+		t.Fatalf("frame type %v", MsgType(out[0]))
+	}
+	if !bytes.Equal(out[dataFrameHeader:], payload) {
+		t.Fatal("payload corrupted in transit")
+	}
+}
+
+func TestSpliceFrameMidFrameError(t *testing.T) {
+	n := newSpliceTestNode(t)
+	payload := testPayload(8<<10, 10)
+	src := &fakeConn{r: bytes.NewReader(payload)}
+	w := n.newWire(src)
+	dst := &fakeSplicer{failAfter: 512}
+	if err := n.spliceFrame(w, dst, len(payload)); err == nil {
+		t.Fatal("mid-frame splice error not surfaced")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fallback matrix: Splice enabled on transports that cannot splice must run
+// the pooled path, bit-perfect, with zero engaged spans.
+
+func TestSpliceFallbackOnFabric(t *testing.T) {
+	env := newTestEnv(3, 256<<10)
+	data := testPayload(300<<10, 11)
+	cfg := env.config(data, false)
+	cfg.Opts.Splice = true
+	cfg.SinkFor = func(i int) io.Writer {
+		if i == 1 {
+			return nil // pure relay: splice-eligible, but memnet declines
+		}
+		return env.sinks[i]
+	}
+	var spliced atomic.Int64
+	cfg.Trace = func(ev TraceEvent) {
+		if ev.Kind == TraceChunk && ev.Detail == "spliced" {
+			spliced.Add(1)
+		}
+	}
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Report.TotalBytes != uint64(len(data)) {
+		t.Fatalf("total %d, want %d", res.Report.TotalBytes, len(data))
+	}
+	if spliced.Load() != 0 {
+		t.Fatalf("%d frames spliced on the in-memory fabric", spliced.Load())
+	}
+	checkSink(t, env, 2, data)
+}
+
+// TestSpliceEngagesOnLoopback runs a real-TCP 3-node chain with a pure relay
+// in the middle: on Linux the relay must move at least part of the stream
+// through the kernel, and the tail sink must stay bit-perfect either way.
+func TestSpliceEngagesOnLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	peers := []Peer{
+		{Name: "s", Addr: "127.0.0.1:0"},
+		{Name: "relay", Addr: "127.0.0.1:0"},
+		{Name: "tail", Addr: "127.0.0.1:0"},
+	}
+	data := testPayload(2<<20, 12)
+	var tail collectSink
+	var spliced atomic.Int64
+	opts := testOpts()
+	opts.Splice = true
+	cfg := SessionConfig{
+		Peers:      peers,
+		Opts:       opts,
+		NetworkFor: func(int) transport.Network { return transport.TCP{} },
+		SinkFor: func(i int) io.Writer {
+			if i == 2 {
+				return &tail
+			}
+			return nil
+		},
+		InputFile: bytes.NewReader(data),
+		InputSize: int64(len(data)),
+		Trace: func(ev TraceEvent) {
+			if ev.Node == 1 && ev.Kind == TraceChunk && ev.Detail == "spliced" {
+				spliced.Add(1)
+			}
+		},
+	}
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Report.TotalBytes != uint64(len(data)) {
+		t.Fatalf("total %d, want %d", res.Report.TotalBytes, len(data))
+	}
+	if !bytes.Equal(tail.Bytes(), data) {
+		t.Fatalf("tail payload mismatch (%d bytes)", len(tail.Bytes()))
+	}
+	if transport.CanSplice(&fakeConn{}, &fakeConn{}) {
+		t.Fatal("sanity: fake conns must not splice")
+	}
+	t.Logf("spliced frames: %d", spliced.Load())
+}
+
+// TestSpliceEligibility pins the constructor-time gating matrix.
+func TestSpliceEligibility(t *testing.T) {
+	base := func() (*NodeConfig, *Options) {
+		o := testOpts().withDefaults()
+		o.Splice = true
+		return &NodeConfig{Index: 1}, &o
+	}
+	if cfg, o := base(); !spliceEligible(cfg, o) {
+		t.Fatal("pure relay must be eligible")
+	}
+	cfg, o := base()
+	cfg.Index = 0
+	if spliceEligible(cfg, o) {
+		t.Fatal("sender must not be eligible")
+	}
+	cfg, o = base()
+	cfg.Sink = &collectSink{}
+	if spliceEligible(cfg, o) {
+		t.Fatal("node with a local sink must not be eligible")
+	}
+	cfg, o = base()
+	cfg.Sink = io.Discard
+	if !spliceEligible(cfg, o) {
+		t.Fatal("io.Discard sink must stay eligible")
+	}
+	cfg, o = base()
+	o.MinThroughput = 1
+	if spliceEligible(cfg, o) {
+		t.Fatal("§V measurement must disable splice")
+	}
+	cfg, o = base()
+	cfg.Plan.Transport = TransportUDP
+	if spliceEligible(cfg, o) {
+		t.Fatal("udp plans must not splice")
+	}
+	cfg, o = base()
+	o.Splice = false
+	if spliceEligible(cfg, o) {
+		t.Fatal("opt-out must disable splice")
+	}
+}

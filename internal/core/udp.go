@@ -1,0 +1,608 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// This file is the "udp" data plane (Plan.Transport == TransportUDP): instead
+// of the chunked relay pipeline, node 0 fans the payload out to every receiver
+// directly as sequenced datagrams, batched through sendmmsg/recvmmsg where the
+// platform has them (internal/transport). Datagrams are unreliable, so the
+// plane is built from three loops:
+//
+//   - the sender slices each chunk into DatagramBytes payloads and blasts the
+//     batch to every alive receiver, pacing itself against the slowest alive
+//     receiver's PROGRESS reports (the same WindowChunks back-pressure the
+//     stream pipeline gets from TCP);
+//   - each receiver reassembles chunks from whatever datagrams arrive, using
+//     a per-chunk bitmap, and ingests completed chunks in order through the
+//     exact same path as the TCP plane (window append + sink + trace);
+//   - losses are repaired out-of-band: a receiver whose frontier chunk stays
+//     incomplete fetches the missing range from node 0 over the reliable
+//     stream transport with PGET — the §III-D2 gap-fetch machinery reused as
+//     a retransmission protocol.
+//
+// Control traffic (the completion ring report, PGET repair) always runs over
+// the stream transport; only payload, END/QUIT markers and PROGRESS ride on
+// datagrams.
+
+// Datagram header layout (udpHeaderLen bytes, big endian):
+//
+//	[0]     magic (udpMagic)
+//	[1]     flags (exactly one of DATA / END / PROGRESS / QUIT)
+//	[2:4]   sender's pipeline index (in-band identification: no source
+//	        addresses are read off the socket, which keeps the mmsg batching
+//	        path free of per-packet sockaddr decoding)
+//	[4:12]  broadcast session ID
+//	[8:20]  byte offset: DATA carries the payload's stream offset, END and
+//	        QUIT carry the total stream length, PROGRESS carries the
+//	        receiver's contiguous-bytes-ingested mark
+const (
+	udpMagic     = 0xA7
+	udpHeaderLen = 20
+
+	udpFlagData     = 0x01
+	udpFlagEnd      = 0x02
+	udpFlagProgress = 0x04
+	udpFlagQuit     = 0x08
+)
+
+// putUDPHeader encodes one datagram header into b (len >= udpHeaderLen).
+func putUDPHeader(b []byte, flags byte, index int, sid SessionID, off uint64) {
+	b[0] = udpMagic
+	b[1] = flags
+	binary.BigEndian.PutUint16(b[2:4], uint16(index))
+	binary.BigEndian.PutUint64(b[4:12], uint64(sid))
+	binary.BigEndian.PutUint64(b[12:20], off)
+}
+
+// parseUDPHeader decodes a datagram header; ok is false for foreign traffic
+// (wrong magic or too short to carry a header).
+func parseUDPHeader(b []byte) (flags byte, index int, sid SessionID, off uint64, ok bool) {
+	if len(b) < udpHeaderLen || b[0] != udpMagic {
+		return 0, 0, 0, 0, false
+	}
+	return b[1], int(binary.BigEndian.Uint16(b[2:4])),
+		SessionID(binary.BigEndian.Uint64(b[4:12])),
+		binary.BigEndian.Uint64(b[12:20]), true
+}
+
+// udpEndResend is the cadence at which the sender re-broadcasts the END (or
+// QUIT) marker until every receiver confirmed or died: the marker is a single
+// datagram, so it must survive loss by repetition.
+const udpEndResend = 20 * time.Millisecond
+
+// ---------------------------------------------------------------------------
+// Sender (node 0).
+
+// udpPeer is the sender's view of one receiver.
+type udpPeer struct {
+	progress uint64    // highest PROGRESS offset reported
+	heard    time.Time // when that report arrived
+	heard0   bool      // at least one PROGRESS has arrived (endpoint is bound)
+	dead     bool
+}
+
+// udpSender fans the stream out to every receiver and returns once each one
+// completed, died, or the epilogue budget ran out. Detected deaths land in
+// n.detected exactly like the stream plane's failures.
+func (n *Node) udpSender(ctx context.Context) error {
+	pc := n.cfg.Packet
+	pw := transport.NewPacketWriter(pc)
+	total, _ := n.st.End() // file-backed source: length known up front
+	window := uint64(n.opts.WindowChunks) * uint64(n.opts.ChunkSize)
+	poll := n.opts.pollInterval()
+
+	var mu sync.Mutex
+	peers := n.peers()
+	states := make([]*udpPeer, len(peers)) // [1..N) used
+	now := n.clk.Now()
+	for i := 1; i < len(peers); i++ {
+		states[i] = &udpPeer{heard: now}
+	}
+
+	// Drain PROGRESS reports concurrently with the send loop; the reader
+	// exits when the packet conn closes (node shutdown) or readerDone asks.
+	readerDone := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		bufs, sizes := packetBufs(udpHeaderLen + n.opts.DatagramBytes)
+		for {
+			select {
+			case <-readerDone:
+				return
+			default:
+			}
+			_ = pc.SetReadDeadline(n.clk.Now().Add(poll))
+			cnt, err := transport.RecvPacketBatch(pc, bufs, sizes)
+			if err != nil {
+				if transport.IsTimeout(err) {
+					continue
+				}
+				return // conn closed
+			}
+			n.countUDPBatchRecv()
+			at := n.clk.Now()
+			mu.Lock()
+			for i := 0; i < cnt; i++ {
+				flags, idx, sid, off, ok := parseUDPHeader(bufs[i][:sizes[i]])
+				if !ok || sid != n.sid || flags != udpFlagProgress ||
+					idx <= 0 || idx >= len(states) {
+					continue
+				}
+				st := states[idx]
+				st.heard = at
+				st.heard0 = true
+				if off > st.progress {
+					st.progress = off
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		close(readerDone)
+		readerWG.Wait()
+	}()
+
+	// survey snapshots the fleet: the slowest alive receiver's progress and
+	// whether anyone is still worth sending to. Receivers silent for
+	// GetTimeout are declared dead (and recorded as failures) on the way.
+	survey := func(doneAt uint64) (minProgress uint64, alive, pending bool) {
+		at := n.clk.Now()
+		minProgress = ^uint64(0)
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 1; i < len(states); i++ {
+			st := states[i]
+			if st.dead || st.progress >= doneAt {
+				continue
+			}
+			if at.Sub(st.heard) > n.opts.GetTimeout {
+				st.dead = true
+				n.recordFailure(i, fmt.Sprintf("no datagram progress within %v", n.opts.GetTimeout), st.progress)
+				continue
+			}
+			pending = true
+			if st.progress < minProgress {
+				minProgress = st.progress
+			}
+		}
+		for i := 1; i < len(states); i++ {
+			if !states[i].dead {
+				alive = true
+				break
+			}
+		}
+		return minProgress, alive, pending
+	}
+
+	// aliveAddrs lists the packet addresses still worth fanning out to.
+	aliveAddrs := func(doneAt uint64) []string {
+		mu.Lock()
+		defer mu.Unlock()
+		addrs := make([]string, 0, len(peers)-1)
+		for i := 1; i < len(peers); i++ {
+			if !states[i].dead && states[i].progress < doneAt {
+				addrs = append(addrs, peers[i].PacketAddr)
+			}
+		}
+		return addrs
+	}
+
+	// Scratch reused across chunks: one header per datagram slot, one
+	// PacketMsg per (receiver, datagram).
+	dg := n.opts.DatagramBytes
+	perChunk := (n.opts.ChunkSize + dg - 1) / dg
+	hdrs := make([]byte, perChunk*udpHeaderLen)
+	msgs := make([]transport.PacketMsg, 0, perChunk*(len(peers)-1))
+
+	// blast fans one chunk's datagrams out to addrs.
+	blast := func(base uint64, payload []byte, addrs []string) {
+		msgs = msgs[:0]
+		for d := 0; d*dg < len(payload); d++ {
+			h := hdrs[d*udpHeaderLen : (d+1)*udpHeaderLen]
+			lo, hi := d*dg, (d+1)*dg
+			if hi > len(payload) {
+				hi = len(payload)
+			}
+			putUDPHeader(h, udpFlagData, 0, n.sid, base+uint64(lo))
+			for _, addr := range addrs {
+				msgs = append(msgs, transport.PacketMsg{Addr: addr, Head: h, Body: payload[lo:hi]})
+			}
+		}
+		if len(msgs) > 0 {
+			// Send errors are treated like loss: the repair path owns
+			// reliability, so a transient ENOBUFS only costs a PGET.
+			_, _ = pw.WriteBatch(msgs)
+			n.countUDPBatchSent()
+		}
+	}
+
+	// Rendezvous: hold the first datagram until every receiver's opening
+	// PROGRESS heartbeat has arrived (or it is declared dead). Receivers
+	// bind their endpoints asynchronously — an agent binds only after its
+	// START frame lands — and a receiver that misses the entire opening
+	// window has no later datagram to prove the gap exists, so its PGET
+	// repair would never trigger. survey's GetTimeout bounds the wait.
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, alive, _ := survey(total)
+		if !alive {
+			break
+		}
+		mu.Lock()
+		waiting := false
+		for i := 1; i < len(states); i++ {
+			if !states[i].dead && !states[i].heard0 {
+				waiting = true
+				break
+			}
+		}
+		mu.Unlock()
+		if !waiting {
+			break
+		}
+		n.clk.Sleep(udpEndResend)
+	}
+
+	// resendFrontier re-delivers the chunk at the slowest receiver's
+	// frontier. It is the backstop for a window lost in its entirety
+	// (burst outage): the receiver saw nothing past its head, so it has no
+	// evidence to repair from, and the stalled sender would otherwise
+	// never send again — a deadlock the chaos random-loss matrix can't
+	// produce but a real network can.
+	resendFrontier := func(minP uint64) {
+		if minP >= total {
+			return
+		}
+		c, err := n.st.ChunkAt(minP)
+		if err != nil {
+			return // quit/abort: the main loop notices on its next pass
+		}
+		blast(minP, c.bytes(), aliveAddrs(minP+uint64(len(c.bytes()))))
+		c.release()
+	}
+
+	marker := udpFlagEnd
+	var off uint64
+	var stallSince time.Time // zero when not window-stalled
+	var stallMin uint64
+sendLoop:
+	for off < total {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		minP, alive, pending := survey(total)
+		if !alive {
+			break // every receiver died; close the ring from our own view
+		}
+		if pending && off >= minP+window {
+			// The slowest alive receiver is a full window behind: stall
+			// exactly like the stream plane's ring back-pressure. If its
+			// frontier refuses to move, re-send that chunk on a half
+			// stall-budget cadence (see resendFrontier).
+			now := n.clk.Now()
+			if stallSince.IsZero() || minP != stallMin {
+				stallSince, stallMin = now, minP
+			} else if now.Sub(stallSince) > n.opts.WriteStallTimeout/2 {
+				resendFrontier(minP)
+				stallSince = now
+			}
+			n.clk.Sleep(poll)
+			continue
+		}
+		stallSince = time.Time{}
+		c, err := n.st.ChunkAt(off)
+		if err == ErrQuit || n.st.AbortCause() == ErrQuit {
+			marker = udpFlagQuit
+			total = off
+			break sendLoop
+		}
+		if err != nil {
+			return err
+		}
+		payload := c.bytes()
+		blast(off, payload, aliveAddrs(total))
+		off += uint64(len(payload))
+		c.release()
+	}
+
+	// Marker phase: repeat END (or QUIT) until every receiver confirmed
+	// (PROGRESS >= total) or died, bounded by the report budget.
+	var hdr [udpHeaderLen]byte
+	putUDPHeader(hdr[:], byte(marker), 0, n.sid, total)
+	deadline := n.clk.Now().Add(n.opts.ReportTimeout)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, _, pending := survey(total)
+		if !pending {
+			break
+		}
+		if n.clk.Now().After(deadline) {
+			mu.Lock()
+			for i := 1; i < len(states); i++ {
+				if !states[i].dead && states[i].progress < total {
+					states[i].dead = true
+					n.recordFailure(i, "never confirmed stream end", states[i].progress)
+				}
+			}
+			mu.Unlock()
+			break
+		}
+		for _, addr := range aliveAddrs(total) {
+			_, _ = pc.Send(hdr[:], addr)
+		}
+		n.clk.Sleep(udpEndResend)
+	}
+	return nil
+}
+
+// packetBufs builds a receive scratch set sized for the plane's datagrams.
+func packetBufs(size int) ([][]byte, []int) {
+	const slots = 64
+	backing := make([]byte, slots*size)
+	bufs := make([][]byte, slots)
+	for i := range bufs {
+		bufs[i] = backing[i*size : (i+1)*size]
+	}
+	return bufs, make([]int, slots)
+}
+
+// ---------------------------------------------------------------------------
+// Receiver.
+
+// udpSlot reassembles one chunk from its datagrams.
+type udpSlot struct {
+	c     *chunk   // pooled buffer, ChunkSize capacity
+	have  []uint64 // bitmap: datagram d received
+	bytes int      // distinct payload bytes landed
+	size  int      // chunk length; 0 until known (tail chunk before END)
+}
+
+// udpReceiver ingests the fan-out: reassemble chunks, repair losses with PGET
+// against node 0, report progress, and deliver the ring report on completion.
+func (n *Node) udpReceiver(ctx context.Context) error {
+	pc := n.cfg.Packet
+	chunkSize := uint64(n.opts.ChunkSize)
+	dg := uint64(n.opts.DatagramBytes)
+	perChunk := int((chunkSize + dg - 1) / dg)
+	poll := n.opts.pollInterval()
+	senderAddr := n.peers()[0].PacketAddr
+
+	// No successor replays from this node's window: ingest must never block
+	// on the ring, exactly like the stream plane's pipeline tail.
+	n.ws.ReleaseAll()
+
+	slots := make(map[uint64]*udpSlot) // chunk base offset -> slot
+	dropSlots := func() {
+		for base, s := range slots {
+			s.c.release()
+			delete(slots, base)
+		}
+	}
+	defer dropSlots()
+
+	var (
+		total     uint64 // stream length once END seen
+		haveTotal bool
+		quit      bool
+		highSeen  uint64 // highest byte offset any datagram reached
+	)
+
+	// ingestReady drains completed chunks at the frontier, in order.
+	ingestReady := func() error {
+		for {
+			head := n.st.Head()
+			s, ok := slots[head]
+			if !ok || s.size == 0 || s.bytes < s.size {
+				return nil
+			}
+			delete(slots, head)
+			s.c.truncate(s.size)
+			if err := n.ingest(s.c); err != nil {
+				return err
+			}
+		}
+	}
+
+	// slotFor returns (building if needed) the reassembly slot at base.
+	slotFor := func(base uint64) *udpSlot {
+		if s, ok := slots[base]; ok {
+			return s
+		}
+		s := &udpSlot{c: n.pool.get(int(chunkSize)), have: make([]uint64, (perChunk+63)/64)}
+		if haveTotal && base+chunkSize > total {
+			s.size = int(total - base)
+		}
+		slots[base] = s
+		return s
+	}
+
+	// sizeTailSlots resolves tail-chunk sizes once the total is known.
+	sizeTailSlots := func() {
+		for base, s := range slots {
+			if s.size == 0 && base+chunkSize > total {
+				s.size = int(total - base)
+			}
+		}
+	}
+
+	var prog [udpHeaderLen]byte
+	lastProg := uint64(^uint64(0)) // force the first PROGRESS out
+	sendProgress := func() {
+		putUDPHeader(prog[:], udpFlagProgress, n.cfg.Index, n.sid, n.st.Head())
+		_, _ = pc.Send(prog[:], senderAddr)
+		lastProg = n.st.Head()
+	}
+
+	repair := func() error {
+		head := n.st.Head()
+		end := head + chunkSize
+		if haveTotal && end > total {
+			end = total
+		}
+		if end <= head || (!haveTotal && highSeen < end) {
+			return nil // no evidence the range exists yet
+		}
+		// Refetch the whole frontier chunk over the stream transport; any
+		// partial slot for it is superseded by the fetch.
+		if s, ok := slots[head]; ok {
+			s.c.release()
+			delete(slots, head)
+		}
+		if err := n.fetchGap(ctx, head, end); err != nil {
+			return err
+		}
+		sendProgress()
+		return ingestReady()
+	}
+
+	bufs, sizes := packetBufs(udpHeaderLen + n.opts.DatagramBytes)
+	lastData := n.clk.Now()
+	lastAdvance := lastData
+	lastHead := n.st.Head()
+
+	// Announce the bound endpoint before the first read: the sender
+	// rendezvouses on every receiver's opening PROGRESS before it lets the
+	// first data datagram loose (agents bind asynchronously to the START
+	// frame, and the opening window is unrepeatable without evidence).
+	sendProgress()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Complete?
+		if haveTotal && n.st.Head() >= total {
+			break
+		}
+		_ = pc.SetReadDeadline(n.clk.Now().Add(poll))
+		cnt, err := transport.RecvPacketBatch(pc, bufs, sizes)
+		if err != nil && !transport.IsTimeout(err) {
+			return fmt.Errorf("kascade: udp receive: %w", err)
+		}
+		if cnt > 0 {
+			n.countUDPBatchRecv()
+			lastData = n.clk.Now()
+		}
+		for i := 0; i < cnt; i++ {
+			flags, idx, sid, off, ok := parseUDPHeader(bufs[i][:sizes[i]])
+			if !ok || sid != n.sid || idx != 0 {
+				continue
+			}
+			switch flags {
+			case udpFlagData:
+				payload := bufs[i][udpHeaderLen:sizes[i]]
+				if len(payload) == 0 {
+					continue
+				}
+				if seen := off + uint64(len(payload)); seen > highSeen {
+					highSeen = seen
+				}
+				head := n.st.Head()
+				if off+uint64(len(payload)) <= head {
+					continue // already ingested
+				}
+				base := off - off%chunkSize
+				if base >= head+chunkSize*uint64(n.opts.WindowChunks)+chunkSize {
+					continue // absurdly far ahead: bound the slot map
+				}
+				d := int((off - base) / dg)
+				if d >= perChunk || (off-base)%dg != 0 {
+					continue // malformed offset
+				}
+				s := slotFor(base)
+				if s.have[d/64]&(1<<(d%64)) != 0 {
+					continue // duplicate
+				}
+				s.have[d/64] |= 1 << (d % 64)
+				copy(s.c.bytes()[off-base:], payload)
+				s.bytes += len(payload)
+				if uint64(len(payload)) < dg && s.size == 0 {
+					// A short datagram is the chunk's last: its size is
+					// now known even before END arrives.
+					s.size = int(off + uint64(len(payload)) - base)
+				}
+				if s.size == 0 && s.bytes == int(chunkSize) {
+					s.size = int(chunkSize)
+				}
+			case udpFlagEnd, udpFlagQuit:
+				if !haveTotal {
+					total, haveTotal = off, true
+					quit = flags == udpFlagQuit
+					sizeTailSlots()
+				}
+			}
+		}
+		if err := ingestReady(); err != nil {
+			return err
+		}
+		head := n.st.Head()
+		if head != lastHead {
+			lastHead = head
+			lastAdvance = n.clk.Now()
+		}
+		// Progress report: on every advance, and as a heartbeat so the
+		// sender's liveness tracking never mistakes a stalled window (or a
+		// long repair) for a death.
+		if head != lastProg || cnt == 0 {
+			sendProgress()
+		}
+		// Repair: the frontier stayed put past the stall budget while later
+		// data (or the END marker) proves the gap exists.
+		stalled := n.clk.Now().Sub(lastAdvance) > n.opts.WriteStallTimeout
+		if stalled && (highSeen > head || (haveTotal && total > head)) {
+			if err := repair(); err != nil {
+				n.abandon(fmt.Sprintf("udp repair at %d failed: %v", head, err))
+				return ErrAbandoned
+			}
+			lastAdvance = n.clk.Now()
+			lastHead = n.st.Head()
+		}
+		if n.clk.Now().Sub(lastData) > n.opts.UpstreamIdleTimeout {
+			return fmt.Errorf("kascade: no sender traffic within %v", n.opts.UpstreamIdleTimeout)
+		}
+	}
+
+	// Complete: finish the store, burst a few PROGRESS confirmations (the
+	// sender stops resending END once one lands), then close our part of the
+	// ring over the reliable transport.
+	dropSlots()
+	if quit {
+		n.st.Abort(ErrQuit)
+	} else {
+		n.ws.Finish(total)
+	}
+	for i := 0; i < 3; i++ {
+		sendProgress()
+	}
+	n.setUpReport(&Report{})
+	rep, err := n.mergedReport()
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < n.opts.DialRetries; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if lastErr = n.deliverRingReport(rep); lastErr == nil {
+			return nil
+		}
+		n.clk.Sleep(poll)
+	}
+	return fmt.Errorf("kascade: delivering udp completion report: %w", lastErr)
+}

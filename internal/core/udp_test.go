@@ -1,0 +1,266 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// udpTestOpts shrinks the datagram plane's knobs alongside testOpts.
+func udpTestOpts() Options {
+	o := testOpts()
+	o.DatagramBytes = 512
+	return o
+}
+
+func TestUDPHeaderRoundtrip(t *testing.T) {
+	var b [udpHeaderLen]byte
+	putUDPHeader(b[:], udpFlagData, 3, 0xdeadbeef, 1<<40+17)
+	flags, idx, sid, off, ok := parseUDPHeader(b[:])
+	if !ok || flags != udpFlagData || idx != 3 || sid != 0xdeadbeef || off != 1<<40+17 {
+		t.Fatalf("roundtrip mismatch: %v %v %v %v %v", flags, idx, sid, off, ok)
+	}
+	if _, _, _, _, ok := parseUDPHeader(b[:10]); ok {
+		t.Fatal("short datagram parsed as a header")
+	}
+	b[0] = 0x00
+	if _, _, _, _, ok := parseUDPHeader(b[:]); ok {
+		t.Fatal("foreign magic parsed as a header")
+	}
+}
+
+// TestUDPBroadcastFabric runs the datagram fan-out over the lossless
+// in-memory fabric: every receiver must end up with a bit-perfect copy.
+func TestUDPBroadcastFabric(t *testing.T) {
+	env := newTestEnv(4, 256<<10)
+	data := testPayload(200<<10, 42) // 50 chunks, forces window pacing
+	cfg := env.config(data, false)
+	cfg.Opts = udpTestOpts()
+	cfg.Transport = TransportUDP
+
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("udp session: %v", err)
+	}
+	if res.Report.TotalBytes != uint64(len(data)) {
+		t.Fatalf("report total %d, want %d", res.Report.TotalBytes, len(data))
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("unexpected failures: %+v", res.Report.Failures)
+	}
+	for i := 1; i < 4; i++ {
+		checkSink(t, env, i, data)
+	}
+}
+
+// TestUDPBroadcastLossRepair injects directional datagram loss on two links
+// and checks the PGET repair path restores bit-perfect delivery.
+func TestUDPBroadcastLossRepair(t *testing.T) {
+	env := newTestEnv(4, 256<<10)
+	env.fabric.SeedPacketLoss(7)
+	env.fabric.SetPacketLoss("n1", "n2", 0.05)
+	env.fabric.SetPacketLoss("n1", "n4", 0.20)
+	data := testPayload(120<<10, 43)
+	cfg := env.config(data, false)
+	cfg.Opts = udpTestOpts()
+	cfg.Transport = TransportUDP
+
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("udp session with loss: %v", err)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("loss must be repaired, not reported: %+v", res.Report.Failures)
+	}
+	for i := 1; i < 4; i++ {
+		checkSink(t, env, i, data)
+	}
+}
+
+// TestUDPReceiverDeath kills one receiver mid-transfer: the sender must
+// record it and the survivors still complete bit-perfect.
+func TestUDPReceiverDeath(t *testing.T) {
+	env := newTestEnv(3, 256<<10)
+	data := testPayload(400<<10, 44)
+	cfg := env.config(data, false)
+	cfg.Opts = udpTestOpts()
+	cfg.Transport = TransportUDP
+
+	killed := make(chan struct{})
+	cfg.Trace = func(ev TraceEvent) {
+		if ev.Node == 2 && ev.Kind == TraceChunk && ev.Offset >= 32<<10 {
+			select {
+			case <-killed:
+			default:
+				close(killed)
+			}
+		}
+	}
+	s, err := StartSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	go func() {
+		<-killed
+		env.fabric.Kill("n3")
+	}()
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if len(res.Report.Failures) != 1 || res.Report.Failures[0].Index != 2 {
+		t.Fatalf("want node 2 recorded dead, got %+v", res.Report.Failures)
+	}
+	checkSink(t, env, 1, data)
+}
+
+// TestUDPLateReceiverRendezvous starts one receiver well after the sender.
+// Its datagram endpoint is unbound at that point, and the fabric drops sends
+// to unbound addresses silently — so without the opening-PROGRESS rendezvous
+// the sender would blast the entire first window into the void, the late
+// receiver would have no evidence to repair from, and the broadcast would
+// deadlock until UpstreamIdleTimeout. (This is exactly what the CLI path
+// does: agents bind their endpoints asynchronously to the START frame.)
+func TestUDPLateReceiverRendezvous(t *testing.T) {
+	env := newTestEnv(3, 256<<10)
+	data := testPayload(100<<10, 46)
+	opts := udpTestOpts()
+
+	// Assemble the plan by hand with fixed packet addresses, so the late
+	// receiver can bind its endpoint long after the plan is in motion.
+	peers := append([]Peer(nil), env.peers...)
+	for i := range peers {
+		peers[i].PacketAddr = fmt.Sprintf("n%d:7500", i+1)
+	}
+	plan := Plan{Peers: peers, Opts: opts, Transport: TransportUDP}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	type done struct {
+		rep *Report
+		err error
+	}
+	results := make(map[int]chan done)
+	start := func(i int, pc transport.PacketConn) {
+		host := env.fabric.Host(peers[i].Name)
+		l, err := host.Listen(peers[i].Addr)
+		if err != nil {
+			t.Errorf("node %d listen: %v", i, err)
+			return
+		}
+		nc := NodeConfig{Index: i, Plan: plan, Network: host, Listener: l, Packet: pc}
+		if i == 0 {
+			nc.InputFile = bytes.NewReader(data)
+			nc.InputSize = int64(len(data))
+		} else {
+			nc.Sink = env.sinks[i]
+		}
+		node, err := NewNode(nc)
+		if err != nil {
+			t.Errorf("node %d: %v", i, err)
+			return
+		}
+		ch := make(chan done, 1)
+		results[i] = ch
+		go func() {
+			rep, err := node.Run(ctx)
+			ch <- done{rep, err}
+		}()
+	}
+	bindPacket := func(i int) transport.PacketConn {
+		pc, err := env.fabric.Host(peers[i].Name).(transport.PacketNetwork).ListenPacket(peers[i].PacketAddr)
+		if err != nil {
+			t.Fatalf("node %d packet bind: %v", i, err)
+		}
+		return pc
+	}
+
+	start(0, bindPacket(0))
+	start(1, bindPacket(1))
+	time.Sleep(150 * time.Millisecond) // sender is live, node 2 unbound
+	start(2, bindPacket(2))
+
+	senderRes := <-results[0]
+	if senderRes.err != nil {
+		t.Fatalf("sender: %v", senderRes.err)
+	}
+	if len(senderRes.rep.Failures) != 0 {
+		t.Fatalf("late receiver must rendezvous, not fail: %+v", senderRes.rep.Failures)
+	}
+	for i := 1; i < 3; i++ {
+		if r := <-results[i]; r.err != nil {
+			t.Fatalf("receiver %d: %v", i, r.err)
+		}
+		checkSink(t, env, i, data)
+	}
+}
+
+// TestUDPBroadcastLoopback runs the fan-out over the real UDP stack (and,
+// on Linux, through sendmmsg/recvmmsg): a 3-node loopback broadcast must
+// deliver bit-perfect.
+func TestUDPBroadcastLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	peers := []Peer{
+		{Name: "s", Addr: "127.0.0.1:0"},
+		{Name: "r1", Addr: "127.0.0.1:0"},
+		{Name: "r2", Addr: "127.0.0.1:0"},
+	}
+	sinks := []*collectSink{nil, {}, {}}
+	data := testPayload(300<<10, 45)
+	opts := udpTestOpts()
+	opts.DatagramBytes = 1200
+	cfg := SessionConfig{
+		Peers:      peers,
+		Opts:       opts,
+		Transport:  TransportUDP,
+		NetworkFor: func(int) transport.Network { return transport.TCP{} },
+		SinkFor: func(i int) io.Writer {
+			if sinks[i] == nil {
+				return nil
+			}
+			return sinks[i]
+		},
+		InputFile: bytes.NewReader(data),
+		InputSize: int64(len(data)),
+	}
+	res, err := RunSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("udp loopback session: %v", err)
+	}
+	if res.Report.TotalBytes != uint64(len(data)) {
+		t.Fatalf("report total %d, want %d", res.Report.TotalBytes, len(data))
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(sinks[i].Bytes(), data) {
+			t.Fatalf("node %d payload mismatch (%d bytes)", i, len(sinks[i].Bytes()))
+		}
+	}
+}
+
+// TestUDPPlanValidation covers the plan/node-level rejections.
+func TestUDPPlanValidation(t *testing.T) {
+	p := Plan{Peers: []Peer{{Name: "a", Addr: "a:1"}}, Transport: "carrier-pigeon"}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	p = Plan{Peers: []Peer{{Name: "a", Addr: "a:1"}}, Transport: TransportUDP}
+	if err := p.Validate(); err == nil {
+		t.Fatal("udp plan without packet addresses accepted")
+	}
+	// A udp sender must be file-backed: stream inputs cannot serve repair.
+	env := newTestEnv(2, 64<<10)
+	cfg := env.config([]byte("x"), true)
+	cfg.Transport = TransportUDP
+	if _, err := RunSession(context.Background(), cfg); err == nil {
+		t.Fatal("udp transport with a streamed source accepted")
+	}
+}

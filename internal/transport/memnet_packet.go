@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Datagram plane of the in-memory fabric. It models UDP faithfully enough
+// for the protocol tests: delivery is unordered only across hosts (per-link
+// it is a FIFO queue, like loopback), sends are blind, and datagrams are
+// silently dropped when the destination is unbound, the link is cut, the
+// bounded receive queue is full, or a scripted loss rate says so.
+
+// memPacketQueue bounds a receiver's backlog, mimicking a kernel socket
+// buffer: a fan-out burst that outruns the receiver drops on the floor.
+const memPacketQueue = 1024
+
+// SetPacketLoss makes the fabric drop the given fraction [0,1] of datagrams
+// flowing from host src to host dst. Direction matters; 0 heals the link.
+// Drops are driven by the fabric's seeded generator (SeedPacketLoss), so a
+// pinned seed reproduces the exact same loss pattern.
+func (f *Fabric) SetPacketLoss(src, dst string, rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rate <= 0 {
+		delete(f.ploss, src+"->"+dst)
+		return
+	}
+	f.ploss[src+"->"+dst] = rate
+}
+
+// SeedPacketLoss reseeds the generator behind SetPacketLoss drops.
+func (f *Fabric) SeedPacketLoss(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prng.Seed(seed)
+}
+
+// dropPacketHostLocked unregisters every packet endpoint of a killed host.
+// Caller holds f.mu and closes the returned endpoints after unlocking.
+func (f *Fabric) dropPacketHostLocked(host string) []*memPacketConn {
+	var out []*memPacketConn
+	for addr, pc := range f.packets {
+		if hostOf(addr) == host {
+			out = append(out, pc)
+			delete(f.packets, addr)
+		}
+	}
+	return out
+}
+
+// ListenPacket implements PacketNetwork for a fabric host.
+func (hn *hostNet) ListenPacket(addr string) (PacketConn, error) {
+	full := hn.qualify(addr)
+	f := hn.fabric
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[hn.host] {
+		return nil, fmt.Errorf("memnet listen-packet %s: host %s is down: %w", full, hn.host, ErrRefused)
+	}
+	if host, port := hostOf(full), full[len(hostOf(full)):]; port == ":0" {
+		f.pport++
+		full = host + ":" + strconv.Itoa(f.pport)
+	}
+	if _, exists := f.packets[full]; exists {
+		return nil, fmt.Errorf("memnet listen-packet %s: address in use", full)
+	}
+	pc := &memPacketConn{
+		fabric: f,
+		host:   hn.host,
+		addr:   full,
+		queue:  make(chan []byte, memPacketQueue),
+		done:   make(chan struct{}),
+	}
+	f.packets[full] = pc
+	return pc, nil
+}
+
+// memPacketConn is one bound datagram endpoint on a fabric host.
+type memPacketConn struct {
+	fabric *Fabric
+	host   string
+	addr   string
+	queue  chan []byte
+	done   chan struct{}
+
+	dmu       sync.Mutex
+	deadline  time.Time
+	closeOnce sync.Once
+}
+
+func (c *memPacketConn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.deadline = t
+	c.dmu.Unlock()
+	return nil
+}
+
+func (c *memPacketConn) Recv(p []byte) (int, error) {
+	c.dmu.Lock()
+	dl := c.deadline
+	c.dmu.Unlock()
+	var timer <-chan time.Time
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			// Expired deadline still delivers already-queued datagrams.
+			select {
+			case b := <-c.queue:
+				return copy(p, b), nil
+			default:
+				return 0, &timeoutError{"recv " + c.addr}
+			}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case b := <-c.queue:
+		return copy(p, b), nil
+	case <-c.done:
+		return 0, fmt.Errorf("memnet recv %s: %w", c.addr, ErrClosed)
+	case <-timer:
+		return 0, &timeoutError{"recv " + c.addr}
+	}
+}
+
+// Send delivers p to the endpoint bound at addr, or silently drops it —
+// unbound destination, killed host, partitioned link, scripted loss, or a
+// full receive queue all look identical to the sender, exactly like UDP.
+func (c *memPacketConn) Send(p []byte, addr string) (int, error) {
+	f := c.fabric
+	f.mu.Lock()
+	select {
+	case <-c.done:
+		f.mu.Unlock()
+		return 0, fmt.Errorf("memnet send %s: %w", c.addr, ErrClosed)
+	default:
+	}
+	dst, ok := f.packets[addr]
+	drop := !ok || f.down[c.host] || f.cutBetween(c.host, hostOf(addr))
+	if !drop {
+		if rate, lossy := f.ploss[c.host+"->"+hostOf(addr)]; lossy {
+			drop = f.prng.Float64() < rate
+		}
+	}
+	f.mu.Unlock()
+	if drop {
+		return len(p), nil
+	}
+	b := append([]byte(nil), p...) // the caller reuses p immediately
+	select {
+	case dst.queue <- b:
+	default: // receiver backlog full: kernel-buffer overflow, drop
+	}
+	return len(p), nil
+}
+
+func (c *memPacketConn) Close() error {
+	f := c.fabric
+	f.mu.Lock()
+	if f.packets[c.addr] == c {
+		delete(f.packets, c.addr)
+	}
+	f.mu.Unlock()
+	c.closeLocal()
+	return nil
+}
+
+// closeLocal unblocks receivers without touching the fabric registry (the
+// caller already holds or handled it).
+func (c *memPacketConn) closeLocal() {
+	c.closeOnce.Do(func() { close(c.done) })
+}
+
+func (c *memPacketConn) LocalAddr() string { return c.addr }

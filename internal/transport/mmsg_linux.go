@@ -1,0 +1,219 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Syscall batching for the UDP fan-out path: sendmmsg(2) hands the kernel a
+// whole burst of datagrams in one crossing, recvmmsg(2) drains everything
+// queued on the socket in one crossing. The standard syscall package
+// exposes neither the syscall numbers nor struct mmsghdr, so both are
+// declared here for the two Linux architectures this repository targets
+// (the numbers live in mmsg_sysnum_*.go); every other platform compiles the
+// stub in mmsg_stub.go and the portable single-datagram path takes over.
+
+// mmsgBatch caps the datagrams submitted per sendmmsg/recvmmsg call.
+const mmsgBatch = 128
+
+// mmsghdr mirrors struct mmsghdr: a plain msghdr plus the kernel-filled
+// per-message byte count, padded to 8-byte alignment on 64-bit Linux.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgConn is the batching state of one UDP socket: the raw fd access, a
+// destination sockaddr cache, and reusable header/iovec scratch.
+type mmsgConn struct {
+	rc syscall.RawConn
+
+	mu    sync.Mutex // guards the write-side scratch and the sockaddr cache
+	sa    map[string]*syscall.RawSockaddrInet4
+	whdrs []mmsghdr
+	wiov  []syscall.Iovec
+
+	rmu   sync.Mutex // guards the read-side scratch
+	rhdrs []mmsghdr
+	riov  []syscall.Iovec
+}
+
+func (u *udpConn) initBatch() {
+	rc, err := u.c.SyscallConn()
+	if err != nil {
+		return
+	}
+	u.mm = &mmsgConn{rc: rc, sa: make(map[string]*syscall.RawSockaddrInet4)}
+}
+
+// htons16 stores a port number in network byte order inside the
+// native-endian uint16 field of a raw sockaddr (Linux amd64/arm64 are
+// little-endian).
+func htons16(port int) uint16 {
+	p := uint16(port)
+	return p<<8 | p>>8
+}
+
+// sockaddr4 resolves addr to a cached IPv4 raw sockaddr. The second result
+// is false for addresses the batch path cannot express (IPv6, resolution
+// failure); the caller falls back to the portable path. Caller holds m.mu.
+func (m *mmsgConn) sockaddr4(u *udpConn, addr string) (*syscall.RawSockaddrInet4, bool) {
+	if sa, ok := m.sa[addr]; ok {
+		return sa, sa != nil
+	}
+	var out *syscall.RawSockaddrInet4
+	if ua, err := u.resolve(addr); err == nil {
+		if ip4 := ua.IP.To4(); ip4 != nil {
+			out = &syscall.RawSockaddrInet4{Family: syscall.AF_INET, Port: htons16(ua.Port)}
+			copy(out.Addr[:], ip4)
+		}
+	}
+	m.sa[addr] = out // negative results cached too
+	return out, out != nil
+}
+
+// WriteBatch implements transport.BatchPacketConn with sendmmsg.
+func (u *udpConn) WriteBatch(msgs []PacketMsg) (int, error) {
+	m := u.mm
+	if m == nil {
+		return u.writeBatchFallback(msgs)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	sent := 0
+	for sent < len(msgs) {
+		batch := msgs[sent:]
+		if len(batch) > mmsgBatch {
+			batch = batch[:mmsgBatch]
+		}
+		if cap(m.whdrs) < len(batch) {
+			m.whdrs = make([]mmsghdr, len(batch))
+			m.wiov = make([]syscall.Iovec, 2*len(batch))
+		}
+		hs := m.whdrs[:len(batch)]
+		iov := m.wiov[:2*len(batch)]
+		for i := range batch {
+			msg := &batch[i]
+			sa, ok := m.sockaddr4(u, msg.Addr)
+			if !ok {
+				// Unbatchable destination: flush what is built, then
+				// let the portable path carry the rest.
+				if i > 0 {
+					n, err := m.flush(hs[:i])
+					sent += n
+					if err != nil {
+						return sent, err
+					}
+				}
+				m.mu.Unlock()
+				n, err := u.writeBatchFallback(msgs[sent:])
+				m.mu.Lock()
+				return sent + n, err
+			}
+			iov[2*i] = iovec(msg.Head)
+			iov[2*i+1] = iovec(msg.Body)
+			hs[i] = mmsghdr{}
+			hs[i].hdr.Name = (*byte)(unsafe.Pointer(sa))
+			hs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+			hs[i].hdr.Iov = &iov[2*i]
+			hs[i].hdr.Iovlen = 2
+		}
+		n, err := m.flush(hs)
+		sent += n
+		if err != nil {
+			return sent, err
+		}
+	}
+	runtime.KeepAlive(msgs)
+	return sent, nil
+}
+
+// flush submits built headers until all are sent or an error occurs.
+// Caller holds m.mu.
+func (m *mmsgConn) flush(hs []mmsghdr) (int, error) {
+	done := 0
+	for done < len(hs) {
+		rem := hs[done:]
+		var n uintptr
+		var errno syscall.Errno
+		werr := m.rc.Write(func(fd uintptr) bool {
+			n, _, errno = syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&rem[0])), uintptr(len(rem)),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			return errno != syscall.EAGAIN // false parks in the netpoller
+		})
+		if werr != nil {
+			return done, werr
+		}
+		if errno != 0 {
+			return done, errno
+		}
+		done += int(n)
+	}
+	return done, nil
+}
+
+// RecvBatch implements transport.BatchPacketConn with recvmmsg: it blocks
+// (honouring the read deadline) until the socket is readable, then drains
+// up to len(bufs) datagrams in one syscall. Source addresses are not
+// collected — peers identify themselves in the datagram header.
+func (u *udpConn) RecvBatch(bufs [][]byte, sizes []int) (int, error) {
+	m := u.mm
+	if m == nil || len(bufs) == 0 {
+		return u.recvBatchFallback(bufs, sizes)
+	}
+	m.rmu.Lock()
+	defer m.rmu.Unlock()
+
+	want := len(bufs)
+	if want > mmsgBatch {
+		want = mmsgBatch
+	}
+	if cap(m.rhdrs) < want {
+		m.rhdrs = make([]mmsghdr, want)
+		m.riov = make([]syscall.Iovec, want)
+	}
+	hs := m.rhdrs[:want]
+	iov := m.riov[:want]
+	for i := 0; i < want; i++ {
+		iov[i] = iovec(bufs[i])
+		hs[i] = mmsghdr{}
+		hs[i].hdr.Iov = &iov[i]
+		hs[i].hdr.Iovlen = 1
+	}
+	var n uintptr
+	var errno syscall.Errno
+	rerr := m.rc.Read(func(fd uintptr) bool {
+		n, _, errno = syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&hs[0])), uintptr(want),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		return errno != syscall.EAGAIN
+	})
+	if rerr != nil {
+		return 0, rerr
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	got := int(n)
+	for i := 0; i < got; i++ {
+		sizes[i] = int(hs[i].n)
+	}
+	runtime.KeepAlive(bufs)
+	return got, nil
+}
+
+func iovec(p []byte) syscall.Iovec {
+	var v syscall.Iovec
+	if len(p) > 0 {
+		v.Base = &p[0]
+		v.SetLen(len(p))
+	}
+	return v
+}

@@ -1,0 +1,10 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+// mmsgConn is empty where sendmmsg/recvmmsg are unavailable: the UDP
+// backend then never implements BatchPacketConn and the package helpers'
+// single-datagram fallback carries the traffic.
+type mmsgConn struct{}
+
+func (u *udpConn) initBatch() {}

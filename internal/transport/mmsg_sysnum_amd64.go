@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package transport
+
+// Raw syscall numbers for linux/amd64 (absent from package syscall).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

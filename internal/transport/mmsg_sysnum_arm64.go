@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// Raw syscall numbers for linux/arm64 (absent from package syscall).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -1,0 +1,124 @@
+package transport
+
+import "time"
+
+// This file defines the unreliable-datagram surface of the transport layer,
+// used by the UDP fan-out data plane (internal/core/udp.go). It mirrors the
+// stream side's shape: small portable interfaces, an optional batching
+// capability discovered by assertion, and package helpers that fall back to
+// the single-datagram path when the capability is absent.
+
+// PacketConn is one unreliable datagram endpoint. Unlike net.PacketConn it
+// does not surface source addresses: the broadcast datagram header carries
+// the session ID and the sender's pipeline index, so peers are identified
+// in-band and the batching backends can skip per-packet sockaddr decoding.
+type PacketConn interface {
+	// Recv reads one datagram into p, honouring the read deadline.
+	Recv(p []byte) (int, error)
+	// Send transmits p as one datagram to addr ("host:port"). Sends are
+	// blind: delivery failures are invisible, exactly like UDP.
+	Send(p []byte, addr string) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+	// LocalAddr reports the bound address as "host:port".
+	LocalAddr() string
+}
+
+// PacketNetwork is the optional datagram capability of a Network: backends
+// that can carry datagrams (the TCP/UDP stack, the in-memory fabric)
+// implement it; callers discover it by type assertion on their Network.
+type PacketNetwork interface {
+	// ListenPacket binds a datagram socket on addr (port 0 picks an
+	// ephemeral port).
+	ListenPacket(addr string) (PacketConn, error)
+}
+
+// PacketMsg is one outbound datagram, split into a header and a payload
+// slice so batching backends can submit both as a two-entry iovec without
+// concatenating them in user space. Either slice may be empty.
+type PacketMsg struct {
+	Addr string
+	Head []byte
+	Body []byte
+}
+
+// BatchPacketConn is the optional syscall-batching capability of a
+// PacketConn: one WriteBatch reaches the kernel once for many datagrams
+// (sendmmsg on Linux) and one RecvBatch drains everything already queued
+// (recvmmsg). Callers use the package helpers below, which probe and fall
+// back to the single-datagram path.
+type BatchPacketConn interface {
+	PacketConn
+	// WriteBatch transmits the messages in order and returns how many were
+	// fully handed to the kernel before an error.
+	WriteBatch(msgs []PacketMsg) (int, error)
+	// RecvBatch blocks (under the read deadline) until at least one
+	// datagram is available, then fills bufs with every datagram already
+	// queued, recording each length in sizes. It returns the number of
+	// datagrams received.
+	RecvBatch(bufs [][]byte, sizes []int) (int, error)
+}
+
+// PacketWriter sends datagram batches through pc, using the batching
+// capability when present and a per-datagram loop otherwise. The zero-value
+// scratch buffer is reused across calls, so the fallback path does not
+// allocate per batch.
+type PacketWriter struct {
+	pc      PacketConn
+	batch   BatchPacketConn // nil when pc cannot batch
+	scratch []byte
+}
+
+// NewPacketWriter probes pc for the batching capability.
+func NewPacketWriter(pc PacketConn) *PacketWriter {
+	w := &PacketWriter{pc: pc}
+	if b, ok := pc.(BatchPacketConn); ok {
+		w.batch = b
+	}
+	return w
+}
+
+// Batched reports whether writes go through the kernel batching path.
+func (w *PacketWriter) Batched() bool { return w.batch != nil }
+
+// WriteBatch transmits msgs, returning how many datagrams were sent.
+func (w *PacketWriter) WriteBatch(msgs []PacketMsg) (int, error) {
+	if w.batch != nil {
+		return w.batch.WriteBatch(msgs)
+	}
+	for i, m := range msgs {
+		p := m.Head
+		if len(m.Body) > 0 {
+			if len(m.Head) > 0 {
+				w.scratch = append(w.scratch[:0], m.Head...)
+				w.scratch = append(w.scratch, m.Body...)
+				p = w.scratch
+			} else {
+				p = m.Body
+			}
+		}
+		if _, err := w.pc.Send(p, m.Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(msgs), nil
+}
+
+// RecvPacketBatch fills bufs with available datagrams: the batching path
+// drains the queue in one syscall, the fallback delivers a single datagram
+// per call. Returns the number of datagrams received; sizes[i] is the
+// length of the i-th.
+func RecvPacketBatch(pc PacketConn, bufs [][]byte, sizes []int) (int, error) {
+	if b, ok := pc.(BatchPacketConn); ok {
+		return b.RecvBatch(bufs, sizes)
+	}
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	n, err := pc.Recv(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}

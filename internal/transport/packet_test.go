@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestUDPPacketRoundtrip exercises the real UDP backend end to end: a burst
+// of two-part datagrams written through PacketWriter (the sendmmsg path on
+// Linux) must arrive intact and in recognisable form via RecvPacketBatch.
+func TestUDPPacketRoundtrip(t *testing.T) {
+	var nw TCP
+	rx, err := nw.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen rx: %v", err)
+	}
+	defer rx.Close()
+	tx, err := nw.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen tx: %v", err)
+	}
+	defer tx.Close()
+
+	const burst = 40
+	msgs := make([]PacketMsg, burst)
+	for i := range msgs {
+		head := []byte{0xA7, byte(i)}
+		body := bytes.Repeat([]byte{byte('a' + i%26)}, 100+i)
+		msgs[i] = PacketMsg{Addr: rx.LocalAddr(), Head: head, Body: body}
+	}
+	w := NewPacketWriter(tx)
+	n, err := w.WriteBatch(msgs)
+	if err != nil || n != burst {
+		t.Fatalf("WriteBatch = %d, %v; want %d, nil", n, err, burst)
+	}
+
+	bufs := make([][]byte, burst)
+	sizes := make([]int, burst)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
+	seen := make(map[byte][]byte)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seen) < burst && time.Now().Before(deadline) {
+		_ = rx.SetReadDeadline(time.Now().Add(time.Second))
+		got, err := RecvPacketBatch(rx, bufs, sizes)
+		if err != nil {
+			if IsTimeout(err) {
+				continue
+			}
+			t.Fatalf("RecvPacketBatch: %v", err)
+		}
+		for i := 0; i < got; i++ {
+			p := bufs[i][:sizes[i]]
+			if len(p) < 2 || p[0] != 0xA7 {
+				t.Fatalf("malformed datagram %x", p)
+			}
+			seen[p[1]] = append([]byte(nil), p[2:]...)
+		}
+	}
+	// UDP is lossy in principle, but loopback bursts of this size do not
+	// drop; treat any loss as a failure so a broken syscall path is loud.
+	if len(seen) != burst {
+		t.Fatalf("received %d/%d datagrams", len(seen), burst)
+	}
+	for i := 0; i < burst; i++ {
+		want := bytes.Repeat([]byte{byte('a' + i%26)}, 100+i)
+		if !bytes.Equal(seen[byte(i)], want) {
+			t.Fatalf("datagram %d payload mismatch: got %d bytes, want %d", i, len(seen[byte(i)]), len(want))
+		}
+	}
+}
+
+// TestUDPRecvDeadline verifies that a blocked batch receive honours the read
+// deadline and surfaces a timeout the rest of the stack recognises.
+func TestUDPRecvDeadline(t *testing.T) {
+	var nw TCP
+	rx, err := nw.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer rx.Close()
+	bufs := [][]byte{make([]byte, 64)}
+	sizes := make([]int, 1)
+	_ = rx.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err = RecvPacketBatch(rx, bufs, sizes)
+	if err == nil || !IsTimeout(err) {
+		t.Fatalf("RecvPacketBatch err = %v; want timeout", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("deadline not honoured (took %v)", time.Since(start))
+	}
+}
+
+// TestPacketWriterFallback drives the scratch-concatenation path through a
+// stub conn with no batching capability.
+func TestPacketWriterFallback(t *testing.T) {
+	fc := &funcPacketConn{}
+	w := NewPacketWriter(fc)
+	if w.Batched() {
+		t.Fatal("stub conn must not report batching")
+	}
+	msgs := []PacketMsg{
+		{Addr: "a", Head: []byte{1, 2}, Body: []byte{3, 4, 5}},
+		{Addr: "b", Head: []byte{9}},
+		{Addr: "c", Body: []byte{7, 7}},
+	}
+	if n, err := w.WriteBatch(msgs); n != 3 || err != nil {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+	want := [][]byte{{1, 2, 3, 4, 5}, {9}, {7, 7}}
+	if len(fc.sent) != len(want) {
+		t.Fatalf("sent %d datagrams, want %d", len(fc.sent), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(fc.sent[i], want[i]) {
+			t.Fatalf("datagram %d = %v, want %v", i, fc.sent[i], want[i])
+		}
+	}
+}
+
+type funcPacketConn struct {
+	sent [][]byte
+}
+
+func (f *funcPacketConn) Recv(p []byte) (int, error) { return 0, fmt.Errorf("no recv") }
+func (f *funcPacketConn) Send(p []byte, addr string) (int, error) {
+	f.sent = append(f.sent, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (f *funcPacketConn) SetReadDeadline(time.Time) error { return nil }
+func (f *funcPacketConn) Close() error                    { return nil }
+func (f *funcPacketConn) LocalAddr() string               { return "stub" }

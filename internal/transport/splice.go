@@ -1,0 +1,31 @@
+package transport
+
+// Splicer is an optional Conn capability: moving payload bytes from another
+// connection into this one without copying them through user space. On
+// Linux the TCP backend implements it with splice(2) (socket → pipe →
+// socket); every other backend — and every platform without the kernel
+// primitive — simply does not implement the interface, so callers fall back
+// to their buffered path. Discover the capability with CanSplice, never by
+// asserting the interface alone: an implementation may still decline a
+// specific source (e.g. a TLS-wrapped or in-memory peer).
+type Splicer interface {
+	// SpliceFrom moves exactly n bytes from src into this connection
+	// kernel-side, honouring src's read deadline and this connection's
+	// write deadline. It returns the bytes moved and an error when fewer
+	// than n could be transferred. After a mid-transfer error the byte
+	// streams of BOTH connections must be considered corrupt (bytes may
+	// be stranded in the kernel pipe): the caller re-synchronises by
+	// reconnecting, not by resuming.
+	SpliceFrom(src Conn, n int64) (int64, error)
+	// CanSpliceFrom reports whether SpliceFrom(src, …) would take the
+	// kernel path for this particular source connection.
+	CanSpliceFrom(src Conn) bool
+}
+
+// CanSplice reports whether payload bytes can move from src to dst without
+// crossing user space. False on non-Linux builds, on the in-memory fabric,
+// and whenever either endpoint is not a plain TCP connection.
+func CanSplice(src, dst Conn) bool {
+	s, ok := dst.(Splicer)
+	return ok && s.CanSpliceFrom(src)
+}

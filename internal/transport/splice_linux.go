@@ -1,0 +1,52 @@
+//go:build linux
+
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// CanSpliceFrom reports whether the kernel pass-through engages for src:
+// both endpoints must unwrap to plain *net.TCPConn. The check matters —
+// net.TCPConn.ReadFrom silently falls back to a user-space copy loop for
+// any other reader, which would defeat the point while looking identical.
+func (t tcpConn) CanSpliceFrom(src Conn) bool {
+	if _, ok := t.c.(*net.TCPConn); !ok {
+		return false
+	}
+	sc, ok := src.(tcpConn)
+	if !ok {
+		return false
+	}
+	_, ok = sc.c.(*net.TCPConn)
+	return ok
+}
+
+// SpliceFrom moves exactly n bytes from src into this connection with
+// splice(2): the standard library routes TCPConn.ReadFrom through its
+// pooled splice pipes when the source is a *net.TCPConn wrapped in an
+// *io.LimitedReader. Deadlines on both sockets are honoured by the
+// netpoller mid-transfer. A short transfer (source EOF) is reported as
+// io.ErrUnexpectedEOF so the caller never mistakes a truncated frame for
+// success.
+func (t tcpConn) SpliceFrom(src Conn, n int64) (int64, error) {
+	dst, ok := t.c.(*net.TCPConn)
+	if !ok {
+		return 0, fmt.Errorf("transport: splice target is not a TCP connection")
+	}
+	sc, ok := src.(tcpConn)
+	if !ok {
+		return 0, fmt.Errorf("transport: splice source is not a TCP connection")
+	}
+	s, ok := sc.c.(*net.TCPConn)
+	if !ok {
+		return 0, fmt.Errorf("transport: splice source is not a TCP connection")
+	}
+	written, err := dst.ReadFrom(&io.LimitedReader{R: s, N: n})
+	if err == nil && written < n {
+		err = io.ErrUnexpectedEOF
+	}
+	return written, mapTCPErr(err)
+}

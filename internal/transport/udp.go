@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ListenPacket gives the real-network backend its datagram surface: a UDP
+// socket bound on addr. The returned connection implements the syscall
+// batching capability on Linux (mmsg_linux.go) and the portable
+// one-datagram-per-syscall path everywhere else.
+func (TCP) ListenPacket(addr string) (PacketConn, error) {
+	c, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := c.(*net.UDPConn)
+	if !ok {
+		_ = c.Close()
+		return nil, fmt.Errorf("transport: %s did not bind a UDP socket", addr)
+	}
+	// A fan-out receiver drains bursts of ~1200 B datagrams; a roomy
+	// receive buffer absorbs scheduling hiccups before the kernel drops.
+	// Best effort: the kernel clamps to rmem_max.
+	_ = uc.SetReadBuffer(8 << 20)
+	_ = uc.SetWriteBuffer(8 << 20)
+	u := &udpConn{c: uc, addrs: make(map[string]*net.UDPAddr)}
+	u.initBatch()
+	return u, nil
+}
+
+// udpConn adapts *net.UDPConn to PacketConn. Destination addresses are
+// resolved once and cached: a broadcast sends millions of datagrams to a
+// handful of fixed peers.
+type udpConn struct {
+	c  *net.UDPConn
+	mm *mmsgConn // Linux syscall-batching state; nil elsewhere
+
+	mu    sync.Mutex
+	addrs map[string]*net.UDPAddr
+
+	smu     sync.Mutex
+	scratch []byte // concatenation buffer for the non-batched send path
+}
+
+// writeBatchFallback is the one-datagram-per-syscall path, used when the
+// batching syscalls are unavailable for this socket or a destination cannot
+// be expressed as an IPv4 sockaddr.
+func (u *udpConn) writeBatchFallback(msgs []PacketMsg) (int, error) {
+	u.smu.Lock()
+	defer u.smu.Unlock()
+	for i, m := range msgs {
+		p := m.Head
+		if len(m.Body) > 0 {
+			if len(m.Head) > 0 {
+				u.scratch = append(u.scratch[:0], m.Head...)
+				u.scratch = append(u.scratch, m.Body...)
+				p = u.scratch
+			} else {
+				p = m.Body
+			}
+		}
+		if _, err := u.Send(p, m.Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(msgs), nil
+}
+
+// recvBatchFallback delivers a single datagram per call.
+func (u *udpConn) recvBatchFallback(bufs [][]byte, sizes []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	n, err := u.Recv(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}
+
+func (u *udpConn) resolve(addr string) (*net.UDPAddr, error) {
+	u.mu.Lock()
+	a, ok := u.addrs[addr]
+	u.mu.Unlock()
+	if ok {
+		return a, nil
+	}
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	u.addrs[addr] = a
+	u.mu.Unlock()
+	return a, nil
+}
+
+func (u *udpConn) Recv(p []byte) (int, error) {
+	// Read (not ReadFrom) skips the per-packet source-address allocation;
+	// on an unconnected UDP socket it still accepts any source.
+	return u.c.Read(p)
+}
+
+func (u *udpConn) Send(p []byte, addr string) (int, error) {
+	a, err := u.resolve(addr)
+	if err != nil {
+		return 0, err
+	}
+	return u.c.WriteToUDP(p, a)
+}
+
+func (u *udpConn) SetReadDeadline(t time.Time) error { return u.c.SetReadDeadline(t) }
+func (u *udpConn) Close() error                      { return u.c.Close() }
+func (u *udpConn) LocalAddr() string                 { return u.c.LocalAddr().String() }
