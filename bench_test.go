@@ -105,6 +105,11 @@ func BenchmarkEngineSplice(b *testing.B) { benchEngine(b, "EngineSplice") }
 // loopback UDP (sendmmsg/recvmmsg on Linux).
 func BenchmarkEngineUDP(b *testing.B) { benchEngine(b, "EngineUDP") }
 
+// BenchmarkEngineTree measures the k-ary tree topology on the fabric:
+// the same 16 nodes as EnginePipeline/nodes=16, but 4 hops deep instead
+// of 15, each relay serving two children from its window.
+func BenchmarkEngineTree(b *testing.B) { benchEngine(b, "EngineTree") }
+
 // BenchmarkEngineTCPLoopback measures the real engine over genuine TCP
 // sockets on the loopback interface.
 func BenchmarkEngineTCPLoopback(b *testing.B) {

@@ -150,7 +150,7 @@ func (a *agent) runSession(ctx context.Context, req control.StartRequest) contro
 	}
 	node, err := core.NewNode(core.NodeConfig{
 		Index:   req.Index,
-		Plan:    core.Plan{Peers: req.Peers, Opts: req.Opts, Session: req.Session, Transport: req.Transport},
+		Plan:    core.Plan{Peers: req.Peers, Opts: req.Opts, Session: req.Session, Transport: req.Transport, Topology: req.Topology},
 		Network: transport.TCP{},
 		Engine:  a.engine,
 		Sink:    sink,

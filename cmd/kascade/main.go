@@ -62,6 +62,7 @@ type rootOptions struct {
 	window    int
 	class     string
 	transport string // data plane: "tcp" (relay pipeline) or "udp" (fan-out)
+	topology  string // dissemination shape: "chain" or "tree:<k>"
 	splice    bool   // kernel pass-through on pure-relay nodes
 	noSort   bool
 	listen   string
@@ -81,6 +82,7 @@ func rootMain(args []string) {
 	fs.IntVar(&o.window, "window", 64, "replay window in chunks")
 	fs.StringVar(&o.class, "class", core.ClassBulk, "priority class on shared agents (bulk|interactive; drives admission order and scheduler weight)")
 	fs.StringVar(&o.transport, "transport", core.TransportTCP, "data plane: tcp (chunked relay pipeline) or udp (batched datagram fan-out; needs a file input)")
+	fs.StringVar(&o.topology, "topology", core.TopologyChain, "dissemination shape: chain (the paper's pipeline) or tree:<k> (k-ary tree; every relay feeds k children)")
 	fs.BoolVar(&o.splice, "splice", true, "kernel splice() pass-through on pure-relay nodes (Linux + TCP; falls back transparently elsewhere)")
 	fs.BoolVar(&o.noSort, "no-sort", false, "keep -N order instead of sorting by host number")
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "sender data address to bind")

@@ -49,6 +49,15 @@ type agentHandle struct {
 // the final report. An admission refusal or queue timeout surfaces as a
 // typed *core.AdmissionError before any data connection is dialed.
 func runRoot(o rootOptions) (*core.Report, error) {
+	if o.topology == core.TopologyScatterAllgather {
+		// The composite collective needs the whole payload in memory at
+		// every rank and a different wire exchange; it runs in-process
+		// (internal/mpibcast via kascade-bench), not over agents.
+		return nil, fmt.Errorf("kascade: topology %q is only available in-process (see kascade-bench); agents run chain or tree:<k>", o.topology)
+	}
+	if _, err := core.TreeArity(o.topology); err != nil {
+		return nil, err
+	}
 	nodes := o.nodes
 	var stopLocal func()
 	if o.local > 0 {
@@ -120,7 +129,7 @@ func runRoot(o rootOptions) (*core.Report, error) {
 			peers[i].PacketAddr = peers[i].Addr
 		}
 	}
-	plan := core.Plan{Peers: peers, Opts: opts, Session: session, Transport: o.transport}
+	plan := core.Plan{Peers: peers, Opts: opts, Session: session, Transport: o.transport, Topology: o.topology}
 	if err := plan.Validate(); err != nil {
 		if senderPacket != nil {
 			senderPacket.Close()
@@ -132,7 +141,7 @@ func runRoot(o rootOptions) (*core.Report, error) {
 	// channels whenever the broadcast ends.
 	sinks := sinkSpec{Path: o.outPath, Command: o.outCmd}
 	for i, h := range handles {
-		req := control.StartRequest{Session: session, Index: i + 1, Peers: peers, Opts: plan.Opts, Output: sinks, Transport: plan.Transport}
+		req := control.StartRequest{Session: session, Index: i + 1, Peers: peers, Opts: plan.Opts, Output: sinks, Transport: plan.Transport, Topology: plan.Topology}
 		if o.local > 0 && o.outPath != "" {
 			// The demo writes per-node files side by side.
 			req.Output = sinkSpec{Path: fmt.Sprintf("%s-%s", o.outPath, h.name)}

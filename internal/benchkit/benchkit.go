@@ -14,6 +14,7 @@ import (
 
 	"kascade/internal/core"
 	"kascade/internal/iolimit"
+	"kascade/internal/mpibcast"
 	"kascade/internal/transport"
 )
 
@@ -56,6 +57,10 @@ type Spec struct {
 	// Transport selects the data plane ("" = chunked TCP pipeline,
 	// core.TransportUDP = batched datagram fan-out).
 	Transport string
+	// Topology selects the dissemination shape ("" = chain,
+	// core.TopologyTree(k) = k-ary tree, core.TopologyScatterAllgather =
+	// the van de Geijn composite, dispatched to internal/mpibcast).
+	Topology string
 	// Splice enables the kernel pass-through fast path on relay nodes; it
 	// only engages over real sockets, so splice specs set Loopback too.
 	Splice bool
@@ -108,6 +113,14 @@ func EngineBenchmarks() []Spec {
 		Nodes: 4, Chunk: 64 << 10, Size: EngineBenchSize,
 		Transport: core.TransportUDP, Loopback: true,
 	})
+	// Tree dissemination: the 16-node binary tree halves no link's load
+	// (every relay still uploads twice) but cuts the hop depth from 15 to
+	// 4, trading per-relay fan-out for pipeline latency.
+	specs = append(specs, Spec{
+		Name:  "EngineTree/nodes=16,k=2",
+		Nodes: 16, Chunk: 256 << 10, Size: EngineBenchSize,
+		Topology: core.TopologyTree(2),
+	})
 	return specs
 }
 
@@ -124,10 +137,14 @@ func (spec Spec) Broadcast() (*core.SessionResult, error) {
 		opts.WriteStallTimeout = time.Second
 	}
 	payload := Payload(spec.Size, 99)
+	if spec.Topology == core.TopologyScatterAllgather {
+		return spec.broadcastScatterAllgather(payload)
+	}
 	peers := make([]core.Peer, spec.Nodes)
 	cfg := core.SessionConfig{
 		Opts:      opts,
 		Transport: spec.Transport,
+		Topology:  spec.Topology,
 		SinkFor:   func(int) io.Writer { return io.Discard },
 		InputFile: NewReaderAt(payload),
 		InputSize: spec.Size,
@@ -153,6 +170,39 @@ func (spec Spec) Broadcast() (*core.SessionResult, error) {
 		return res, fmt.Errorf("benchkit: failures during broadcast: %v", res.Report)
 	}
 	return res, nil
+}
+
+// broadcastScatterAllgather dispatches the composite collective to
+// internal/mpibcast — core.Node cannot run it — and adapts the outcome to
+// the SessionResult shape the harness reports everywhere else.
+func (spec Spec) broadcastScatterAllgather(payload []byte) (*core.SessionResult, error) {
+	names := make([]string, spec.Nodes)
+	addrs := make([]string, spec.Nodes)
+	cfg := mpibcast.ScatterAllgatherConfig{Payload: payload}
+	if spec.Loopback {
+		for i := range names {
+			names[i] = fmt.Sprintf("n%d", i+1)
+			addrs[i] = "127.0.0.1:0"
+		}
+		cfg.NetworkFor = func(int) transport.Network { return transport.TCP{} }
+	} else {
+		fabric := transport.NewFabric(1 << 20)
+		for i := range names {
+			names[i] = fmt.Sprintf("n%d", i+1)
+			addrs[i] = names[i] + ":7000"
+		}
+		cfg.NetworkFor = func(i int) transport.Network { return fabric.Host(names[i]) }
+	}
+	cfg.Names, cfg.Addrs = names, addrs
+	start := time.Now()
+	total, err := mpibcast.BroadcastScatterAllgather(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &core.SessionResult{
+		Report:  &core.Report{TotalBytes: total},
+		Elapsed: time.Since(start),
+	}, nil
 }
 
 // EngineOptions are the protocol options every engine benchmark runs with

@@ -162,6 +162,12 @@ type Scenario struct {
 	// "" / "tcp" for the chunked relay pipeline, "udp" for the batched
 	// datagram fan-out (required by PacketLoss faults to bite).
 	Transport string `json:"transport,omitempty"`
+	// Topology selects the dissemination shape (core.Plan.Topology): "" /
+	// "chain" for the linear pipeline, "tree:<k>" for the k-ary BFS tree.
+	// Tree scenarios exercise the parent/children generalisation of the
+	// §III-D recovery path: a crashed interior node's children re-graft
+	// onto its parent.
+	Topology string `json:"topology,omitempty"`
 	// Timeout is the hard scenario budget (bounded-recovery assertion);
 	// defaulted by Run when 0.
 	Timeout time.Duration `json:"timeout,omitempty"`

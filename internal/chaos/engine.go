@@ -241,6 +241,7 @@ func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 		Peers:      peers,
 		Opts:       opts,
 		Transport:  sc.Transport,
+		Topology:   sc.Topology,
 		NetworkFor: func(i int) transport.Network { return r.fabric.Host(peers[i].Name) },
 		SinkFor:    func(i int) io.Writer { return r.sinks[i] },
 		Trace:      r.onTrace,
@@ -538,14 +539,8 @@ func (r *runner) extractRecoveries(res *Result, events []core.TraceEvent) []Reco
 		if rec.Detected {
 			rec.DetectLatency = detectedAt.Sub(injAt)
 			// First chunk at the nearest surviving downstream node after
-			// detection: the pipeline flows again past the hole.
-			succ := -1
-			for s := inj.Fault.Victim + 1; s < r.sc.Nodes; s++ {
-				if !crashed[s] {
-					succ = s
-					break
-				}
-			}
+			// detection: the dissemination flows again past the hole.
+			succ := r.resumeProbe(inj.Fault.Victim, crashed)
 			if succ > 0 {
 				var resumedAt time.Time
 				for _, ev := range events {
@@ -564,4 +559,48 @@ func (r *runner) extractRecoveries(res *Result, events []core.TraceEvent) []Reco
 		out = append(out, rec)
 	}
 	return out
+}
+
+// resumeProbe picks the node whose post-detection chunk ingestion proves
+// the dissemination flows again past the victim: the nearest surviving
+// successor on a chain, the first surviving descendant (BFS order) of the
+// victim on a tree — that is where the re-grafted subtree resumes.
+func (r *runner) resumeProbe(victim int, crashed map[int]bool) int {
+	k, err := core.TreeArity(r.sc.Topology)
+	if err != nil || k <= 1 {
+		for s := victim + 1; s < r.sc.Nodes; s++ {
+			if !crashed[s] {
+				return s
+			}
+		}
+		return -1
+	}
+	queue := treeKids(victim, k, r.sc.Nodes)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if !crashed[s] {
+			return s
+		}
+		queue = append(queue, treeKids(s, k, r.sc.Nodes)...)
+	}
+	return -1
+}
+
+// treeKids mirrors the BFS k-ary child rule of core's tree plans
+// (core/treeplan.go) for the resume probe.
+func treeKids(i, k, n int) []int {
+	lo := k*i + 1
+	if lo >= n {
+		return nil
+	}
+	hi := lo + k
+	if hi > n {
+		hi = n
+	}
+	kids := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		kids = append(kids, c)
+	}
+	return kids
 }

@@ -147,6 +147,54 @@ func Matrix(seed int64, full bool) []Scenario {
 		}
 	}
 
+	// Tree fan-out recovery: a tree:2 plan runs the same §III-D machinery
+	// on every parent→child link. Each cluster kills a structurally
+	// different node — a root child (its whole subtree re-grafts onto the
+	// sender), an interior node (its children re-graft onto their
+	// grandparent), a leaf (pure spoke loss), and a second crash landing
+	// mid-recovery on the first victim's own child.
+	for _, n := range MatrixNodeCounts {
+		n := n
+		shape := shapeFor(n)
+		quarter := uint64(shape.PayloadSize / 4)
+		half := uint64(shape.PayloadSize / 2)
+		tree := func(name string, faults ...Fault) {
+			add(fmt.Sprintf("tree-%s/n=%d", name, n), shape, func(sc *Scenario) {
+				sc.Topology = core.TopologyTree(2)
+				sc.Faults = faults
+			})
+		}
+
+		tree("root-child-crash",
+			Fault{Kind: Crash, Victim: 1, Peer: -1, When: Mark{Node: 1, Bytes: quarter}})
+
+		interior := 1 // n=3: both receivers are leaves; fall back to a root child
+		switch {
+		case n >= 9:
+			interior = 3 // depth 2 with the full child set {7, 8}
+		case n >= 6:
+			interior = 2 // depth 1, children {5, 6}
+		}
+		tree("interior-crash",
+			Fault{Kind: Crash, Victim: interior, Peer: -1, When: Mark{Node: interior, Bytes: quarter}})
+
+		tree("leaf-crash",
+			Fault{Kind: Crash, Victim: n - 1, Peer: -1, When: Mark{Node: n - 1, Bytes: quarter}})
+
+		// Mid-recovery second crash: the second victim is the first
+		// victim's own child, killed after it re-grafted onto its
+		// grandparent. n=3 has no grandchildren, so both root children die
+		// — only the sender survives and still closes the (empty) ring.
+		first, second := 1, 2
+		if n >= 6 {
+			first = interior
+			second = 2*interior + 1
+		}
+		tree("second-crash",
+			Fault{Kind: Crash, Victim: first, Peer: -1, When: Mark{Node: first, Bytes: quarter}},
+			Fault{Kind: Crash, Victim: second, Peer: -1, When: Mark{Node: second, Bytes: half}})
+	}
+
 	// Seeded random schedules: the generator's scenario diversity, pinned
 	// by -chaos.seed.
 	for _, n := range MatrixNodeCounts {

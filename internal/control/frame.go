@@ -212,6 +212,10 @@ type StartRequest struct {
 	// fan-out. With "udp" every peer carries a PacketAddr and the agent
 	// binds a datagram endpoint on its own peer's port.
 	Transport string `json:"transport,omitempty"`
+	// Topology selects the dissemination shape (core.Plan.Topology): "" /
+	// "chain" for the linear pipeline, "tree:<k>" for the k-ary BFS tree.
+	// Every agent must run the same shape, so it travels with the plan.
+	Topology string `json:"topology,omitempty"`
 }
 
 // ResultReply is the terminal state of one started session.

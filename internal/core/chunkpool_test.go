@@ -83,7 +83,7 @@ func TestRelayPathAllocs(t *testing.T) {
 	pool := newChunkPool(chunkSize, 40)
 	ws := newWindowStore(chunkSize, 32, pool)
 	conn := &vecConn{}
-	w := newWire(conn)
+	w := newWire(conn, SystemClock())
 	batch := make([]*chunk, 1)
 	var off uint64
 

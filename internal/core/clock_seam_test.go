@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// countingClock wraps a Clock and counts how often its Now is consulted,
+// proving a code path really runs on the injected seam.
+type countingClock struct {
+	Clock
+	nows atomic.Int64
+}
+
+func (c *countingClock) Now() time.Time {
+	c.nows.Add(1)
+	return c.Clock.Now()
+}
+
+// deadlineConn records the absolute deadlines set on it.
+type deadlineConn struct {
+	loopConn
+	read, write time.Time
+}
+
+func (d *deadlineConn) SetReadDeadline(t time.Time) error  { d.read = t; return nil }
+func (d *deadlineConn) SetWriteDeadline(t time.Time) error { d.write = t; return nil }
+
+// TestWireDeadlinesUseInjectedClock is the regression test for the wire
+// half of the clock seam: a wire built on a fake clock must base its
+// connection deadlines on that clock, never on the system time. (The bug:
+// newWire silently defaulted to time.Now, so any constructor that forgot
+// to overwrite wire.now escaped the chaos harness's fake clock.)
+func TestWireDeadlinesUseInjectedClock(t *testing.T) {
+	base := time.Date(2200, 1, 1, 0, 0, 0, 0, time.UTC) // unmistakably not wall time
+	clk := NewFakeClock(base)
+	conn := &deadlineConn{}
+	w := newWire(conn, clk)
+
+	w.setReadDeadlineIn(5 * time.Second)
+	if want := base.Add(5 * time.Second); !conn.read.Equal(want) {
+		t.Fatalf("read deadline %v, want fake-clock %v", conn.read, want)
+	}
+	w.setWriteDeadlineIn(3 * time.Second)
+	if want := base.Add(3 * time.Second); !conn.write.Equal(want) {
+		t.Fatalf("write deadline %v, want fake-clock %v", conn.write, want)
+	}
+	clk.Advance(time.Minute)
+	w.setReadDeadlineIn(time.Second)
+	if want := base.Add(time.Minute + time.Second); !conn.read.Equal(want) {
+		t.Fatalf("read deadline after advance %v, want %v", conn.read, want)
+	}
+}
+
+// TestFakeClockSessionNeverReadsSystemClock is the regression test for the
+// session half of the seam: with Options.Clock injected, the session's
+// start stamp and Elapsed must come from that clock. The fake clock never
+// advances here, so any time.Now/time.Since leak in the session timing
+// shows up as a non-zero Elapsed (real wall time passes while the
+// broadcast runs).
+func TestFakeClockSessionNeverReadsSystemClock(t *testing.T) {
+	clk := &countingClock{Clock: NewFakeClock(time.Now())}
+	fabric := transport.NewFabric(1 << 20)
+	const nodes, size = 3, 64 << 10
+	peers := make([]Peer, nodes)
+	for i := range peers {
+		peers[i] = Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	res, err := RunSession(context.Background(), SessionConfig{
+		Peers: peers,
+		Opts: Options{
+			Clock:        clk,
+			ChunkSize:    8 << 10,
+			WindowChunks: 4,
+		},
+		NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
+		SinkFor:    func(int) io.Writer { return io.Discard },
+		InputFile:  bytes.NewReader(payload),
+		InputSize:  size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalBytes != size {
+		t.Fatalf("delivered %d of %d bytes", res.Report.TotalBytes, size)
+	}
+	if res.Elapsed != 0 {
+		t.Fatalf("Elapsed = %v on a never-advancing fake clock: session timing leaked to the system clock", res.Elapsed)
+	}
+	if clk.nows.Load() == 0 {
+		t.Fatal("injected clock was never consulted: the seam is not wired through")
+	}
+}

@@ -149,6 +149,17 @@ func (n *Node) receiveRingReport(w *wire) {
 		_ = w.writePassed()
 		return
 	}
+	if n.treeK > 1 {
+		// Tree fan-out: several leaves (plus interior nodes with late
+		// detections) each close their own ring spoke. Acknowledge each
+		// immediately and accumulate; the tree manager publishes the
+		// merged report once every child subtree completed its PASSED
+		// exchange (tree.go), which cannot happen before all spokes land.
+		n.setUpReport(rep)
+		w.setWriteDeadlineIn(n.opts.GetTimeout)
+		_ = w.writePassed()
+		return
+	}
 	// Fold in the sender's own observations (e.g. abandons recorded by
 	// the fetch server) before publishing.
 	n.mu.Lock()

@@ -34,10 +34,16 @@ const maxBatchChunks = 256
 // successor from the store, detects successor failures, skips dead nodes
 // (§III-D2), and runs the END → REPORT → PASSED epilogue (Fig 5). When no
 // alive successor remains, the node is the pipeline tail and closes the
-// ring by delivering the report to node 0 (§III-A).
+// ring by delivering the report to node 0 (§III-A). Tree plans (treeK > 1)
+// serve several children from the same window and dispatch to the tree
+// manager (tree.go); the chain below is the k = 1 special case.
 func (n *Node) runManager(ctx context.Context) error {
+	if n.treeK > 1 {
+		return n.runTreeManager(ctx)
+	}
 	succ := n.cfg.Index + 1
 	retries := 0
+	cur := &childCursor{st: n.st} // sole consumer: low-water goes straight to the store
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -49,9 +55,10 @@ func (n *Node) runManager(ctx context.Context) error {
 		if succ >= len(n.peers()) {
 			return n.finishAsTail(ctx)
 		}
-		outcome, err := n.serveSuccessor(ctx, succ)
+		outcome, err := n.serveSuccessor(ctx, succ, cur)
 		switch outcome {
 		case outcomeDone:
+			n.markPassed()
 			return nil
 		case outcomeRetry:
 			retries++
@@ -73,8 +80,12 @@ func (n *Node) runManager(ctx context.Context) error {
 
 // serveSuccessor runs one full attempt against the successor at pipeline
 // index succ: dial, handshake, answer its GET, stream DATA, send END/QUIT,
-// forward the REPORT, and collect PASSED.
-func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, error) {
+// forward the REPORT, and collect PASSED. cur tracks this successor's
+// progress for the replay window's low-water mark — directly on the chain,
+// through the node's cursor tracker on trees (where the window must serve
+// the slowest of k children). The caller owns the PASSED bookkeeping:
+// outcomeDone only means this successor's lifecycle completed.
+func (n *Node) serveSuccessor(ctx context.Context, succ int, cur *childCursor) (serveOutcome, error) {
 	peer := n.peers()[succ]
 	conn, err := n.dialPeer(peer.Addr)
 	if err != nil {
@@ -98,7 +109,7 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int) (serveOutcome, erro
 	if out != outcomeOK {
 		return out, err
 	}
-	n.st.ResetLowWater(off)
+	cur.reset(off)
 
 	// §V extension: measure the successor's drain rate (time actually
 	// spent inside writes, so a data-starved pipeline is never mistaken
@@ -142,7 +153,7 @@ streamLoop:
 			moved, res, serr := n.offerSplice(ctx, off, conn)
 			if moved > 0 {
 				off += moved
-				n.st.SetLowWater(off)
+				cur.advance(off)
 			}
 			if serr != nil {
 				return n.classifyConnErr(ctx, serr, succ, peer.Addr)
@@ -170,7 +181,7 @@ streamLoop:
 				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
 			}
 			off += uint64(batchBytes)
-			n.st.SetLowWater(off)
+			cur.advance(off)
 			drained += float64(batchBytes)
 			if n.opts.MinThroughput > 0 && writing >= n.opts.SlowNodeGrace {
 				if rate := drained / writing.Seconds(); rate < n.opts.MinThroughput {
@@ -198,7 +209,7 @@ streamLoop:
 				return out, gerr
 			}
 			off = newOff
-			n.st.ResetLowWater(off)
+			cur.reset(off)
 		case cerr == io.EOF:
 			end, _ := n.st.End()
 			if werr := w.writeEnd(end); werr != nil {
@@ -236,7 +247,6 @@ streamLoop:
 	if out != outcomeOK {
 		return out, err
 	}
-	n.markPassed()
 	return outcomeDone, nil
 }
 

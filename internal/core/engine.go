@@ -625,8 +625,7 @@ func (e *Engine) acceptLoop() {
 // (abandoned, finished) session must read as dead to its prober, and the
 // prober's own deadline is far shorter than any park would last.
 func (e *Engine) route(c transport.Conn) {
-	w := newWire(c)
-	w.now = e.clk.Now
+	w := newWire(c, e.clk)
 	w.setReadDeadlineIn(e.opts.HelloTimeout)
 	role, from, sid, err := w.readHelloAny()
 	if err != nil {

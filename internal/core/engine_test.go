@@ -40,7 +40,7 @@ func dialHello(t *testing.T, net transport.Network, addr string, role Role, from
 	if err != nil {
 		t.Fatalf("dial %s: %v", addr, err)
 	}
-	w := newWire(c)
+	w := newWire(c, SystemClock())
 	if err := w.writeHelloFor(role, from, sid); err != nil {
 		t.Fatalf("hello: %v", err)
 	}

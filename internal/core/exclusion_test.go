@@ -144,17 +144,34 @@ func (p *pacedReader) Read(buf []byte) (int, error) {
 	return n, nil
 }
 
-// TestAcceptReplacementPolicy pins the predecessor-priority rule.
+// TestAcceptReplacementPolicy pins the predecessor-priority rule: on the
+// chain, depth is the pipeline index, so "at least as close to the sender"
+// wins; on trees, only a predecessor no deeper than the current one does.
 func TestAcceptReplacementPolicy(t *testing.T) {
 	mk := func(from int) *upstreamConn { return &upstreamConn{from: from} }
-	if !acceptReplacement(mk(3), mk(1)) {
+	chain := &Node{treeK: 1}
+	if !chain.acceptReplacement(mk(3), mk(1)) {
 		t.Error("closer predecessor must win")
 	}
-	if !acceptReplacement(mk(2), mk(2)) {
+	if !chain.acceptReplacement(mk(2), mk(2)) {
 		t.Error("same predecessor reconnecting must win")
 	}
-	if acceptReplacement(mk(1), mk(4)) {
+	if chain.acceptReplacement(mk(1), mk(4)) {
 		t.Error("farther predecessor must not steal the connection")
+	}
+	// Binary tree: node 4's parent is 1 (depth 1); 1's parent is 0.
+	tree := &Node{treeK: 2}
+	if !tree.acceptReplacement(mk(1), mk(0)) {
+		t.Error("grandparent adopting after the parent died must win")
+	}
+	if tree.acceptReplacement(mk(0), mk(1)) {
+		t.Error("restarted parent must not steal the child back from the root")
+	}
+	if !tree.acceptReplacement(mk(1), mk(2)) {
+		t.Error("equal-depth predecessor (reconnect-level) must win")
+	}
+	if tree.acceptReplacement(mk(1), mk(4)) {
+		t.Error("deeper node must not steal a child from its parent")
 	}
 }
 

@@ -93,6 +93,7 @@ type Node struct {
 	opts   Options
 	clk    Clock
 	sid    SessionID
+	treeK  int // dissemination fan-out per node: 1 = chain, k = "tree:<k>"
 	st     store
 	ws     *windowStore // non-nil iff st is a window store
 	pool   *chunkPool   // recycled payload buffers for the relay hot path
@@ -204,12 +205,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			return nil, fmt.Errorf("kascade: udp transport requires a file-backed source at node 0")
 		}
 	}
+	treeK, err := TreeArity(cfg.Plan.Topology)
+	if err != nil {
+		// Plan.Validate admits composite topologies (scatter-allgather)
+		// because callers dispatch them outside core.Node; reaching
+		// NewNode with one is a caller bug, not a plan error.
+		return nil, err
+	}
 	opts := cfg.Plan.Opts.withDefaults()
 	n := &Node{
 		cfg:     cfg,
 		opts:    opts,
 		clk:     opts.Clock,
 		sid:     cfg.Plan.Session,
+		treeK:   treeK,
 		upConns: make(chan *upstreamConn, 4),
 		reportC: make(chan struct{}),
 		passedC: make(chan struct{}),
@@ -248,11 +257,15 @@ func (n *Node) prepare() error {
 		n.st = n.ws
 	}
 	if n.cfg.Engine != nil {
-		// Engine-attached nodes forward through the engine's weighted
-		// scheduler (sched.go) instead of a free-running goroutine per
-		// session: the seat is taken before attach so the first inbound
-		// GET finds the scheduling path ready.
-		n.sentry = n.cfg.Engine.attachSched(n.sid, n.st, n.opts.Class, n.opts.MaxBatchBytes, n.opts.ChunkSize)
+		if n.treeK == 1 {
+			// Engine-attached nodes forward through the engine's weighted
+			// scheduler (sched.go) instead of a free-running goroutine per
+			// session: the seat is taken before attach so the first inbound
+			// GET finds the scheduling path ready. Tree relays serve several
+			// child cursors from one window, which the one-cursor-per-seat
+			// scheduler cannot model, so they keep the direct blocking path.
+			n.sentry = n.cfg.Engine.attachSched(n.sid, n.st, n.opts.Class, n.opts.MaxBatchBytes, n.opts.ChunkSize)
+		}
 		n.cfg.Engine.attach(n.sid, n)
 	}
 	return nil
@@ -325,9 +338,7 @@ func (n *Node) peers() []Peer {
 
 // newWire wraps a connection with this node's clock as deadline source.
 func (n *Node) newWire(c transport.Conn) *wire {
-	w := newWire(c)
-	w.now = n.clk.Now
-	return w
+	return newWire(c, n.clk)
 }
 
 // Run participates in the broadcast until completion. It returns the final

@@ -202,6 +202,14 @@ type Plan struct {
 	// PGET repair, the completion ring report — always runs over the stream
 	// transport.
 	Transport string `json:"Transport,omitempty"`
+	// Topology selects the dissemination shape over the ordered peers:
+	// "" or TopologyChain is the paper's linear pipeline (§III-A);
+	// "tree:<k>" arranges the same order as a BFS k-ary tree (every relay
+	// feeds up to k children from one replay window); and
+	// TopologyScatterAllgather names the MPI-style composite, which is
+	// dispatched outside core.Node (see internal/mpibcast). Like
+	// Transport, it travels in PREPARE so every host runs the same shape.
+	Topology string `json:"Topology,omitempty"`
 }
 
 // Data-plane transports carried in Plan.Transport.
@@ -225,6 +233,17 @@ func (p *Plan) Validate() error {
 		}
 	default:
 		return fmt.Errorf("kascade: unknown transport %q", p.Transport)
+	}
+	if p.Topology != TopologyScatterAllgather {
+		k, err := TreeArity(p.Topology)
+		if err != nil {
+			return err
+		}
+		if k > 1 && p.Transport == TransportUDP {
+			return fmt.Errorf("kascade: udp transport already fans out from the sender; it cannot carry topology %q", p.Topology)
+		}
+	} else if p.Transport == TransportUDP {
+		return fmt.Errorf("kascade: udp transport cannot carry topology %q", p.Topology)
 	}
 	seen := make(map[string]bool, len(p.Peers))
 	for i, peer := range p.Peers {

@@ -92,12 +92,15 @@ func (n *Node) awaitUpstream(ctx context.Context) (*upstreamConn, error) {
 }
 
 // acceptReplacement decides whether a queued predecessor connection should
-// supersede the current one: only a predecessor at least as close to the
-// sender wins (equal index = the same predecessor reconnecting). This keeps
-// a node excluded for slowness (§V) from stealing its former successor back
-// from the adopting predecessor.
-func acceptReplacement(cur, repl *upstreamConn) bool {
-	return repl.from <= cur.from
+// supersede the current one: only a predecessor at least as shallow in the
+// dissemination tree wins. On the chain the depth IS the pipeline index, so
+// this is the paper's "smaller or equal index" rule (equal = the same
+// predecessor reconnecting); on trees it admits the dead parent's ancestors
+// (strictly shallower) while keeping a node excluded for slowness (§V) —
+// or a restarted parent — from stealing its former child back from the
+// adopting ancestor.
+func (n *Node) acceptReplacement(cur, repl *upstreamConn) bool {
+	return treeDepth(repl.from, n.treeK) <= treeDepth(cur.from, n.treeK)
 }
 
 // serveUpstream processes frames from one predecessor connection. It
@@ -123,7 +126,7 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 		// node between us): check between frames, not only on idle.
 		select {
 		case repl := <-n.upConns:
-			if acceptReplacement(uc, repl) {
+			if n.acceptReplacement(uc, repl) {
 				return repl, nil
 			}
 			n.rejectReplacement(repl)
@@ -285,7 +288,7 @@ func (n *Node) awaitPassedPhase(ctx context.Context, cur *upstreamConn) (*upstre
 		case <-n.passedC:
 			return nil, nil
 		case repl := <-n.upConns:
-			if acceptReplacement(cur, repl) {
+			if n.acceptReplacement(cur, repl) {
 				return repl, nil
 			}
 			n.rejectReplacement(repl)

@@ -41,7 +41,7 @@ func TestReplacementMidChunkDoesNotCorruptWindow(t *testing.T) {
 				return
 			}
 			go func(c transport.Conn) {
-				w := newWire(c)
+				w := newWire(c, SystemClock())
 				defer w.close()
 				w.setReadDeadlineIn(5 * time.Second)
 				if typ, err := w.readType(); err != nil || typ != MsgHello {
@@ -88,7 +88,7 @@ func TestReplacementMidChunkDoesNotCorruptWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wA := newWire(connA)
+	wA := newWire(connA, SystemClock())
 	if err := wA.writeHello(RoleData, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestReplacementMidChunkDoesNotCorruptWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wB := newWire(connB)
+	wB := newWire(connB, SystemClock())
 	if err := wB.writeHello(RoleData, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestReplacementMidChunkDoesNotCorruptWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wC := newWire(connC)
+	wC := newWire(connC, SystemClock())
 	if err := wC.writeHello(RoleData, 1); err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,12 @@ type SessionConfig struct {
 	// ephemeral port on their stream-address host).
 	Transport string
 
+	// Topology selects the dissemination shape (Plan.Topology): "" or
+	// TopologyChain for the paper's linear pipeline, TopologyTree(k) for
+	// the k-ary BFS tree. TopologyScatterAllgather is a composite plan
+	// core.Node cannot run — dispatch it to internal/mpibcast instead.
+	Topology string
+
 	// NetworkFor returns the network surface of pipeline member i.
 	NetworkFor func(i int) transport.Network
 
@@ -88,6 +94,7 @@ type Session struct {
 	Nodes []*Node
 	Plan  Plan
 
+	clk    Clock
 	start  time.Time
 	wg     *sync.WaitGroup
 	res    *SessionResult
@@ -178,7 +185,7 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		}
 	}
 
-	plan := Plan{Peers: peers, Opts: cfg.Opts, Session: cfg.Session, Transport: cfg.Transport}
+	plan := Plan{Peers: peers, Opts: cfg.Opts, Session: cfg.Session, Transport: cfg.Transport, Topology: cfg.Topology}
 	if err := plan.Validate(); err != nil {
 		closeListeners()
 		return nil, err
@@ -214,15 +221,20 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		nodes[i] = n
 	}
 
+	// Session timing runs on the same injectable clock as the nodes: a
+	// fake-clock session (the chaos harness) must never consult the
+	// system clock, or Elapsed drifts from the simulated timeline.
+	clk := cfg.Opts.withDefaults().Clock
 	s := &Session{
 		Nodes: nodes,
 		Plan:  plan,
+		clk:   clk,
 		wg:    &sync.WaitGroup{},
 		res: &SessionResult{
 			NodeErrs: make([]error, len(peers)),
 			Received: make([]uint64, len(peers)),
 		},
-		start: time.Now(),
+		start: clk.Now(),
 	}
 	for i := range nodes {
 		s.wg.Add(1)
@@ -232,7 +244,7 @@ func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 			s.res.NodeErrs[i] = err
 			if i == 0 {
 				s.sender.report, s.sender.err = rep, err
-				s.res.Elapsed = time.Since(s.start)
+				s.res.Elapsed = s.clk.Now().Sub(s.start)
 			}
 		}(i)
 	}

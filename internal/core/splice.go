@@ -152,8 +152,10 @@ func (g *spliceGate) resolveTransient() {
 // user-space writes, which a spliced span bypasses).
 func spliceEligible(cfg *NodeConfig, opts *Options) bool {
 	noSink := cfg.Sink == nil || cfg.Sink == io.Discard
+	k, kerr := TreeArity(cfg.Plan.Topology)
 	return opts.Splice && cfg.Index > 0 && noSink && opts.MinThroughput == 0 &&
-		cfg.Plan.Transport != TransportUDP // no relay chain to splice on UDP
+		cfg.Plan.Transport != TransportUDP && // no relay chain to splice on UDP
+		kerr == nil && k == 1 // a tree relay feeds k children from its window; it must retain
 }
 
 // closeSpliceGate shuts the gate down, if the node has one.

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Topology names carried in Plan.Topology. The chain is the paper's linear
+// pipeline (§III-A); "tree:<k>" (see TopologyTree) arranges the same
+// ordered peers as a BFS k-ary tree so every relay feeds up to k children;
+// TopologyScatterAllgather names the MPI-style scatter-allgather composite
+// implemented in internal/mpibcast — a plan core.Node cannot run itself, so
+// callers dispatch it before building nodes.
+const (
+	TopologyChain            = "chain"
+	TopologyScatterAllgather = "scatter-allgather"
+
+	topologyTreePrefix = "tree:"
+)
+
+// TopologyTree returns the Plan.Topology value of a k-ary BFS tree.
+// TopologyTree(1) is the chain by construction: parent(i) = (i-1)/1 = i-1.
+func TopologyTree(k int) string {
+	return topologyTreePrefix + strconv.Itoa(k)
+}
+
+// TreeArity maps a Plan.Topology value to its per-node fan-out: 1 for the
+// chain (and the empty default), k for "tree:<k>". Composite topologies
+// (scatter-allgather) have no per-node arity and return an error, as do
+// malformed strings — Plan.Validate surfaces these before any node runs.
+func TreeArity(topology string) (int, error) {
+	switch topology {
+	case "", TopologyChain:
+		return 1, nil
+	case TopologyScatterAllgather:
+		return 0, fmt.Errorf("kascade: topology %q is a composite plan, not a per-node pipeline", topology)
+	}
+	if s, ok := strings.CutPrefix(topology, topologyTreePrefix); ok {
+		k, err := strconv.Atoi(s)
+		if err != nil || k < 1 {
+			return 0, fmt.Errorf("kascade: bad tree arity in topology %q", topology)
+		}
+		return k, nil
+	}
+	return 0, fmt.Errorf("kascade: unknown topology %q", topology)
+}
+
+// treeParent returns the BFS k-ary tree parent of node i (-1 for the root).
+// With k = 1 this degenerates to the chain's predecessor i-1.
+func treeParent(i, k int) int {
+	if i <= 0 {
+		return -1
+	}
+	if k <= 1 {
+		return i - 1
+	}
+	return (i - 1) / k
+}
+
+// treeChildren returns the BFS k-ary tree children of node i in an n-node
+// plan: indices k·i+1 … k·i+k, clipped to the plan. With k = 1 this is the
+// chain's successor {i+1} (or none at the tail).
+func treeChildren(i, k, n int) []int {
+	if k < 1 {
+		k = 1
+	}
+	first := i*k + 1
+	if first >= n {
+		return nil
+	}
+	last := first + k
+	if last > n {
+		last = n
+	}
+	children := make([]int, 0, last-first)
+	for c := first; c < last; c++ {
+		children = append(children, c)
+	}
+	return children
+}
+
+// treeDepth returns node i's distance from the root in the BFS k-ary tree.
+// With k = 1 the depth IS the index, which is how the chain's replacement
+// rule (accept a predecessor with a smaller index) generalises: a
+// replacement predecessor is acceptable iff it sits no deeper than the
+// current one.
+func treeDepth(i, k int) int {
+	if i <= 0 {
+		return 0
+	}
+	if k <= 1 {
+		return i
+	}
+	d := 0
+	for i > 0 {
+		i = (i - 1) / k
+		d++
+	}
+	return d
+}

@@ -123,8 +123,12 @@ type wire struct {
 	vec  [][]byte // scratch iovec: header, payload, header, payload, ...
 }
 
-func newWire(c transport.Conn) *wire {
-	return &wire{conn: c, br: bufio.NewReaderSize(c, 4<<10), out: c, now: time.Now}
+// newWire wraps c with clk as the deadline base. Every constructor must
+// state its time source explicitly — a silent time.Now default here is what
+// once let wire timeouts escape the injectable clock seam that the chaos
+// harness's fake clock depends on.
+func newWire(c transport.Conn, clk Clock) *wire {
+	return &wire{conn: c, br: bufio.NewReaderSize(c, 4<<10), out: c, now: clk.Now}
 }
 
 func (w *wire) close() error { return w.conn.Close() }

@@ -28,7 +28,7 @@ func (l *loopConn) LocalAddr() string                { return "a:0" }
 func (l *loopConn) RemoteAddr() string               { return "b:0" }
 
 func TestWireHelloRoundTrip(t *testing.T) {
-	w := newWire(&loopConn{})
+	w := newWire(&loopConn{}, SystemClock())
 	if err := w.writeHello(RoleData, 42); err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestWireHelloRoundTrip(t *testing.T) {
 }
 
 func TestWireControlFramesRoundTrip(t *testing.T) {
-	w := newWire(&loopConn{})
+	w := newWire(&loopConn{}, SystemClock())
 	if err := w.writeGet(1234567890123); err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestWireControlFramesRoundTrip(t *testing.T) {
 
 func TestWireDataRoundTripQuick(t *testing.T) {
 	f := func(payload []byte) bool {
-		w := newWire(&loopConn{})
+		w := newWire(&loopConn{}, SystemClock())
 		if err := w.writeData(payload); err != nil {
 			return false
 		}
@@ -117,7 +117,7 @@ func TestWireDataRoundTripQuick(t *testing.T) {
 }
 
 func TestWireReportRoundTrip(t *testing.T) {
-	w := newWire(&loopConn{})
+	w := newWire(&loopConn{}, SystemClock())
 	in := &Report{
 		TotalBytes: 1 << 31,
 		Aborted:    true,
@@ -147,7 +147,7 @@ func TestWireReportRoundTrip(t *testing.T) {
 
 func TestWireRejectsOversizedData(t *testing.T) {
 	lc := &loopConn{}
-	w := newWire(lc)
+	w := newWire(lc, SystemClock())
 	// Forge a DATA header with an absurd length.
 	lc.Write([]byte{byte(MsgData), 0xFF, 0xFF, 0xFF, 0xFF})
 	if typ, _ := w.readType(); typ != MsgData {

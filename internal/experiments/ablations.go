@@ -201,7 +201,7 @@ func AblationDepth() Experiment {
 // runWANDepth runs one Kascade broadcast over the full Fig 13 chain with
 // the given pipelining depth and returns MB/s.
 func runWANDepth(rng *rand.Rand, bytes int64, depth int) float64 {
-	specs := []topology.SiteSpec{{Name: "nancy", Nodes: 2, LatencySec: 0.002}}
+	specs := []topology.SiteSpec{fig13Nancy()}
 	specs = append(specs, fig13Sites...)
 	topo := topology.MultiSite(specs, jitter(rng, eth1G, 0.02), eth1GUp, 0.008)
 	sim := simnet.New()

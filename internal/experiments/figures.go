@@ -180,14 +180,21 @@ func Figure11() Experiment {
 
 // fig13Sites lists the remote sites in the paper's order, with one-way
 // backbone latencies calibrated to Grid'5000's geography (~16 ms inter-site
-// RTT on average, growing with distance).
+// RTT on average, growing with distance). Each site states its own 10 GbE
+// switch->core uplink explicitly — MultiSite no longer conflates the site
+// uplink with the WAN backbone rate (it defaults site uplinks to edgeCap).
 var fig13Sites = []topology.SiteSpec{
-	{Name: "lille", Nodes: 1, LatencySec: 0.005},
-	{Name: "grenoble", Nodes: 1, LatencySec: 0.007},
-	{Name: "luxembourg", Nodes: 1, LatencySec: 0.008},
-	{Name: "lyon", Nodes: 1, LatencySec: 0.009},
-	{Name: "rennes", Nodes: 1, LatencySec: 0.011},
-	{Name: "sophia", Nodes: 1, LatencySec: 0.013},
+	{Name: "lille", Nodes: 1, LatencySec: 0.005, UplinkCapacity: eth1GUp},
+	{Name: "grenoble", Nodes: 1, LatencySec: 0.007, UplinkCapacity: eth1GUp},
+	{Name: "luxembourg", Nodes: 1, LatencySec: 0.008, UplinkCapacity: eth1GUp},
+	{Name: "lyon", Nodes: 1, LatencySec: 0.009, UplinkCapacity: eth1GUp},
+	{Name: "rennes", Nodes: 1, LatencySec: 0.011, UplinkCapacity: eth1GUp},
+	{Name: "sophia", Nodes: 1, LatencySec: 0.013, UplinkCapacity: eth1GUp},
+}
+
+// fig13Nancy is the sender's site (two nodes, closest to the backbone).
+func fig13Nancy() topology.SiteSpec {
+	return topology.SiteSpec{Name: "nancy", Nodes: 2, LatencySec: 0.002, UplinkCapacity: eth1GUp}
 }
 
 // Figure13 reproduces Fig 13: routed, heterogeneous, long-distance
@@ -204,7 +211,7 @@ func Figure13() Experiment {
 		return sweep(cfg, "Figure 13: multi-site WAN (1 GB; MPI: 100 MB)",
 			"sites", methods, xs,
 			func(m method, sites int, rng *rand.Rand) pointSpec {
-				specs := []topology.SiteSpec{{Name: "nancy", Nodes: 2, LatencySec: 0.002}}
+				specs := []topology.SiteSpec{fig13Nancy()}
 				specs = append(specs, fig13Sites[:sites]...)
 				topo := topology.MultiSite(specs, jitter(rng, eth1G, 0.02), eth1GUp, 0.008)
 				b := bytes

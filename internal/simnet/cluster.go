@@ -33,6 +33,8 @@ type Cluster struct {
 	DiskL    []*Link // per-node disk stage (nil entries = discard)
 	TorUp    []*Link // per-switch uplink toward the core
 	TorDown  []*Link // per-switch downlink from the core
+	WanUp    []*Link // per-site egress onto the WAN backbone
+	WanDown  []*Link // per-site ingress from the WAN backbone
 }
 
 // BuildCluster realises topo on net with the given per-node rates.
@@ -57,8 +59,21 @@ func BuildCluster(net *Network, topo *topology.Cluster, rates NodeRates) *Cluste
 		c.TorUp = make([]*Link, topo.Switches)
 		c.TorDown = make([]*Link, topo.Switches)
 		for s := 0; s < topo.Switches; s++ {
-			c.TorUp[s] = net.NewLink(fmt.Sprintf("tor%d/up", s), topo.UplinkCapacity)
-			c.TorDown[s] = net.NewLink(fmt.Sprintf("tor%d/down", s), topo.UplinkCapacity)
+			up := topo.SwitchUplink(s)
+			c.TorUp[s] = net.NewLink(fmt.Sprintf("tor%d/up", s), up)
+			c.TorDown[s] = net.NewLink(fmt.Sprintf("tor%d/down", s), up)
+		}
+	}
+	// The WAN backbone between site cores is its own stage: a site's
+	// switch->core uplink (above) is provisioned like the local network,
+	// while cross-site traffic additionally squeezes through the routed
+	// backbone at InterSiteCapacity.
+	if topo.Sites > 1 && topo.InterSiteCapacity > 0 {
+		c.WanUp = make([]*Link, topo.Sites)
+		c.WanDown = make([]*Link, topo.Sites)
+		for s := 0; s < topo.Sites; s++ {
+			c.WanUp[s] = net.NewLink(fmt.Sprintf("wan%d/up", s), topo.InterSiteCapacity)
+			c.WanDown[s] = net.NewLink(fmt.Sprintf("wan%d/down", s), topo.InterSiteCapacity)
 		}
 	}
 	return c
@@ -67,7 +82,8 @@ func BuildCluster(net *Network, topo *topology.Cluster, rates NodeRates) *Cluste
 // Path returns the link sequence, one-way latency, and per-connection rate
 // cap for a transfer from node i to node j. Within a switch the path is
 // egress edge + ingress edge; across switches it adds both uplinks; across
-// sites it adds WAN latency and the TCP-window cap bites.
+// sites it also crosses the WAN backbone links, adds WAN latency, and the
+// TCP-window cap bites.
 //
 // The per-node relay ceiling sits on the receiver side: a relaying process
 // pays its CPU/memory cost once per byte it ingests, independently of how
@@ -86,6 +102,9 @@ func (c *Cluster) Path(i, j int) (links []*Link, latency, maxRate float64) {
 		latency += c.Topo.EdgeLatencySec
 	}
 	if ni.Site != nj.Site {
+		if c.WanUp != nil {
+			links = append(links, c.WanUp[ni.Site], c.WanDown[nj.Site])
+		}
 		latency += c.Topo.SiteLatency(ni.Site) + c.Topo.SiteLatency(nj.Site)
 	}
 	links = append(links, c.Down[j])

@@ -305,3 +305,38 @@ func TestWANPathTCPWindowCap(t *testing.T) {
 		t.Fatalf("TCP window cap %v out of expected band", maxRate)
 	}
 }
+
+// TestWANBackbonePath is the simnet half of the MultiSite uplink/WAN
+// regression: the site switch->core uplinks carry the (per-site) local
+// capacity, and a cross-site path additionally crosses the WAN backbone
+// links at InterSiteCapacity — so a slow backbone, not a mislabelled
+// uplink, is what constrains inter-site flows.
+func TestWANBackbonePath(t *testing.T) {
+	topo := topology.MultiSite([]topology.SiteSpec{{Name: "a", Nodes: 2}, {Name: "b", Nodes: 1}},
+		topology.Gigabit, topology.HundredMBps, 0.008)
+	s := New()
+	net := NewNetwork(s)
+	c := BuildCluster(net, topo, NodeRates{})
+	if c.WanUp == nil || c.WanDown == nil {
+		t.Fatal("multi-site cluster built no WAN backbone links")
+	}
+	// Intra-site hop: edge links only, no uplink or WAN stage.
+	links, _, _ := c.Path(0, 1)
+	if len(links) != 2 {
+		t.Fatalf("intra-site path has %d links, want 2 (edges only): %v", len(links), links)
+	}
+	// Cross-site hop: the flow rate must collapse to the 100 MB/s
+	// backbone even though every uplink runs at the gigabit edge rate.
+	links, lat, _ := c.Path(1, 2)
+	if lat < 0.008 {
+		t.Fatalf("cross-site latency %v, want >= 8 ms", lat)
+	}
+	// Zero start latency so the flow activates (and its rate settles)
+	// immediately rather than after simulated propagation.
+	flow := net.Start(1e9, 0, links, nil)
+	if r := flow.Rate(); r > topology.HundredMBps*1.01 || r < topology.HundredMBps*0.99 {
+		t.Fatalf("cross-site rate %v, want WAN backbone %v", r, float64(topology.HundredMBps))
+	}
+	net.Cancel(flow)
+	s.Run()
+}

@@ -15,6 +15,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -42,6 +43,11 @@ type Cluster struct {
 	EdgeCapacity float64
 	// UplinkCapacity is the switch<->core capacity in bytes/s.
 	UplinkCapacity float64
+	// SwitchUplinkCapacities optionally overrides UplinkCapacity per
+	// switch (indexed by switch number; zero or missing entries fall back
+	// to UplinkCapacity). Multi-site topologies use it so each site's
+	// switch->core uplink is described separately from the WAN backbone.
+	SwitchUplinkCapacities []float64
 	// EdgeLatency is the one-way latency of a node<->switch hop.
 	EdgeLatencySec float64
 	// InterSiteCapacity and InterSiteLatencySec describe the WAN links
@@ -52,6 +58,16 @@ type Cluster struct {
 	// core; the latency between two sites is the sum of their entries.
 	// When empty, InterSiteLatencySec/2 applies to every site.
 	SiteLatenciesSec []float64
+}
+
+// SwitchUplink returns the switch->core uplink capacity of switch s,
+// falling back to the topology-wide UplinkCapacity when no per-switch
+// override is set.
+func (c *Cluster) SwitchUplink(s int) float64 {
+	if s >= 0 && s < len(c.SwitchUplinkCapacities) && c.SwitchUplinkCapacities[s] > 0 {
+		return c.SwitchUplinkCapacities[s]
+	}
+	return c.UplinkCapacity
 }
 
 // SiteLatency returns the one-way backbone latency of site s.
@@ -102,18 +118,25 @@ type SiteSpec struct {
 	// LatencySec is the site's one-way latency to the backbone core
 	// (0 = use the topology-wide default).
 	LatencySec float64
+	// UplinkCapacity is the site's switch->core uplink in bytes/s
+	// (0 = the topology's edge capacity). This is deliberately distinct
+	// from the WAN backbone capacity between the site cores: a site's
+	// local uplink is provisioned like its edge, not like the routed
+	// long-distance backbone.
+	UplinkCapacity float64
 }
 
 // MultiSite builds the Fig 12 shape: each site is a small cluster (one
-// switch) and all site cores hang off a routed backbone with interCap
-// bytes/s and interLatencySec one-way latency (the paper measures ~16 ms
-// RTT between sites, i.e. 8 ms one way).
+// switch), every site core reaches the routed backbone over its own uplink
+// (SiteSpec.UplinkCapacity, defaulting to edgeCap), and the backbone itself
+// carries interCap bytes/s with interLatencySec one-way latency (the paper
+// measures ~16 ms RTT between sites, i.e. 8 ms one way).
 func MultiSite(sites []SiteSpec, edgeCap, interCap, interLatencySec float64) *Cluster {
 	c := &Cluster{
 		Switches:            len(sites),
 		Sites:               len(sites),
 		EdgeCapacity:        edgeCap,
-		UplinkCapacity:      interCap,
+		UplinkCapacity:      edgeCap,
 		EdgeLatencySec:      0.0001,
 		InterSiteCapacity:   interCap,
 		InterSiteLatencySec: interLatencySec,
@@ -123,6 +146,11 @@ func MultiSite(sites []SiteSpec, edgeCap, interCap, interLatencySec float64) *Cl
 		if lat <= 0 {
 			lat = interLatencySec / 2
 		}
+		up := site.UplinkCapacity
+		if up <= 0 {
+			up = edgeCap
+		}
+		c.SwitchUplinkCapacities = append(c.SwitchUplinkCapacities, up)
 		c.SiteLatenciesSec = append(c.SiteLatenciesSec, lat)
 		for i := 0; i < site.Nodes; i++ {
 			c.Nodes = append(c.Nodes, Node{
@@ -136,8 +164,11 @@ func MultiSite(sites []SiteSpec, edgeCap, interCap, interLatencySec float64) *Cl
 }
 
 // HostNumber extracts the trailing integer of a host name ("graphene-42"
-// -> 42). It returns -1 when the name has no trailing digits. Kascade sorts
-// destination nodes by this number by default (§III-A).
+// -> 42). It returns -1 when the name has no trailing digits, or when the
+// digit run overflows int — a wrapped accumulator would silently mis-sort
+// or collide orderings, so an unrepresentable number is treated the same
+// as no number at all (lexicographic fallback). Kascade sorts destination
+// nodes by this number by default (§III-A).
 func HostNumber(name string) int {
 	end := len(name)
 	start := end
@@ -149,7 +180,11 @@ func HostNumber(name string) int {
 	}
 	n := 0
 	for _, ch := range name[start:end] {
-		n = n*10 + int(ch-'0')
+		d := int(ch - '0')
+		if n > (math.MaxInt-d)/10 {
+			return -1
+		}
+		n = n*10 + d
 	}
 	return n
 }

@@ -1,8 +1,10 @@
 package topology
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -15,11 +17,35 @@ func TestHostNumber(t *testing.T) {
 		"node":         -1,
 		"":             -1,
 		"12":           12,
+		// Overflow regression: a digit run that cannot be represented as
+		// an int must read as "no usable number" (-1), not silently wrap
+		// into an arbitrary — possibly colliding — value.
+		"n99999999999999999999":                      -1,
+		"n" + strconv.Itoa(math.MaxInt):              math.MaxInt, // exactly MaxInt still parses
+		"n0000" + strconv.Itoa(math.MaxInt):          math.MaxInt, // leading zeros don't shift the bound
+		"n" + strconv.Itoa(math.MaxInt)[:18] + "999": -1,          // past MaxInt overflows
 	}
 	for name, want := range cases {
 		if got := HostNumber(name); got != want {
 			t.Errorf("HostNumber(%q) = %d, want %d", name, got, want)
 		}
+	}
+}
+
+// TestSortByHostNumberOverflow pins that overflowing numeric suffixes fall
+// back to a stable lexicographic order instead of sorting by a wrapped
+// (potentially negative or colliding) accumulator.
+func TestSortByHostNumberOverflow(t *testing.T) {
+	names := []string{
+		"n99999999999999999999", // overflow -> lexicographic bucket
+		"n2",
+		"n18446744073709551617", // also overflow (2^64+1 wraps to 1 unguarded)
+		"n1",
+	}
+	SortByHostNumber(names)
+	want := []string{"n1", "n2", "n18446744073709551617", "n99999999999999999999"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("got %v, want %v", names, want)
 	}
 }
 
@@ -108,6 +134,38 @@ func TestMultiSite(t *testing.T) {
 	}
 	if c.SiteLatency(0) != 0.004 {
 		t.Fatalf("default latency %v", c.SiteLatency(0))
+	}
+}
+
+// TestMultiSiteUplinkCapacity is the regression test for the uplink/WAN
+// conflation: a site's switch->core uplink must default to the edge
+// capacity (not the WAN backbone rate), honour an explicit per-site
+// override, and leave the backbone rate on InterSiteCapacity.
+func TestMultiSiteUplinkCapacity(t *testing.T) {
+	sites := []SiteSpec{
+		{Name: "nancy", Nodes: 2},
+		{Name: "lille", Nodes: 1, UplinkCapacity: TenGigabit},
+	}
+	c := MultiSite(sites, Gigabit, HundredMBps, 0.008)
+	if got := c.SwitchUplink(0); got != Gigabit {
+		t.Errorf("default site uplink = %v, want edge capacity %v", got, float64(Gigabit))
+	}
+	if got := c.SwitchUplink(1); got != TenGigabit {
+		t.Errorf("explicit site uplink = %v, want %v", got, float64(TenGigabit))
+	}
+	if c.InterSiteCapacity != HundredMBps {
+		t.Errorf("WAN backbone = %v, want %v", c.InterSiteCapacity, float64(HundredMBps))
+	}
+	// The old bug: the WAN rate leaked into every site uplink. With a WAN
+	// slower than the edge, no uplink may be constrained to the WAN rate.
+	for s := 0; s < c.Switches; s++ {
+		if c.SwitchUplink(s) == HundredMBps {
+			t.Errorf("site %d uplink took the WAN backbone rate", s)
+		}
+	}
+	// Out-of-range switches fall back to the topology-wide default.
+	if got := c.SwitchUplink(99); got != c.UplinkCapacity {
+		t.Errorf("fallback uplink = %v, want %v", got, c.UplinkCapacity)
 	}
 }
 
