@@ -110,6 +110,11 @@ func BenchmarkEngineUDP(b *testing.B) { benchEngine(b, "EngineUDP") }
 // of 15, each relay serving two children from its window.
 func BenchmarkEngineTree(b *testing.B) { benchEngine(b, "EngineTree") }
 
+// BenchmarkEngineTreeRerank is the self-reorganization ablation: the same
+// binary tree on a rate-shaped fabric where node 1's outbound links run at
+// one tenth of the rest, with mid-broadcast re-ranking off and on.
+func BenchmarkEngineTreeRerank(b *testing.B) { benchEngine(b, "EngineTreeRerank") }
+
 // BenchmarkEngineTCPLoopback measures the real engine over genuine TCP
 // sockets on the loopback interface.
 func BenchmarkEngineTCPLoopback(b *testing.B) {

@@ -64,6 +64,7 @@ type rootOptions struct {
 	transport string // data plane: "tcp" (relay pipeline) or "udp" (fan-out)
 	topology  string // dissemination shape: "chain" or "tree:<k>"
 	splice    bool   // kernel pass-through on pure-relay nodes
+	rerank    bool   // Snow-style mid-broadcast tree re-ranking
 	noSort   bool
 	listen   string
 	timeout  time.Duration
@@ -84,6 +85,7 @@ func rootMain(args []string) {
 	fs.StringVar(&o.transport, "transport", core.TransportTCP, "data plane: tcp (chunked relay pipeline) or udp (batched datagram fan-out; needs a file input)")
 	fs.StringVar(&o.topology, "topology", core.TopologyChain, "dissemination shape: chain (the paper's pipeline) or tree:<k> (k-ary tree; every relay feeds k children)")
 	fs.BoolVar(&o.splice, "splice", true, "kernel splice() pass-through on pure-relay nodes (Linux + TCP; falls back transparently elsewhere)")
+	fs.BoolVar(&o.rerank, "rerank", false, "self-reorganizing tree: re-rank the dissemination tree mid-broadcast by measured link rates (requires -topology tree:<k>)")
 	fs.BoolVar(&o.noSort, "no-sort", false, "keep -N order instead of sorting by host number")
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "sender data address to bind")
 	fs.DurationVar(&o.timeout, "stall-timeout", time.Second, "write-stall failure detection timeout")
@@ -118,6 +120,7 @@ func (o rootOptions) protocolOptions() core.Options {
 		WindowChunks:      o.window,
 		Class:             o.class,
 		Splice:            o.splice,
+		Rerank:            o.rerank,
 		WriteStallTimeout: o.timeout,
 	}
 }

@@ -67,6 +67,15 @@ type Spec struct {
 	// Loopback runs over real 127.0.0.1 sockets instead of the in-memory
 	// fabric (required for the splice and sendmmsg kernel paths to bite).
 	Loopback bool
+	// LinkRate rate-shapes every fabric link to this many bytes per
+	// second (0 = unshaped; fabric runs only).
+	LinkRate float64
+	// SlowNode, when > 0 alongside LinkRate, pins that node's outbound
+	// links to LinkRate/10: the heterogeneous-bandwidth scenario the
+	// re-ranking rows measure.
+	SlowNode int
+	// Rerank enables mid-broadcast self-reorganization (tree topologies).
+	Rerank bool
 }
 
 // EngineBenchSize is the per-iteration payload of every engine benchmark.
@@ -121,6 +130,24 @@ func EngineBenchmarks() []Spec {
 		Nodes: 16, Chunk: 256 << 10, Size: EngineBenchSize,
 		Topology: core.TopologyTree(2),
 	})
+	// Self-reorganization ablation: the same binary tree on a rate-shaped
+	// fabric (64 MiB/s links) with node 1's outbound links at one tenth of
+	// that — a root child whose subtree drains through a 6.4 MiB/s relay.
+	// The off/on delta is the throughput mid-broadcast re-ranking recovers
+	// by demoting the slow relay to a leaf and re-grafting its subtree
+	// onto a full-rate peer.
+	for _, on := range []bool{false, true} {
+		state := "off"
+		if on {
+			state = "on"
+		}
+		specs = append(specs, Spec{
+			Name:  fmt.Sprintf("EngineTreeRerank/nodes=16,k=2,slow=1,rerank=%s", state),
+			Nodes: 16, Chunk: 256 << 10, Size: EngineBenchSize,
+			Topology: core.TopologyTree(2),
+			LinkRate: 64 << 20, SlowNode: 1, Rerank: on,
+		})
+	}
 	return specs
 }
 
@@ -130,6 +157,14 @@ func EngineBenchmarks() []Spec {
 func (spec Spec) Broadcast() (*core.SessionResult, error) {
 	opts := EngineOptions(spec.Chunk)
 	opts.Splice = spec.Splice
+	if spec.Rerank {
+		opts.Rerank = true
+		// Bench-speed cadence: at these link rates the 16 MiB transfer
+		// lasts a couple of seconds, so the 500 ms production cadence
+		// would spend most of the run before the first migration.
+		opts.RerankInterval = 150 * time.Millisecond
+		opts.RerankMinInterval = 300 * time.Millisecond
+	}
 	if spec.Transport == core.TransportUDP {
 		// The stall budget doubles as the datagram plane's loss-repair
 		// trigger; keep it tight so a dropped burst costs a prompt PGET,
@@ -158,6 +193,17 @@ func (spec Spec) Broadcast() (*core.SessionResult, error) {
 		fabric := transport.NewFabric(1 << 20)
 		for i := range peers {
 			peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
+		}
+		if spec.LinkRate > 0 {
+			fabric.SetDefaultProfile(transport.Profile{Rate: spec.LinkRate})
+			if spec.SlowNode > 0 && spec.SlowNode < len(peers) {
+				slow := transport.Profile{Rate: spec.LinkRate / 10}
+				for i := range peers {
+					if i != spec.SlowNode {
+						fabric.SetLinkProfile(peers[spec.SlowNode].Name, peers[i].Name, slow)
+					}
+				}
+			}
 		}
 		cfg.NetworkFor = func(i int) transport.Network { return fabric.Host(peers[i].Name) }
 	}

@@ -64,20 +64,28 @@ const (
 )
 
 // Mark is a fault trigger: a byte-offset watch on one node's ingested
-// bytes, a wall-clock delay from transfer start, or (zero value) right at
-// start. Byte marks are observed through the trace seam, so they fire on
-// the chunk boundary that crosses Bytes.
+// bytes, a re-ranking migration watch, a wall-clock delay from transfer
+// start, or (zero value) right at start. Byte and reorg marks are observed
+// through the trace seam, so they fire on the exact chunk boundary or
+// migration that crosses them.
 type Mark struct {
 	// Node is the pipeline index whose ingress is watched (byte marks).
 	Node int `json:"node,omitempty"`
 	// Bytes triggers once Node has ingested at least this many bytes.
 	Bytes uint64 `json:"bytes,omitempty"`
+	// Reorg triggers on the first re-ranking migration (the sender's
+	// TraceReorg event) — mid-graft by construction: the new parent has
+	// not yet adopted the re-homed children when the fault lands.
+	Reorg bool `json:"reorg,omitempty"`
 	// After triggers this long after the session starts (used when
 	// Bytes is 0).
 	After time.Duration `json:"after,omitempty"`
 }
 
 func (m Mark) String() string {
+	if m.Reorg {
+		return "on the first re-ranking migration"
+	}
 	if m.Bytes > 0 {
 		return fmt.Sprintf("when node %d reached %d B", m.Node, m.Bytes)
 	}
@@ -86,6 +94,18 @@ func (m Mark) String() string {
 	}
 	return "at start"
 }
+
+// Victim sentinels for reorg-mark faults: the concrete pipeline index is
+// only known when the migration fires, so the schedule names a role and
+// the runner resolves it from the TraceReorg event at injection time.
+const (
+	// ReorgDemoted targets the node being demoted to a leaf slot — the
+	// migrating node, killed while its children re-graft away from it.
+	ReorgDemoted = -2
+	// ReorgPromoted targets the node promoted into the vacated interior
+	// slot — the re-homed children's new parent, killed mid-adoption.
+	ReorgPromoted = -3
+)
 
 // Fault is one scheduled injection.
 type Fault struct {
@@ -114,7 +134,14 @@ func (f Fault) peerIndex() int {
 
 func (f Fault) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s on node %d", f.Kind, f.Victim)
+	switch f.Victim {
+	case ReorgDemoted:
+		fmt.Fprintf(&b, "%s on the demoted node", f.Kind)
+	case ReorgPromoted:
+		fmt.Fprintf(&b, "%s on the promoted node", f.Kind)
+	default:
+		fmt.Fprintf(&b, "%s on node %d", f.Kind, f.Victim)
+	}
 	switch f.Kind {
 	case Partition, AsymPartition, RateCollapse, WriteStall:
 		fmt.Fprintf(&b, " (link from node %d)", f.peerIndex())
@@ -168,6 +195,17 @@ type Scenario struct {
 	// §III-D recovery path: a crashed interior node's children re-graft
 	// onto its parent.
 	Topology string `json:"topology,omitempty"`
+	// Rerank enables Snow-style self-reorganization (core Options.Rerank)
+	// at chaos-speed cadence; requires a tree Topology. Faults may then
+	// use reorg marks and the ReorgDemoted/ReorgPromoted sentinels.
+	Rerank bool `json:"rerank,omitempty"`
+	// MinMigrations / MaxMigrations bound the executed migration count
+	// Check accepts on a Rerank run: the floor proves the scenario's slow
+	// link actually provoked a re-ranking (a reorg-mark fault that never
+	// fires would otherwise pass vacuously), the ceiling proves hysteresis
+	// kept the tree from thrashing. Zero leaves the respective side open.
+	MinMigrations int `json:"min_migrations,omitempty"`
+	MaxMigrations int `json:"max_migrations,omitempty"`
 	// Timeout is the hard scenario budget (bounded-recovery assertion);
 	// defaulted by Run when 0.
 	Timeout time.Duration `json:"timeout,omitempty"`
@@ -197,11 +235,13 @@ func (sc Scenario) Repro(seed int64) string {
 // victims returns the distinct fault targets, in schedule order.
 // PacketLoss targets are excluded: a lossy datagram link is repaired, not
 // fatal, so its victim must NOT be an acceptable name in the ring report.
+// Reorg sentinels are excluded too — their concrete index is only known
+// at injection time, so Check folds them in from the recorded injections.
 func (sc Scenario) victims() []int {
 	seen := map[int]bool{}
 	var out []int
 	for _, f := range sc.Faults {
-		if f.Kind == PacketLoss {
+		if f.Kind == PacketLoss || f.Victim < 0 {
 			continue
 		}
 		if !seen[f.Victim] {

@@ -20,7 +20,11 @@ import (
 //     report unless it finished its copy before the crash landed;
 //  6. each detected failure was detected within DetectBudget;
 //  7. packet loss is repaired, never fatal: a PacketLoss victim must hold
-//     the complete payload and must not be named in the ring report.
+//     the complete payload and must not be named in the ring report;
+//  8. re-ranking is bounded: on a Rerank scenario the executed migration
+//     count stays within [MinMigrations, MaxMigrations] (the floor proves
+//     the slow link actually provoked a re-ranking, the ceiling proves
+//     hysteresis prevented thrash), and a non-Rerank run never migrates.
 //
 // It returns nil when every invariant holds, or an error listing every
 // violation.
@@ -41,6 +45,13 @@ func Check(res *Result) error {
 	victims := map[int]bool{}
 	for _, v := range res.Scenario.victims() {
 		victims[v] = true
+	}
+	// Reorg-sentinel faults name a role, not an index; the runner records
+	// the resolved victim in the injection log, so fold those in too.
+	for _, inj := range res.Injections {
+		if inj.Fault.Kind != PacketLoss && inj.Fault.Victim >= 0 {
+			victims[inj.Fault.Victim] = true
+		}
 	}
 
 	for _, out := range res.Outcomes {
@@ -78,6 +89,19 @@ func Check(res *Result) error {
 				fail("repaired node %d named in the ring report", inj.Fault.Victim)
 			}
 		}
+	}
+
+	if sc := res.Scenario; sc.Rerank {
+		if res.Migrations < sc.MinMigrations {
+			fail("only %d migration(s) executed, scenario demands >= %d",
+				res.Migrations, sc.MinMigrations)
+		}
+		if sc.MaxMigrations > 0 && res.Migrations > sc.MaxMigrations {
+			fail("%d migrations executed, hysteresis bound is %d",
+				res.Migrations, sc.MaxMigrations)
+		}
+	} else if res.Migrations > 0 {
+		fail("%d migration(s) executed without Rerank enabled", res.Migrations)
 	}
 
 	for _, rec := range res.Recoveries {

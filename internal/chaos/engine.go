@@ -77,6 +77,12 @@ type Result struct {
 	Outcomes   []NodeOutcome `json:"outcomes"`
 	Injections []Injection   `json:"injections"`
 	Recoveries []Recovery    `json:"recoveries"`
+	// Migrations counts executed re-ranking migrations (TraceReorg
+	// events); Check bounds it by the scenario's Min/MaxMigrations.
+	Migrations int `json:"migrations,omitempty"`
+	// FinalView is the sender's final view occupancy (slot → pipeline
+	// index) on Rerank runs: where every node ended up after re-ranking.
+	FinalView []int `json:"final_view,omitempty"`
 	// Sibling is set on cross-session runs (Scenario.Sessions > 1).
 	Sibling *SiblingOutcome `json:"sibling,omitempty"`
 	// Err is a harness-level failure: sender error, or the scenario
@@ -88,7 +94,7 @@ type Result struct {
 // scaled for fast in-memory iteration, batching disabled so byte-offset
 // marks trigger on chunk boundaries.
 func (sc Scenario) options() core.Options {
-	return core.Options{
+	o := core.Options{
 		ChunkSize:           sc.ChunkSize,
 		WindowChunks:        sc.WindowChunks,
 		MaxBatchBytes:       1, // below ChunkSize: one chunk per write
@@ -103,6 +109,15 @@ func (sc Scenario) options() core.Options {
 		MinThroughput:       sc.MinThroughput,
 		SlowNodeGrace:       300 * time.Millisecond,
 	}
+	if sc.Rerank {
+		// Chaos-speed re-ranking: rate spokes every 80ms so a collapsed
+		// link is visible (and a migration plannable) well inside the
+		// shrunk payload's transfer time.
+		o.Rerank = true
+		o.RerankInterval = 80 * time.Millisecond
+		o.RerankMinInterval = 160 * time.Millisecond
+	}
+	return o
 }
 
 // DetectBudget bounds how long the engine may take to record an injected
@@ -309,7 +324,7 @@ func (r *runner) armSchedule() {
 	defer r.mu.Unlock()
 	for _, f := range r.sc.Faults {
 		f := f
-		if f.When.Bytes > 0 {
+		if f.When.Bytes > 0 || f.When.Reorg {
 			r.pending = append(r.pending, f)
 			continue
 		}
@@ -346,11 +361,36 @@ func (r *runner) onTrace(ev core.TraceEvent) {
 		}
 		keep := r.pending[:0]
 		for _, f := range r.pending {
-			if f.When.Node == ev.Node && r.ingested[ev.Node] >= f.When.Bytes {
+			if !f.When.Reorg && f.When.Node == ev.Node && r.ingested[ev.Node] >= f.When.Bytes {
 				due = append(due, f)
 			} else {
 				keep = append(keep, f)
 			}
+		}
+		r.pending = keep
+	}
+	if ev.Kind == core.TraceReorg {
+		// A migration fired: release reorg-mark faults, resolving the
+		// role sentinels against this event — the demoted node rides in
+		// Peer, the promoted partner in the Detail annotation.
+		keep := r.pending[:0]
+		for _, f := range r.pending {
+			if !f.When.Reorg {
+				keep = append(keep, f)
+				continue
+			}
+			switch f.Victim {
+			case ReorgDemoted:
+				f.Victim = ev.Peer
+			case ReorgPromoted:
+				p, ok := ev.ReorgPartner()
+				if !ok {
+					keep = append(keep, f)
+					continue
+				}
+				f.Victim = p
+			}
+			due = append(due, f)
 		}
 		r.pending = keep
 	}
@@ -463,6 +503,16 @@ func (r *runner) assemble(res *Result, sres *core.SessionResult) {
 	res.Injections = append([]Injection(nil), r.injections...)
 	events := append([]core.TraceEvent(nil), r.events...)
 	r.mu.Unlock()
+
+	for _, ev := range events {
+		if ev.Kind == core.TraceReorg {
+			res.Migrations++
+		}
+	}
+	if r.sc.Rerank && len(r.sess.Nodes) > 0 {
+		_, occupants, _, _ := r.sess.Nodes[0].ReorgState()
+		res.FinalView = occupants
+	}
 
 	if sres != nil {
 		res.Report = sres.Report

@@ -195,6 +195,41 @@ func Matrix(seed int64, full bool) []Scenario {
 			Fault{Kind: Crash, Victim: second, Peer: -1, When: Mark{Node: second, Bytes: half}})
 	}
 
+	// Self-reorganizing trees (Rerank): collapsing the link that feeds an
+	// interior node makes it the rank-worst bottleneck, and the planner
+	// must demote it to a leaf (MinMigrations floor) without thrashing
+	// (MaxMigrations ceiling). The two crash clusters land exactly
+	// mid-graft — on the first TraceReorg — killing the migrating node
+	// itself, then its children's freshly promoted new parent: the §III-D
+	// recovery machinery running against a tree that is deliberately being
+	// rewired at the moment of death. The collapse heals after 3s so a
+	// victim re-grafted back onto the shaped link cannot drag the run past
+	// its budget; by then the migration floor has long been met.
+	for _, n := range []int{7, 16} {
+		n := n
+		shape := shapeFor(n)
+		slow := Fault{Kind: RateCollapse, Victim: 1, Peer: 0,
+			Delay: 3 * time.Second, Rate: 48 << 10}
+		rerank := func(name string, maxMig int, extra ...Fault) {
+			add(fmt.Sprintf("rerank-%s/n=%d", name, n), shape, func(sc *Scenario) {
+				sc.Topology = core.TopologyTree(2)
+				sc.Rerank = true
+				sc.MinMigrations = 1
+				sc.MaxMigrations = maxMig
+				sc.Faults = append([]Fault{slow}, extra...)
+			})
+		}
+		// The ceiling is deliberately loose: cadence pacing alone would
+		// allow ~30 migrations over these runs, so staying under 6 is the
+		// hysteresis claim, while scheduler jitter in the post-heal EWMA
+		// transients keeps the exact count from being pinnable.
+		rerank("slow-interior", 6)
+		rerank("crash-migrating", 6,
+			Fault{Kind: Crash, Victim: ReorgDemoted, Peer: -1, When: Mark{Reorg: true}})
+		rerank("crash-new-parent", 6,
+			Fault{Kind: Crash, Victim: ReorgPromoted, Peer: -1, When: Mark{Reorg: true}})
+	}
+
 	// Seeded random schedules: the generator's scenario diversity, pinned
 	// by -chaos.seed.
 	for _, n := range MatrixNodeCounts {

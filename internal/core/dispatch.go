@@ -75,7 +75,14 @@ func (n *Node) handleWire(w *wire, role Role, from int) {
 			_ = w.close()
 			return
 		}
-		n.receiveRingReport(w)
+		n.receiveRingReport(w, from)
+	case RoleRate:
+		// Re-ranking rate spokes terminate at the planner on node 0.
+		if n.cfg.Index != 0 || n.reorg == nil {
+			_ = w.close()
+			return
+		}
+		n.serveRateSpoke(w)
 	default:
 		_ = w.close()
 	}
@@ -125,7 +132,7 @@ func (n *Node) serveFetch(w *wire, from int) {
 }
 
 // receiveRingReport handles the last node's ring-closing connection.
-func (n *Node) receiveRingReport(w *wire) {
+func (n *Node) receiveRingReport(w *wire, from int) {
 	defer w.close()
 	w.setReadDeadlineIn(n.opts.ReportTimeout)
 	typ, err := w.readType()
@@ -135,6 +142,12 @@ func (n *Node) receiveRingReport(w *wire) {
 	rep, err := w.readReport()
 	if err != nil {
 		return
+	}
+	if n.reorg != nil && from > 0 && from < len(n.peers()) {
+		// A spoke proves its sender finished: feed the re-ranking planner
+		// so it stops considering the node for migrations (its rate
+		// reports have ceased and would otherwise stay mid-stream stale).
+		n.reorg.noteSpoke(from)
 	}
 	if n.cfg.Plan.Transport == TransportUDP {
 		// The datagram fan-out has no pipeline: every receiver closes its

@@ -19,6 +19,7 @@ const (
 	outcomeRetry                        // transient failure, redial same successor
 	outcomeDead                         // successor confirmed dead, advance
 	outcomeTerminal                     // node-level failure, stop
+	outcomeSuperseded                   // rerank: the target adopted a better parent, release it
 )
 
 // maxRetriesPerSuccessor bounds redials of a live-but-flaky successor
@@ -55,7 +56,7 @@ func (n *Node) runManager(ctx context.Context) error {
 		if succ >= len(n.peers()) {
 			return n.finishAsTail(ctx)
 		}
-		outcome, err := n.serveSuccessor(ctx, succ, cur)
+		outcome, err := n.serveSuccessor(ctx, succ, cur, false)
 		switch outcome {
 		case outcomeDone:
 			n.markPassed()
@@ -85,10 +86,21 @@ func (n *Node) runManager(ctx context.Context) error {
 // through the node's cursor tracker on trees (where the window must serve
 // the slowest of k children). The caller owns the PASSED bookkeeping:
 // outcomeDone only means this successor's lifecycle completed.
-func (n *Node) serveSuccessor(ctx context.Context, succ int, cur *childCursor) (serveOutcome, error) {
+//
+// quiet suppresses failure naming until the successor proves it is in a
+// serving relationship with us (its GET arrives): re-ranking managers dial
+// adoptively during the report phase, when a target may simply have
+// finished its lifecycle and detached — that is not a death.
+func (n *Node) serveSuccessor(ctx context.Context, succ int, cur *childCursor, quiet bool) (serveOutcome, error) {
 	peer := n.peers()[succ]
 	conn, err := n.dialPeer(peer.Addr)
 	if err != nil {
+		if quiet || n.rerankFinished(succ) {
+			// Finished nodes close their listener; a refused dial to one
+			// whose ring spoke already landed at node 0 is a completed
+			// lifecycle, not a death.
+			return outcomeDead, nil
+		}
 		n.recordFailure(succ, fmt.Sprintf("dial failed: %v", err), n.st.Head())
 		return outcomeDead, nil
 	}
@@ -103,19 +115,32 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int, cur *childCursor) (
 	defer w.close()
 
 	if werr := w.writeHelloFor(RoleData, n.cfg.Index, n.sid); werr != nil {
-		return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+		return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 	}
-	off, out, err := n.readGet(ctx, w, succ, peer.Addr, n.opts.GetTimeout)
+	var sentView uint64
+	if n.rerank {
+		// Proof frame: the view that motivated this dial, so the child's
+		// acceptReplacement judges us against it instead of a stale one.
+		v := n.curView()
+		if werr := w.writeReorg(v.version, v.occupant); werr != nil {
+			return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
+		}
+		sentView = v.version
+	}
+	off, out, err := n.readGet(ctx, w, succ, peer.Addr, n.opts.GetTimeout, quiet)
 	if out != outcomeOK {
 		return out, err
 	}
+	quiet = false // the GET arrived: a real serving relationship from here on
 	cur.reset(off)
 
 	// §V extension: measure the successor's drain rate (time actually
 	// spent inside writes, so a data-starved pipeline is never mistaken
 	// for a slow node) and exclude it when MinThroughput is configured.
-	var drained float64
-	var writing time.Duration
+	// The same busy-time samples feed the link's EWMA meter (the rerank
+	// planner's evidence) and the engine scheduler's adaptive quanta.
+	meter := n.rates.meter(succ)
+	var window rateWindow
 
 	// scratch backs the direct-path batch; scheduled turns arrive with
 	// their own claimed batch. Either way the chunks come back retained
@@ -146,6 +171,16 @@ streamLoop:
 		if cerr := ctx.Err(); cerr != nil {
 			return outcomeTerminal, cerr
 		}
+		if n.rerank {
+			// Piggyback new views on the data stream: children learn the
+			// plan from their parent before the batch that follows it.
+			if v := n.curView(); v.version > sentView {
+				if werr := w.writeReorg(v.version, v.occupant); werr != nil {
+					return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
+				}
+				sentView = v.version
+			}
+		}
 		if !noSplice && off >= n.st.Head() {
 			// Fully caught up: offer the upstream receiver a kernel
 			// pass-through span instead of parking in ChunkAt. The offer
@@ -156,7 +191,7 @@ streamLoop:
 				cur.advance(off)
 			}
 			if serr != nil {
-				return n.classifyConnErr(ctx, serr, succ, peer.Addr)
+				return n.classifyConnErr(ctx, serr, succ, peer.Addr, quiet)
 			}
 			if cerr := ctx.Err(); cerr != nil {
 				return outcomeTerminal, cerr
@@ -175,36 +210,34 @@ streamLoop:
 		case cerr == nil:
 			wStart := n.clk.Now()
 			werr := w.writeDataBatch(batch)
-			writing += n.clk.Now().Sub(wStart)
+			busy := n.clk.Now().Sub(wStart)
 			release(batch)
 			if werr != nil {
-				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 			}
 			off += uint64(batchBytes)
 			cur.advance(off)
-			drained += float64(batchBytes)
-			if n.opts.MinThroughput > 0 && writing >= n.opts.SlowNodeGrace {
-				if rate := drained / writing.Seconds(); rate < n.opts.MinThroughput {
-					// The paper's §V malfunctioning-node case: tell
-					// the slow node to step aside and route around
-					// it like a failure.
-					_ = w.writeQuit(QuitExcluded)
-					n.recordFailure(succ, fmt.Sprintf(
-						"excluded: draining %.0f B/s, below the %.0f B/s threshold",
-						rate, n.opts.MinThroughput), off)
-					return outcomeDead, nil
-				}
-				// Healthy: slide the observation window.
-				drained, writing = 0, 0
+			meter.sample(batchBytes, busy)
+			n.sentry.observeRate(meter.rate())
+			window.observe(batchBytes, busy, n.opts.SlowNodeGrace)
+			if rate, exclude := window.cull(n.opts.SlowNodeGrace, n.opts.MinThroughput); exclude {
+				// The paper's §V malfunctioning-node case: tell
+				// the slow node to step aside and route around
+				// it like a failure.
+				_ = w.writeQuit(QuitExcluded)
+				n.recordFailure(succ, fmt.Sprintf(
+					"excluded: draining %.0f B/s, below the %.0f B/s threshold",
+					rate, n.opts.MinThroughput), off)
+				return outcomeDead, nil
 			}
 		case errors.As(cerr, &fe):
 			// The successor resumed below our window: answer FORGET
 			// and wait for its re-GET once it fetched the gap from
 			// node 0 (§III-D2).
 			if werr := w.writeForget(fe.Base); werr != nil {
-				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 			}
-			newOff, out, gerr := n.readGet(ctx, w, succ, peer.Addr, n.opts.FetchTimeout)
+			newOff, out, gerr := n.readGet(ctx, w, succ, peer.Addr, n.opts.FetchTimeout, quiet)
 			if out != outcomeOK {
 				return out, gerr
 			}
@@ -213,14 +246,14 @@ streamLoop:
 		case cerr == io.EOF:
 			end, _ := n.st.End()
 			if werr := w.writeEnd(end); werr != nil {
-				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 			}
 			break streamLoop
 		case errors.Is(cerr, ErrQuit):
 			// User interruption: anticipated end of stream; the
 			// report still follows (§III-C).
 			if werr := w.writeQuit(QuitUser); werr != nil {
-				return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+				return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 			}
 			break streamLoop
 		case errors.Is(cerr, ErrExcluded):
@@ -241,9 +274,9 @@ streamLoop:
 		return outcomeTerminal, rerr
 	}
 	if werr := w.writeReport(rep); werr != nil {
-		return n.classifyConnErr(ctx, werr, succ, peer.Addr)
+		return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 	}
-	out, err = n.expectType(ctx, w, succ, peer.Addr, MsgPassed, n.opts.ReportTimeout)
+	out, err = n.expectType(ctx, w, succ, peer.Addr, MsgPassed, n.opts.ReportTimeout, quiet)
 	if out != outcomeOK {
 		return out, err
 	}
@@ -360,25 +393,42 @@ func (n *Node) dialPeer(addr string) (transport.Conn, error) {
 // classifyConnErr decides what a failed write/read on the successor
 // connection means, using the paper's ping discipline: a ping answered
 // means "alive, reconnect and resume via GET"; unanswered means dead.
-func (n *Node) classifyConnErr(ctx context.Context, err error, succ int, addr string) (serveOutcome, error) {
+// quiet withholds the failure record (report-phase adoptive dials).
+func (n *Node) classifyConnErr(ctx context.Context, err error, succ int, addr string, quiet bool) (serveOutcome, error) {
 	if cerr := ctx.Err(); cerr != nil {
 		return outcomeTerminal, cerr
 	}
+	if n.rerank && !n.rerankServes(succ) {
+		// The view moved this child away mid-serve: the broken
+		// connection is displacement (or the child finishing under its
+		// new parent), not a crash. Naming it a failure here is the
+		// re-ranked tree's false-positive mode.
+		return outcomeSuperseded, nil
+	}
+	if n.rerankFinished(succ) {
+		// The child's ring spoke already landed: its lifecycle is over
+		// and the broken connection is teardown, not a crash.
+		return outcomeSuperseded, nil
+	}
 	var pd *peerDeadError
 	if errors.As(err, &pd) {
-		n.recordFailure(succ, pd.Error(), n.st.Head())
+		if !quiet {
+			n.recordFailure(succ, pd.Error(), n.st.Head())
+		}
 		return outcomeDead, nil
 	}
 	if n.probe(addr) {
 		return outcomeRetry, nil
 	}
-	n.recordFailure(succ, fmt.Sprintf("connection failed: %v", err), n.st.Head())
+	if !quiet {
+		n.recordFailure(succ, fmt.Sprintf("connection failed: %v", err), n.st.Head())
+	}
 	return outcomeDead, nil
 }
 
 // expectType waits for one frame of the wanted type, probing the peer on
 // stalls. budget bounds the total patience with a live-but-silent peer.
-func (n *Node) expectType(ctx context.Context, w *wire, succ int, addr string, want MsgType, budget time.Duration) (serveOutcome, error) {
+func (n *Node) expectType(ctx context.Context, w *wire, succ int, addr string, want MsgType, budget time.Duration, quiet bool) (serveOutcome, error) {
 	stall := n.opts.WriteStallTimeout
 	remaining := budget
 	for {
@@ -397,39 +447,52 @@ func (n *Node) expectType(ctx context.Context, w *wire, succ int, addr string, w
 				// predecessor (a rejoin or post-exclusion steal
 				// attempt): step aside, the successor is healthy.
 				if reason, rerr := w.readQuit(); rerr == nil && reason == QuitExcluded {
+					if n.rerank {
+						// Under re-ranking this is the planned-migration
+						// handoff: the target adopted a better parent and
+						// turned our redial away. Release it — nobody is
+						// excluded and nobody steps aside.
+						return outcomeSuperseded, nil
+					}
 					n.stepAside("superseded: successor is served by a closer predecessor")
 					return outcomeTerminal, ErrExcluded
 				}
 			}
-			n.recordFailure(succ, (&errProtocol{want: want, got: typ}).Error(), n.st.Head())
+			if !quiet {
+				n.recordFailure(succ, (&errProtocol{want: want, got: typ}).Error(), n.st.Head())
+			}
 			return outcomeDead, nil
 		}
 		if transport.IsTimeout(err) {
 			remaining -= stall
 			if remaining <= 0 {
-				n.recordFailure(succ, fmt.Sprintf("no %v within %v", want, budget), n.st.Head())
+				if !quiet {
+					n.recordFailure(succ, fmt.Sprintf("no %v within %v", want, budget), n.st.Head())
+				}
 				return outcomeDead, nil
 			}
 			if n.probe(addr) {
 				continue
 			}
-			n.recordFailure(succ, fmt.Sprintf("stalled awaiting %v, ping unanswered", want), n.st.Head())
+			if !quiet {
+				n.recordFailure(succ, fmt.Sprintf("stalled awaiting %v, ping unanswered", want), n.st.Head())
+			}
 			return outcomeDead, nil
 		}
-		return n.classifyConnErr(ctx, err, succ, addr)
+		return n.classifyConnErr(ctx, err, succ, addr, quiet)
 	}
 }
 
 // readGet awaits a GET frame and returns its offset.
-func (n *Node) readGet(ctx context.Context, w *wire, succ int, addr string, budget time.Duration) (uint64, serveOutcome, error) {
-	out, err := n.expectType(ctx, w, succ, addr, MsgGet, budget)
+func (n *Node) readGet(ctx context.Context, w *wire, succ int, addr string, budget time.Duration, quiet bool) (uint64, serveOutcome, error) {
+	out, err := n.expectType(ctx, w, succ, addr, MsgGet, budget, quiet)
 	if out != outcomeOK {
 		return 0, out, err
 	}
 	w.setReadDeadlineIn(n.opts.GetTimeout)
 	off, rerr := w.readUint64()
 	if rerr != nil {
-		out, err := n.classifyConnErr(ctx, rerr, succ, addr)
+		out, err := n.classifyConnErr(ctx, rerr, succ, addr, quiet)
 		return 0, out, err
 	}
 	return off, outcomeOK, nil

@@ -136,11 +136,20 @@ type EngineOptions struct {
 	// batches) off the weighted round-robin run queue. Defaults to
 	// GOMAXPROCS.
 	Workers int
-	// Quantum is the per-turn byte budget of a weight-1 session; a class
-	// of weight w may claim up to w×Quantum bytes per scheduled turn
+	// Quantum is the per-turn byte budget CEILING of a weight-1 session; a
+	// class of weight w may claim up to w×Quantum bytes per scheduled turn
 	// (capped by the session's MaxBatchBytes — one turn is one vectored
-	// write). Defaults to 2 MiB.
+	// write). Sessions with a measured drain rate get adaptively smaller
+	// turns: see QuantumLatency. Defaults to 2 MiB.
 	Quantum int
+	// QuantumLatency is the target per-turn drain latency for adaptive
+	// quanta: a session's effective turn is what its measured downstream
+	// drain rate moves in this long (floored at one chunk, ceilinged by
+	// Quantum×weight), so a slow-WAN successor takes many small
+	// low-latency turns instead of monopolising a full quantum it cannot
+	// drain. Sessions without a rate measurement yet use the full
+	// ceiling. Defaults to 30 ms; negative disables adaptation.
+	QuantumLatency time.Duration
 	// Classes maps priority-class names to scheduling weights. The same
 	// weights order the admission-queue pump (weighted round-robin
 	// across classes, FIFO within one) and size the run-queue quanta.
@@ -199,6 +208,9 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	if o.Quantum <= 0 {
 		o.Quantum = 2 << 20
 	}
+	if o.QuantumLatency == 0 {
+		o.QuantumLatency = 30 * time.Millisecond
+	}
 	if o.Classes == nil {
 		o.Classes = DefaultClasses()
 	}
@@ -254,7 +266,7 @@ func NewEngine(network transport.Network, addr string, opts EngineOptions) (*Eng
 		opts:       o,
 		clk:        o.Clock,
 		lst:        l,
-		sched:      newScheduler(o.Workers, o.Quantum, o.Classes, o.Clock),
+		sched:      newScheduler(o.Workers, o.Quantum, o.QuantumLatency, o.Classes, o.Clock),
 		sessions:   make(map[SessionID]connHandler),
 		reserved:   make(map[SessionID]*grant),
 		admitRR:    make(map[string]int),
@@ -359,6 +371,37 @@ type EngineStats struct {
 
 	// Classes breaks admissions and scheduling down by priority class.
 	Classes map[string]ClassStats `json:"classes,omitempty"`
+
+	// SessionLinks maps each registered session with link measurements to
+	// its downstream rate and re-ranking snapshot: what the rate meters
+	// see, and what the reorganizer did about it.
+	SessionLinks map[SessionID]SessionLinkStats `json:"session_links,omitempty"`
+}
+
+// SessionLinkStats is one session's link-rate and reorg observability
+// surface (the rerank planner's evidence, exported).
+type SessionLinkStats struct {
+	// Links is the number of downstream links with a folded rate estimate.
+	Links int `json:"links"`
+	// MinRate and MeanRate summarise the measured link rates in bytes/s.
+	MinRate  float64 `json:"min_rate,omitempty"`
+	MeanRate float64 `json:"mean_rate,omitempty"`
+	// Depth is this node's current distance from the root (under the live
+	// view when re-ranking, the static tree otherwise).
+	Depth int `json:"depth"`
+	// ReorgVersion is the current view generation (0 when rerank is off).
+	ReorgVersion uint64 `json:"reorg_version,omitempty"`
+	// Migrations / Suppressed count re-ranking swaps executed and
+	// candidates blocked by hysteresis pacing (meaningful at node 0).
+	Migrations uint64 `json:"migrations,omitempty"`
+	Suppressed uint64 `json:"suppressed,omitempty"`
+}
+
+// linkStatsProvider is the optional interface a registered session
+// implements to surface SessionLinkStats; Stats type-asserts it so the
+// connHandler seam stays narrow.
+type linkStatsProvider interface {
+	linkStats() (SessionLinkStats, bool)
 }
 
 // ClassStats is one priority class's slice of the engine counters.
@@ -428,6 +471,16 @@ func (e *Engine) Stats() EngineStats {
 		row := classRow(class)
 		row.Turns, row.ScheduledBytes = cs.turns, cs.bytes
 		st.Classes[class] = row
+	}
+	for sid, h := range e.sessions {
+		if p, ok := h.(linkStatsProvider); ok {
+			if ls, ok := p.linkStats(); ok {
+				if st.SessionLinks == nil {
+					st.SessionLinks = make(map[SessionID]SessionLinkStats)
+				}
+				st.SessionLinks[sid] = ls
+			}
+		}
 	}
 	return st
 }

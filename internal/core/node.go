@@ -110,6 +110,14 @@ type Node struct {
 
 	upConns chan *upstreamConn
 
+	// Self-reorganization state (rerank.go); active only when
+	// Options.Rerank is set on a tree topology.
+	rerank   bool
+	view     atomic.Pointer[treeView] // current slot-occupant assignment
+	viewKick chan struct{}            // nudges the re-graft manager on view changes
+	rates    linkRates                // per-downstream-link drain-rate meters
+	reorg    *reorganizer             // node 0 only: the planner
+
 	mu            sync.Mutex
 	detected      []Failure
 	upReport      *Report
@@ -226,6 +234,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	if spliceEligible(&cfg, &opts) {
 		n.splice = &spliceGate{}
+	}
+	if opts.Rerank && treeK > 1 {
+		n.rerank = true
+		n.viewKick = make(chan struct{}, 1)
+		n.view.Store(identityView(len(cfg.Plan.Peers)))
+		if cfg.Index == 0 {
+			n.reorg = newReorganizer(n)
+		}
 	}
 	if cfg.Index == 0 {
 		// The sender originates the report chain: its own report is
@@ -410,6 +426,10 @@ func (n *Node) run(ctx context.Context) (*Report, error) {
 
 	if n.cfg.Plan.Transport == TransportUDP {
 		return n.runUDP(ictx)
+	}
+
+	if n.rerank && n.cfg.Index > 0 {
+		go n.runRateSpoke(ictx)
 	}
 
 	upErrC := make(chan error, 1)

@@ -87,6 +87,29 @@ type Options struct {
 	// is excluded (default 10 s when MinThroughput is set).
 	SlowNodeGrace time.Duration
 
+	// Rerank enables Snow-style self-reorganization on tree topologies:
+	// every node continuously measures its per-link drain rates, reports
+	// them to node 0, and node 0 re-ranks the dissemination tree
+	// mid-broadcast — slow interiors sink to the leaves, fast nodes rise
+	// toward the root. Requires a "tree:<k>" topology. Where §V exclusion
+	// is binary (a slow node is cut), demotion is free: the slow node
+	// keeps receiving, it just stops throttling a subtree. Re-ranking
+	// sessions never splice (rate measurement needs user-space writes,
+	// and REORG frames interleave with DATA).
+	Rerank bool `json:"Rerank,omitempty"`
+	// RerankInterval is the cadence of the rate-report spokes receivers
+	// play against node 0 (default 500 ms).
+	RerankInterval time.Duration `json:"RerankInterval,omitempty"`
+	// RerankBoost is the hysteresis factor: an interior node is only
+	// demoted while RerankBoost× its measured bottleneck still trails the
+	// fastest link observed anywhere (default 2). Higher values demand
+	// stronger evidence before the tree moves.
+	RerankBoost float64 `json:"RerankBoost,omitempty"`
+	// RerankMinInterval is the minimum spacing between executed
+	// migrations (default 2×RerankInterval); per-node cooldowns are twice
+	// this again. Together they bound migration churn.
+	RerankMinInterval time.Duration `json:"RerankMinInterval,omitempty"`
+
 	// Clock is the node's time source: deadlines, retry pacing and
 	// epilogue timers all go through it, so deterministic tests can
 	// substitute a fake. Nil selects the system clock. It is local
@@ -125,6 +148,13 @@ func (o Options) withDefaults() Options {
 	def(&o.UpstreamIdleTimeout, time.Minute)
 	if o.MinThroughput > 0 {
 		def(&o.SlowNodeGrace, 10*time.Second)
+	}
+	if o.Rerank {
+		def(&o.RerankInterval, 500*time.Millisecond)
+		if o.RerankBoost <= 1 {
+			o.RerankBoost = 2
+		}
+		def(&o.RerankMinInterval, 2*o.RerankInterval)
 	}
 	if o.DatagramBytes <= 0 {
 		o.DatagramBytes = 1200
@@ -242,8 +272,13 @@ func (p *Plan) Validate() error {
 		if k > 1 && p.Transport == TransportUDP {
 			return fmt.Errorf("kascade: udp transport already fans out from the sender; it cannot carry topology %q", p.Topology)
 		}
+		if p.Opts.Rerank && k <= 1 {
+			return fmt.Errorf("kascade: rerank requires a tree topology (tree:<k>, k >= 2), not %q", p.Topology)
+		}
 	} else if p.Transport == TransportUDP {
 		return fmt.Errorf("kascade: udp transport cannot carry topology %q", p.Topology)
+	} else if p.Opts.Rerank {
+		return fmt.Errorf("kascade: rerank requires a tree topology (tree:<k>, k >= 2), not %q", p.Topology)
 	}
 	seen := make(map[string]bool, len(p.Peers))
 	for i, peer := range p.Peers {

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-link drain-rate estimation. Every downstream link (the chain
+// successor, or each tree child cursor) owns one rateMeter, sampled by the
+// serving goroutine on the allocation-free hot path: bytes written and the
+// time actually spent inside writes, so a data-starved pipeline is never
+// mistaken for a slow link. The folded EWMA is published through one
+// atomic word, readable by the reorganizer and the stats path without
+// touching the writer's cache line contention-wise.
+
+const (
+	// rateFoldWindow is the minimum busy time accumulated before a fold:
+	// sub-window samples are batched so the EWMA sees stable instantaneous
+	// rates instead of per-write jitter.
+	rateFoldWindow = 50 * time.Millisecond
+	// rateAlpha is the EWMA smoothing factor per folded window.
+	rateAlpha = 0.3
+)
+
+// rateMeter is a single-writer EWMA of one link's drain rate in bytes/s.
+// sample() is called only by the goroutine serving the link; rate() is
+// safe from anywhere.
+type rateMeter struct {
+	bits atomic.Uint64 // math.Float64bits of the current EWMA
+
+	// accumulator, owned by the sampling goroutine
+	bytes float64
+	busy  time.Duration
+}
+
+// sample adds one write's outcome and folds the accumulator into the
+// EWMA once enough busy time is banked.
+func (m *rateMeter) sample(n int, busy time.Duration) {
+	if m == nil {
+		return
+	}
+	m.bytes += float64(n)
+	if busy > 0 {
+		m.busy += busy
+	}
+	if m.busy < rateFoldWindow {
+		// Publish a provisional estimate until the first full fold: a
+		// link faster than payload/rateFoldWindow would otherwise finish
+		// the whole stream invisible, and the reorganizer's reference
+		// rate is exactly the fastest link anywhere.
+		if m.bits.Load() == 0 && m.busy > 0 {
+			m.bits.Store(math.Float64bits(m.bytes / m.busy.Seconds()))
+		}
+		return
+	}
+	inst := m.bytes / m.busy.Seconds()
+	next := inst
+	if prev := m.rate(); prev > 0 {
+		next = rateAlpha*inst + (1-rateAlpha)*prev
+	}
+	m.bits.Store(math.Float64bits(next))
+	m.bytes, m.busy = 0, 0
+}
+
+// rate returns the current EWMA estimate in bytes/s (0 until the first
+// fold).
+func (m *rateMeter) rate() float64 {
+	if m == nil {
+		return 0
+	}
+	return math.Float64frombits(m.bits.Load())
+}
+
+// linkRates is a node's registry of downstream link meters, keyed by the
+// peer's pipeline index. Workers register on first serve; the reorg spoke
+// and the stats path snapshot it.
+type linkRates struct {
+	mu sync.Mutex
+	m  map[int]*rateMeter
+}
+
+// meter returns (creating if needed) the meter for one downstream peer.
+func (r *linkRates) meter(peer int) *rateMeter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[int]*rateMeter)
+	}
+	mt := r.m[peer]
+	if mt == nil {
+		mt = &rateMeter{}
+		r.m[peer] = mt
+	}
+	return mt
+}
+
+// snapshot returns the current rate of every registered link. Links that
+// have not folded a single window yet (rate 0) are skipped.
+func (r *linkRates) snapshot() map[int]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.m) == 0 {
+		return nil
+	}
+	out := make(map[int]float64, len(r.m))
+	for peer, mt := range r.m {
+		if v := mt.rate(); v > 0 {
+			out[peer] = v
+		}
+	}
+	return out
+}
+
+// rateOutlierFactor bounds how large a single write's measured duration
+// may be, relative to the whole observation window, before it is treated
+// as a clock seam rather than a drain measurement. A manual test clock
+// stepped mid-write (the clock-seam harness) can attribute an arbitrarily
+// large duration to one sample; dividing through it yields an absurdly
+// low rate that false-triggers §V exclusion.
+const rateOutlierFactor = 10
+
+// rateWindow is the §V slow-node observation window: it accumulates drain
+// evidence and decides exclusion once enough busy time is banked. It
+// replaces the raw `drained / writing.Seconds()` division with two
+// guards: a non-positive elapsed window never divides, and a single
+// sample spanning rateOutlierFactor× the whole grace window is discarded
+// as a clock-seam artefact instead of being averaged in.
+type rateWindow struct {
+	drained float64
+	busy    time.Duration
+	samples int
+}
+
+// observe adds one write's outcome to the window.
+func (w *rateWindow) observe(n int, busy time.Duration, grace time.Duration) {
+	if grace > 0 && busy > time.Duration(rateOutlierFactor)*grace {
+		// Clock-seam artefact: one write claims to have taken an order
+		// of magnitude longer than the entire observation window. Real
+		// collapse produces many grace-scale samples; drop this one.
+		return
+	}
+	w.drained += float64(n)
+	w.busy += busy
+	w.samples++
+}
+
+// cull evaluates the window once busy time crosses grace: it returns the
+// measured rate and whether it falls below min. A completed window resets
+// either way (the healthy case slides the observation window). Windows
+// with non-positive elapsed time never exclude.
+func (w *rateWindow) cull(grace time.Duration, min float64) (rate float64, exclude bool) {
+	if min <= 0 || w.busy < grace {
+		return 0, false
+	}
+	drained, sec := w.drained, w.busy.Seconds()
+	w.drained, w.busy, w.samples = 0, 0, 0
+	if sec <= 0 {
+		return 0, false
+	}
+	rate = drained / sec
+	return rate, rate < min
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateMeterFoldsEWMA(t *testing.T) {
+	m := &rateMeter{}
+	if m.rate() != 0 {
+		t.Fatalf("fresh meter rate = %v, want 0", m.rate())
+	}
+	// 1 MiB over 100ms of busy time → 10 MiB/s instantaneous.
+	m.sample(1<<20, 100*time.Millisecond)
+	if got := m.rate(); got < 10*float64(1<<20)*0.99 || got > 10*float64(1<<20)*1.01 {
+		t.Fatalf("first fold rate = %v, want ~%v", got, 10*float64(1<<20))
+	}
+	// A much slower window folds in smoothed, not replacing outright.
+	m.sample(1<<10, 100*time.Millisecond)
+	got := m.rate()
+	inst := float64(1<<10) / 0.1
+	prev := 10 * float64(1<<20)
+	want := rateAlpha*inst + (1-rateAlpha)*prev
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("second fold rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestRateMeterSubWindowSamplesBatch(t *testing.T) {
+	m := &rateMeter{}
+	// The first sub-window sample publishes a provisional estimate —
+	// links faster than payload/foldWindow must not stay invisible.
+	m.sample(4096, 10*time.Millisecond)
+	want := 4096 / 0.01
+	if got := m.rate(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("provisional rate = %v, want ~%v", got, want)
+	}
+	// Further sub-window samples batch toward the first real fold; the
+	// published value holds steady at the provisional estimate.
+	for i := 0; i < 3; i++ {
+		m.sample(4096, 10*time.Millisecond)
+	}
+	if got := m.rate(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("rate drifted before the window filled: %v", got)
+	}
+	// The fifth sample crosses the 50ms window: the accumulator folds
+	// as one batch, EWMA-blended with the provisional seed (same value
+	// here, so the result is exact).
+	m.sample(4096, 10*time.Millisecond)
+	if got := m.rate(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("folded rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestRateMeterNilSafe(t *testing.T) {
+	var m *rateMeter
+	m.sample(4096, time.Millisecond)
+	if m.rate() != 0 {
+		t.Fatal("nil meter must read 0")
+	}
+}
+
+func TestRateWindowExcludesGenuineSlowLink(t *testing.T) {
+	var w rateWindow
+	grace := 300 * time.Millisecond
+	min := float64(64 << 10)
+	// One 32 KiB chunk draining at 16 KiB/s: a single 2s write. Real
+	// collapse, not a clock artefact — must still be excluded even though
+	// the sample alone exceeds the grace window.
+	w.observe(32<<10, 2*time.Second, grace)
+	rate, exclude := w.cull(grace, min)
+	if !exclude {
+		t.Fatalf("genuine collapse not excluded (rate %v)", rate)
+	}
+	if rate < 16000 || rate > 17000 {
+		t.Fatalf("measured rate = %v, want ~16 KiB/s", rate)
+	}
+}
+
+func TestRateWindowHealthySlides(t *testing.T) {
+	var w rateWindow
+	grace := 300 * time.Millisecond
+	min := float64(64 << 10)
+	for i := 0; i < 4; i++ {
+		w.observe(64<<10, 100*time.Millisecond, grace)
+	}
+	rate, exclude := w.cull(grace, min)
+	if exclude {
+		t.Fatalf("healthy link excluded at %v B/s", rate)
+	}
+	if w.busy != 0 || w.drained != 0 || w.samples != 0 {
+		t.Fatal("completed window did not reset")
+	}
+}
+
+// TestRateWindowClockSeamRegression is the satellite-1 regression: a
+// FakeClock stepped mid-write attributes the whole step to one sample,
+// which used to divide drained bytes by an absurd elapsed and
+// false-trigger §V exclusion. The guarded window discards the outlier.
+func TestRateWindowClockSeamRegression(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	grace := 300 * time.Millisecond
+	min := float64(64 << 10)
+
+	var w rateWindow
+	// One batch write spanning a one-hour clock seam: the measured busy
+	// time is Now()-after minus Now()-before, i.e. the whole step.
+	before := clk.Now()
+	clk.Advance(time.Hour)
+	seam := clk.Now().Sub(before)
+	w.observe(4096, seam, grace)
+	if rate, exclude := w.cull(grace, min); exclude {
+		t.Fatalf("clock-seam sample false-triggered exclusion at %v B/s", rate)
+	}
+	if w.samples != 0 && w.busy > 0 {
+		t.Fatal("outlier sample was retained")
+	}
+
+	// Subsequent healthy writes on the same window must read healthy.
+	for i := 0; i < 4; i++ {
+		w.observe(64<<10, 100*time.Millisecond, grace)
+	}
+	if rate, exclude := w.cull(grace, min); exclude {
+		t.Fatalf("healthy follow-up window excluded at %v B/s", rate)
+	}
+}
+
+// TestRateWindowZeroElapsedNeverDivides covers the degenerate end of the
+// same bug: a zero grace (possible when options bypass withDefaults) plus
+// a FakeClock that never advances produces a 0-elapsed window; the old
+// code divided by zero.
+func TestRateWindowZeroElapsedNeverDivides(t *testing.T) {
+	var w rateWindow
+	w.observe(4096, 0, 0)
+	rate, exclude := w.cull(0, float64(64<<10))
+	if exclude {
+		t.Fatalf("zero-elapsed window excluded at %v B/s", rate)
+	}
+	if rate != 0 {
+		t.Fatalf("zero-elapsed window produced rate %v, want 0", rate)
+	}
+}

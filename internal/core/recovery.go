@@ -99,8 +99,48 @@ func (n *Node) awaitUpstream(ctx context.Context) (*upstreamConn, error) {
 // (strictly shallower) while keeping a node excluded for slowness (§V) —
 // or a restarted parent — from stealing its former child back from the
 // adopting ancestor.
+//
+// Re-ranking sessions add the planned-migration case: the dialer proves
+// which view motivated the dial (the REORG frame right after its HELLO),
+// and the judgement runs against the re-ranked tree — the current view
+// parent always wins, a dialer with a stale view never does (a demoted
+// ex-parent must not steal its migrated-away child back), and otherwise
+// the static depth rule applies on view depths (crash adoption by an
+// ancestor).
 func (n *Node) acceptReplacement(cur, repl *upstreamConn) bool {
-	return treeDepth(repl.from, n.treeK) <= treeDepth(cur.from, n.treeK)
+	if !n.rerank {
+		return treeDepth(repl.from, n.treeK) <= treeDepth(cur.from, n.treeK)
+	}
+	proof := n.absorbReorgProof(repl)
+	if proof == 0 {
+		return false
+	}
+	v := n.curView()
+	if repl.from == v.parentOf(n.cfg.Index, n.treeK) {
+		return true
+	}
+	if proof < v.version {
+		return false
+	}
+	return v.depthOf(repl.from, n.treeK) <= v.depthOf(cur.from, n.treeK)
+}
+
+// absorbReorgProof reads the view-proof frame a re-ranking dialer sends
+// right after HELLO, installs it if newer, and returns the version it
+// carried (0 when the frame is missing or malformed — such a dialer
+// cannot be judged and is turned away).
+func (n *Node) absorbReorgProof(repl *upstreamConn) uint64 {
+	repl.w.setReadDeadlineIn(n.opts.GetTimeout)
+	typ, err := repl.w.readType()
+	if err != nil || typ != MsgReorg {
+		return 0
+	}
+	version, occ, err := repl.w.readReorg()
+	if err != nil || version == 0 {
+		return 0
+	}
+	n.installWireView(version, occ)
+	return version
 }
 
 // serveUpstream processes frames from one predecessor connection. It
@@ -253,6 +293,14 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 			if err := w.writeGet(n.st.Head()); err != nil {
 				return nil, nil
 			}
+		case MsgReorg:
+			// A new view, piggybacked on the data stream (or the dial-time
+			// proof of a connection accepted without replacement judgement).
+			version, occ, err := w.readReorg()
+			if err != nil {
+				return nil, nil
+			}
+			n.installWireView(version, occ)
 		case MsgReport:
 			rep, err := w.readReport()
 			if err != nil {

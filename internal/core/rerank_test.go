@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"kascade/internal/transport"
+)
+
+// rerankOpts are tree options with re-ranking switched on and the planner
+// running fast enough for short test payloads.
+func rerankOpts() Options {
+	return Options{
+		ChunkSize:         8 << 10,
+		WindowChunks:      8,
+		Rerank:            true,
+		RerankInterval:    50 * time.Millisecond,
+		RerankMinInterval: 100 * time.Millisecond,
+	}
+}
+
+// runRerankSession starts a rerank-enabled tree broadcast over an in-memory
+// fabric, letting the caller shape links before the first byte flows, and
+// returns the result plus node 0's final view state.
+func runRerankSession(t *testing.T, n, k, size int, shape func(*transport.Fabric)) (*SessionResult, []byte, [][]byte, uint64, []int, uint64) {
+	t.Helper()
+	fabric := transport.NewFabric(1 << 22)
+	peers := make([]Peer, n)
+	sinks := make([]*collectSink, n)
+	for i := range peers {
+		peers[i] = Peer{Name: fmt.Sprintf("n%d", i), Addr: fmt.Sprintf("n%d:7000", i)}
+		sinks[i] = &collectSink{}
+	}
+	if shape != nil {
+		shape(fabric)
+	}
+	payload := testPayload(size, 0x5e0e)
+
+	sess, err := StartSession(context.Background(), SessionConfig{
+		Peers:      peers,
+		Opts:       rerankOpts(),
+		Topology:   TopologyTree(k),
+		NetworkFor: func(i int) transport.Network { return fabric.Host(peers[i].Name) },
+		SinkFor:    func(i int) io.Writer { return sinks[i] },
+		InputFile:  bytes.NewReader(payload),
+		InputSize:  int64(size),
+	})
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	root := sess.Nodes[0]
+	res, err := sess.Wait()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	version, occupants, migrations, _ := root.ReorgState()
+	outs := make([][]byte, n)
+	for i, s := range sinks {
+		outs[i] = s.Bytes()
+	}
+	return res, payload, outs, version, occupants, migrations
+}
+
+// TestRerankHomogeneous checks that a rerank-enabled broadcast over uniform
+// links is simply a correct tree broadcast: every receiver gets the payload
+// bit-perfect and no peer is reported failed.
+func TestRerankHomogeneous(t *testing.T) {
+	const size = 512 << 10
+	res, payload, outs, _, occupants, _ := runRerankSession(t, 8, 2, size, nil)
+	if res.Report.TotalBytes != uint64(size) {
+		t.Fatalf("TotalBytes = %d, want %d", res.Report.TotalBytes, size)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", res.Report.Failures)
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[i], payload) {
+			t.Fatalf("node %d payload mismatch: got %d bytes", i, len(outs[i]))
+		}
+	}
+	if len(occupants) != 8 {
+		t.Fatalf("view has %d occupants, want 8", len(occupants))
+	}
+}
+
+// TestRerankDemotesSlowInterior throttles every link out of an interior node
+// and checks the planner demotes it: the broadcast still completes
+// bit-perfect everywhere, at least one migration fires, and the slow node
+// finishes the run in a leaf slot of the final view.
+func TestRerankDemotesSlowInterior(t *testing.T) {
+	const (
+		n    = 8
+		k    = 2
+		size = 1 << 20
+		slow = 128 << 10 // bytes/s out of the victim: interior duty is ~60x too slow
+	)
+	victim := 1
+	res, payload, outs, version, occupants, migrations := runRerankSession(t, n, k, size, func(f *transport.Fabric) {
+		p := transport.Profile{Rate: slow}
+		for i := 0; i < n; i++ {
+			if i != victim {
+				f.SetLinkProfile(fmt.Sprintf("n%d", victim), fmt.Sprintf("n%d", i), p)
+			}
+		}
+	})
+	if res.Report.TotalBytes != uint64(size) {
+		t.Fatalf("TotalBytes = %d, want %d", res.Report.TotalBytes, size)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", res.Report.Failures)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(outs[i], payload) {
+			t.Fatalf("node %d payload mismatch: got %d bytes, want %d", i, len(outs[i]), len(payload))
+		}
+	}
+	if migrations == 0 {
+		t.Fatalf("no migrations executed; view version %d, occupants %v", version, occupants)
+	}
+	slot := -1
+	for s, node := range occupants {
+		if node == victim {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		t.Fatalf("victim %d missing from final view %v", victim, occupants)
+	}
+	if k*slot+1 < n {
+		t.Fatalf("victim %d still interior at slot %d of final view %v (version %d, %d migrations)",
+			victim, slot, occupants, version, migrations)
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -85,6 +87,24 @@ type schedEntry struct {
 
 	turn  chan schedTurn // cap 1; at most one outstanding turn per entry
 	batch []*chunk       // claim scratch, reused turn to turn
+
+	// rate is the session's measured downstream drain rate in bytes/s
+	// (math.Float64bits), posted lock-free by the serving goroutine after
+	// each write. Adaptive quanta read it per claim: the static budget
+	// becomes a ceiling, and the effective turn is sized to what the
+	// successor drains within the scheduler's target latency — a slow-WAN
+	// successor gets small low-latency turns instead of monopolising a
+	// quantum it cannot drain.
+	rate atomic.Uint64
+}
+
+// observeRate posts the session's measured drain rate. Nil-safe: nodes
+// off the engine (or tree relays) have no seat and drop the sample.
+func (e *schedEntry) observeRate(r float64) {
+	if e == nil || r <= 0 {
+		return
+	}
+	e.rate.Store(math.Float64bits(r))
 }
 
 // schedClassStats accumulates per-class scheduling counters.
@@ -105,6 +125,7 @@ const schedFlushDelay = 500 * time.Millisecond
 // scheduler is the engine-owned run queue and worker pool.
 type scheduler struct {
 	quantum int
+	latency time.Duration // target per-turn drain latency for adaptive quanta
 	classes map[string]int
 	workers int
 	clk     Clock
@@ -120,12 +141,13 @@ type scheduler struct {
 
 // newScheduler builds the scheduler and starts its worker pool. The caller
 // passes defaulted engine options; clk drives the hot-arm flush timers.
-func newScheduler(workers, quantum int, classes map[string]int, clk Clock) *scheduler {
+func newScheduler(workers, quantum int, latency time.Duration, classes map[string]int, clk Clock) *scheduler {
 	if clk == nil {
 		clk = SystemClock()
 	}
 	s := &scheduler{
 		quantum: quantum,
+		latency: latency,
 		classes: classes,
 		workers: workers,
 		clk:     clk,
@@ -334,12 +356,29 @@ func (s *scheduler) claim(e *schedEntry, off uint64) (schedTurn, bool) {
 	e.flushed = false
 	s.mu.Unlock()
 
+	// Adaptive quantum: the registered budget is a ceiling; the effective
+	// turn is what the successor's measured drain rate moves within the
+	// scheduler's target latency (floored at one chunk so progress never
+	// stalls). Unmeasured sessions (rate 0) use the full ceiling.
+	budget := e.budget
+	if s.latency > 0 {
+		if r := math.Float64frombits(e.rate.Load()); r > 0 {
+			adaptive := int(r * s.latency.Seconds())
+			if adaptive < e.chunkSize {
+				adaptive = e.chunkSize
+			}
+			if adaptive < budget {
+				budget = adaptive
+			}
+		}
+	}
+
 	batch := e.batch[:0]
 	n := 0
 	// Same cap rule as Node.nextBatch on the direct path: the first chunk
 	// is always admitted, then only while a full-size one still fits —
 	// the budget bounds one vectored write and is never overshot.
-	for len(batch) < maxBatchChunks && (len(batch) == 0 || n+e.chunkSize <= e.budget) {
+	for len(batch) < maxBatchChunks && (len(batch) == 0 || n+e.chunkSize <= budget) {
 		c, err := e.st.PollChunkAt(off + uint64(n))
 		if err == errNotReady {
 			if len(batch) > 0 {
@@ -385,8 +424,8 @@ func (s *scheduler) claim(e *schedEntry, off uint64) (schedTurn, bool) {
 	// short claim (a worker racing a mid-pulse append) must not collapse
 	// the threshold and restart per-chunk wakes.
 	next := 1
-	if 2*n >= e.budget {
-		next = e.budget
+	if 2*n >= budget {
+		next = budget
 	}
 	s.mu.Lock()
 	e.want = next

@@ -43,7 +43,7 @@ func releaseTurn(turn schedTurn) {
 // TestSchedulerWeightedBudgets: one scheduled turn claims weight×quantum
 // bytes — an interactive session drains four bulk quanta per rotation.
 func TestSchedulerWeightedBudgets(t *testing.T) {
-	s := newScheduler(1, 1024, DefaultClasses(), nil)
+	s := newScheduler(1, 1024, 0, DefaultClasses(), nil)
 	defer s.close()
 
 	const chunk = 256
@@ -95,7 +95,7 @@ func TestSchedulerWeightedBudgets(t *testing.T) {
 // quantum is buffered, and EOF flushes whatever remains immediately.
 func TestSchedulerBatchedWakeups(t *testing.T) {
 	const chunk, window = 64, 32 // ring holds 2 KiB; threshold clamp is 1 KiB
-	s := newScheduler(1, 256, map[string]int{ClassBulk: 1}, NewFakeClock(time.Unix(1000, 0)))
+	s := newScheduler(1, 256, 0, map[string]int{ClassBulk: 1}, NewFakeClock(time.Unix(1000, 0)))
 	defer s.close()
 	ws := schedTestStore(chunk, window)
 	e := s.register(ws, ClassBulk, 1<<20, 64)
@@ -154,7 +154,7 @@ func TestSchedulerBatchedWakeups(t *testing.T) {
 // parked session with the abort cause — no goroutine may hang on a dead
 // broadcast.
 func TestSchedulerAbortWakesParkedSession(t *testing.T) {
-	s := newScheduler(1, 256, nil, nil)
+	s := newScheduler(1, 256, 0, nil, nil)
 	defer s.close()
 	ws := schedTestStore(64, 8)
 	e := s.register(ws, ClassBulk, 1<<20, 64)
@@ -172,7 +172,7 @@ func TestSchedulerAbortWakesParkedSession(t *testing.T) {
 // closing (engine end) both hand parked sessions the inline marker so they
 // fall back to the direct store path instead of hanging.
 func TestSchedulerDetachReleasesParkedSession(t *testing.T) {
-	s := newScheduler(1, 256, nil, nil)
+	s := newScheduler(1, 256, 0, nil, nil)
 	ws := schedTestStore(64, 8)
 	e := s.register(ws, ClassBulk, 1<<20, 64)
 	ch := collectTurn(e, 0)
@@ -272,7 +272,7 @@ func waitStats(t *testing.T, e *Engine, cond func(EngineStats) bool, what string
 func TestSchedulerFlushTimer(t *testing.T) {
 	const chunk = 64
 	clk := NewFakeClock(time.Unix(1000, 0))
-	s := newScheduler(1, 256, map[string]int{ClassBulk: 1}, clk)
+	s := newScheduler(1, 256, 0, map[string]int{ClassBulk: 1}, clk)
 	defer s.close()
 	ws := schedTestStore(chunk, 32)
 	e := s.register(ws, ClassBulk, 1<<20, 64)

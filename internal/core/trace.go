@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // TraceKind enumerates the recovery-path state transitions a node can
 // report through its Tracer. The trace seam exists so fault-injection
@@ -34,6 +37,9 @@ const (
 	// TraceFinished fires when the node's Run returns; Detail carries the
 	// terminal error, if any.
 	TraceFinished
+	// TraceReorg fires at node 0 when a re-ranking migration is planned;
+	// Peer is the demoted node's index, Offset the new view version.
+	TraceReorg
 )
 
 func (k TraceKind) String() string {
@@ -56,6 +62,8 @@ func (k TraceKind) String() string {
 		return "stepped-aside"
 	case TraceFinished:
 		return "finished"
+	case TraceReorg:
+		return "reorg"
 	default:
 		return "trace(?)"
 	}
@@ -75,6 +83,26 @@ type TraceEvent struct {
 	// At is the emitting node's clock reading.
 	At time.Time
 }
+
+// ReorgPartner extracts the promoted node's index from a TraceReorg
+// event. The demoted node rides in Peer; the partner that took its
+// interior slot only appears in the Detail annotation, which this helper
+// parses so fault harnesses can target the re-graft counterpart without
+// duplicating the format string.
+func (ev TraceEvent) ReorgPartner() (int, bool) {
+	if ev.Kind != TraceReorg {
+		return 0, false
+	}
+	var slot, rate, partner, pslot int
+	if _, err := fmt.Sscanf(ev.Detail, reorgDetailFormat, &slot, &rate, &partner, &pslot); err != nil {
+		return 0, false
+	}
+	return partner, true
+}
+
+// reorgDetailFormat is the TraceReorg Detail layout, shared between the
+// reorganizer's emit and ReorgPartner's scan.
+const reorgDetailFormat = "demoted to slot %d (%d B/s), promoted node %d to slot %d"
 
 // Tracer receives trace events. It may be called concurrently from several
 // of the node's goroutines and must not block: the ingest hot path emits

@@ -105,6 +105,19 @@ func (t *childCursors) drop(c *childCursor) {
 	t.st.ResetLowWater(min)
 }
 
+// idle drops retention while no child cursor is registered: a view leaf
+// under re-ranking must not pin a window nobody reads — that would block
+// its own ingest once the ring fills. A child adopted after eviction
+// recovers via FORGET → PGET, so nothing is lost, only refetched.
+func (t *childCursors) idle() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.active) > 0 {
+		return
+	}
+	t.st.ResetLowWater(math.MaxUint64)
+}
+
 func (t *childCursors) minLocked() uint64 {
 	m := uint64(math.MaxUint64)
 	for c := range t.active {
@@ -115,6 +128,7 @@ func (t *childCursors) minLocked() uint64 {
 	return m
 }
 
+
 // runTreeManager is the downstream side of a tree node: one worker per
 // child, each running the chain's serveSuccessor lifecycle against its own
 // cursor. A worker whose child is confirmed dead adopts the child's
@@ -124,6 +138,11 @@ func (t *childCursors) minLocked() uint64 {
 // PASSED upstream (plus a best-effort supplementary spoke when they
 // detected failures that no surviving leaf report may carry).
 func (n *Node) runTreeManager(ctx context.Context) error {
+	if n.rerank {
+		// Self-reorganizing sessions run the reconciling manager instead:
+		// same worker lifecycle, but the child set follows the live view.
+		return n.runRerankManager(ctx)
+	}
 	children := treeChildren(n.cfg.Index, n.treeK, len(n.peers()))
 	if len(children) == 0 {
 		return n.finishAsTail(ctx)
@@ -169,7 +188,7 @@ func (n *Node) runTreeManager(ctx context.Context) error {
 					}
 					return
 				}
-				outcome, err := n.serveSuccessor(tctx, target, cur)
+				outcome, err := n.serveSuccessor(tctx, target, cur, false)
 				switch outcome {
 				case outcomeDone:
 					mu.Lock()

@@ -29,6 +29,8 @@ const (
 	MsgPing                      // liveness probe
 	MsgPong                      // liveness answer
 	MsgHello2                    // HELLO v2: role + node index + session ID
+	MsgReorg                     // view version + slot assignment: tree re-ranking plan
+	MsgRate                      // length + JSON link-rate report (reorg spoke)
 )
 
 func (m MsgType) String() string {
@@ -57,6 +59,10 @@ func (m MsgType) String() string {
 		return "PONG"
 	case MsgHello2:
 		return "HELLO2"
+	case MsgReorg:
+		return "REORG"
+	case MsgRate:
+		return "RATE"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(m))
 	}
@@ -70,6 +76,7 @@ const (
 	RolePing                   // liveness probe (§III-D1)
 	RoleFetch                  // PGET gap fetch directed at node 1 (§III-D2)
 	RoleReport                 // ring-closing report delivery from the last node to node 1
+	RoleRate                   // link-rate report spoke to node 0 (self-reorganization)
 )
 
 func (r Role) String() string {
@@ -82,6 +89,8 @@ func (r Role) String() string {
 		return "fetch"
 	case RoleReport:
 		return "report"
+	case RoleRate:
+		return "rate"
 	default:
 		return fmt.Sprintf("Role(%d)", byte(r))
 	}
@@ -280,6 +289,55 @@ func (w *wire) readReport() (*Report, error) {
 	return &r, nil
 }
 
+// maxReorgSlots bounds the occupant table accepted from the wire.
+const maxReorgSlots = 1 << 20
+
+// readReorg parses a REORG payload (after the type byte): the view
+// version, then the slot-occupant table — tree slot i is held by the node
+// whose original pipeline index is occ[i].
+func (w *wire) readReorg() (uint64, []int32, error) {
+	version, err := w.readUint64()
+	if err != nil {
+		return 0, nil, err
+	}
+	count, err := w.readUint32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if count > maxReorgSlots {
+		return 0, nil, fmt.Errorf("kascade: REORG frame with %d slots exceeds limit", count)
+	}
+	buf := make([]byte, 4*count)
+	if err := w.readFull(buf); err != nil {
+		return 0, nil, err
+	}
+	occ := make([]int32, count)
+	for i := range occ {
+		occ[i] = int32(binary.BigEndian.Uint32(buf[4*i:]))
+	}
+	return version, occ, nil
+}
+
+// readRateReport parses a RATE payload (after the type byte).
+func (w *wire) readRateReport() (*rateReport, error) {
+	size, err := w.readUint32()
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameData {
+		return nil, fmt.Errorf("kascade: RATE frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if err := w.readFull(payload); err != nil {
+		return nil, err
+	}
+	var r rateReport
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, fmt.Errorf("kascade: bad rate report payload: %w", err)
+	}
+	return &r, nil
+}
+
 func (w *wire) writeAll(p []byte) error {
 	_, err := w.out.Write(p)
 	return err
@@ -378,6 +436,34 @@ func (w *wire) writeReport(r *Report) error {
 		return fmt.Errorf("kascade: encoding report: %w", err)
 	}
 	w.hdr[0] = byte(MsgReport)
+	binary.BigEndian.PutUint32(w.hdr[1:5], uint32(len(payload)))
+	if err := w.writeAll(w.hdr[:5]); err != nil {
+		return err
+	}
+	return w.writeAll(payload)
+}
+
+// writeReorg frames a tree re-ranking plan (see readReorg).
+func (w *wire) writeReorg(version uint64, occupants []int32) error {
+	w.hdr[0] = byte(MsgReorg)
+	binary.BigEndian.PutUint64(w.hdr[1:9], version)
+	binary.BigEndian.PutUint32(w.hdr[9:13], uint32(len(occupants)))
+	if err := w.writeAll(w.hdr[:13]); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(occupants))
+	for i, o := range occupants {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(o))
+	}
+	return w.writeAll(buf)
+}
+
+func (w *wire) writeRateReport(r *rateReport) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("kascade: encoding rate report: %w", err)
+	}
+	w.hdr[0] = byte(MsgRate)
 	binary.BigEndian.PutUint32(w.hdr[1:5], uint32(len(payload)))
 	if err := w.writeAll(w.hdr[:5]); err != nil {
 		return err
