@@ -115,6 +115,11 @@ func BenchmarkEngineTree(b *testing.B) { benchEngine(b, "EngineTree") }
 // one tenth of the rest, with mid-broadcast re-ranking off and on.
 func BenchmarkEngineTreeRerank(b *testing.B) { benchEngine(b, "EngineTreeRerank") }
 
+// BenchmarkEngineLateJoin prices dynamic membership: the 16-node rerank
+// tree of EngineTreeRerank with one late joiner grafted at 50% of the
+// transfer, measured to the joiner's catch-up parity.
+func BenchmarkEngineLateJoin(b *testing.B) { benchEngine(b, "EngineLateJoin") }
+
 // BenchmarkEngineTCPLoopback measures the real engine over genuine TCP
 // sockets on the loopback interface.
 func BenchmarkEngineTCPLoopback(b *testing.B) {

@@ -88,6 +88,7 @@ func newAgent(engine *core.Engine, advertise string, leaseTTL time.Duration) *ag
 		Engine:   engine,
 		DataAddr: func(conn net.Conn) string { return advertiseAddr(engine.Addr(), conn, advertise) },
 		Run:      a.runSession,
+		Join:     a.joinSession,
 		LeaseTTL: leaseTTL,
 	}
 	return a
@@ -172,6 +173,79 @@ func (a *agent) runSession(ctx context.Context, req control.StartRequest) contro
 	return resp
 }
 
+// joinSession grafts this agent onto a live broadcast as a late joiner:
+// negotiate the graft with the session's sender (node 0), run engine
+// admission between the two wire phases, then run the joiner node to
+// completion. grafted fires once the graft has landed, before the node
+// runs, so the control server can send the interim JOINED reply.
+func (a *agent) joinSession(ctx context.Context, req control.JoinRequest, grafted func(control.JoinedReply)) (control.ResultReply, error) {
+	if req.Session == 0 {
+		return control.ResultReply{}, core.ErrJoinRefused("late join needs a real session ID (v1 session 0 cannot be joined)")
+	}
+	// An agent that is already a member cannot also host the joiner: the
+	// engine routes data connections by session ID, so a second node of
+	// the same session would be unreachable. Refuse up front with a
+	// better message than the admission machinery's duplicate-session
+	// error.
+	if a.engine.Serves(req.Session) {
+		return control.ResultReply{}, core.ErrJoinRefused(fmt.Sprintf(
+			"this agent already serves session %d as a member; join through an agent that is not part of the broadcast", req.Session))
+	}
+	name := req.Name
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	sink, closeSink, err := openSink(req.Output)
+	if err != nil {
+		return control.ResultReply{}, core.ErrJoinRefused(err.Error())
+	}
+	peer := core.Peer{
+		Name: name,
+		Addr: advertiseAddr(a.engine.Addr(), nil, a.advertise),
+	}
+	// Engine admission runs between JOININFO and JOINGO: the sender has
+	// told us the session's options (hence its memory reservation) but
+	// has not yet mutated its membership, so a refusal here leaves the
+	// live broadcast untouched.
+	var ticket *core.Ticket
+	var info *core.JoinSessionInfo
+	admit := func(i *core.JoinSessionInfo) error {
+		info = i
+		ticket = a.engine.AdmitClass(req.Session, i.Opts.PoolReservation(), i.Opts.Class)
+		_, err := ticket.Wait(ctx)
+		return err
+	}
+	grant, _, err := core.NegotiateJoin(transport.TCP{}, req.SenderAddr, req.Session, nil, peer, admit)
+	if err != nil {
+		if ticket != nil {
+			ticket.Cancel()
+		}
+		closeSink()
+		return control.ResultReply{}, err
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Index:   grant.Index,
+		Plan:    core.Plan{Peers: grant.Peers, Opts: info.Opts, Session: req.Session, Transport: info.Transport, Topology: info.Topology},
+		Join:    grant,
+		Network: transport.TCP{},
+		Engine:  a.engine,
+		Sink:    sink,
+	})
+	if err != nil {
+		ticket.Cancel()
+		closeSink()
+		return control.ResultReply{}, err
+	}
+	grafted(control.JoinedReply{Index: grant.Index, Head: grant.Head, Peers: len(grant.Peers)})
+	report, runErr := node.Run(ctx)
+	closeSink()
+	resp := control.ResultReply{Report: report, Bytes: node.BytesReceived()}
+	if runErr != nil {
+		resp.Err = runErr.Error()
+	}
+	return resp, nil
+}
+
 // serveV1 handles one legacy prepare/start exchange — one session per
 // connection, liveness by connection-open — exactly as pre-framing
 // senders expect.
@@ -247,7 +321,7 @@ func advertiseAddr(bound string, conn net.Conn, advertise string) string {
 		return bound
 	}
 	host := advertise
-	if host == "" {
+	if host == "" && conn != nil {
 		if h, _, err := net.SplitHostPort(conn.LocalAddr().String()); err == nil {
 			host = h
 		}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -231,6 +232,225 @@ func TestControlV1DialerCompat(t *testing.T) {
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("v1 sink corrupted: %d of %d bytes", len(got), len(payload))
+	}
+}
+
+// gatedReaderAt serves the source payload freely below gate and blocks
+// any read touching bytes at or past it until open is closed — a
+// deterministic way to hold a broadcast mid-flight while a late joiner
+// grafts on.
+type gatedReaderAt struct {
+	r    *bytes.Reader
+	gate int64
+	open chan struct{}
+}
+
+func (g *gatedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > g.gate {
+		<-g.open
+	}
+	return g.r.ReadAt(p, off)
+}
+
+// TestControlJoinLiveBroadcast grafts a second agent onto a broadcast
+// already running through a first agent: JOIN on the control channel,
+// graft negotiation with the in-process sender, catch-up, and a
+// bit-perfect sink on both the original receiver and the late joiner.
+func TestControlJoinLiveBroadcast(t *testing.T) {
+	opts := testProtoOptions()
+	opts.Rerank = true
+	opts.RerankInterval = 50 * time.Millisecond
+	opts.RerankMinInterval = 100 * time.Millisecond
+	const sid = core.SessionID(77)
+	const topology = "tree:2"
+
+	_, addrA := startTestAgent(t, core.EngineOptions{}, 0)
+	_, addrB := startTestAgent(t, core.EngineOptions{}, 0)
+	clientA, err := control.Dial(addrA, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientA.Close()
+	clientB, err := control.Dial(addrB, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientB.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	payload := make([]byte, 2<<20)
+	iolimit.NewPattern(int64(len(payload)), 77).Read(payload)
+	dir := t.TempDir()
+	outA := filepath.Join(dir, "receiver")
+	outB := filepath.Join(dir, "joiner")
+
+	rep, err := clientA.Prepare(ctx, control.PrepareRequest{Session: sid, Reservation: opts.PoolReservation()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootListener, err := transport.TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootListener.Close()
+	peers := []core.Peer{
+		{Name: "sender", Addr: rootListener.Addr()},
+		{Name: "agent-a", Addr: rep.DataAddr},
+	}
+	pendingA, err := clientA.Start(control.StartRequest{
+		Session: sid, Index: 1, Peers: peers, Opts: opts,
+		Topology: topology, Output: sinkSpec{Path: outA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gatedReaderAt{r: bytes.NewReader(payload), gate: 1 << 20, open: make(chan struct{})}
+	node, err := core.NewNode(core.NodeConfig{
+		Index:     0,
+		Plan:      core.Plan{Peers: peers, Opts: opts, Session: sid, Topology: topology},
+		Network:   transport.TCP{},
+		Listener:  rootListener,
+		InputFile: gate,
+		InputSize: int64(len(payload)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderDone := make(chan error, 1)
+	go func() {
+		report, err := node.Run(ctx)
+		if err == nil && len(report.Failures) != 0 {
+			err = fmt.Errorf("sender failures: %v", report)
+		}
+		senderDone <- err
+	}()
+
+	// The sender stalls at the gate; give the pipeline a beat to drain up
+	// to it (and rate reports to flow) so the joiner has bytes to catch
+	// up on, then graft through agent B.
+	time.Sleep(300 * time.Millisecond)
+	joined, pendingB, err := clientB.Join(ctx, control.JoinRequest{
+		Session:    sid,
+		SenderAddr: rootListener.Addr(),
+		Name:       "late",
+		Output:     sinkSpec{Path: outB},
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if joined.Index != 2 || joined.Peers != 3 {
+		t.Fatalf("joined as index %d of %d members, want 2 of 3", joined.Index, joined.Peers)
+	}
+	close(gate.open) // graft landed: let the rest of the payload flow
+
+	if err := <-senderDone; err != nil {
+		t.Fatal(err)
+	}
+	resA, err := pendingA.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Err != "" {
+		t.Fatalf("receiver result: %s", resA.Err)
+	}
+	resB, err := pendingB.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Err != "" {
+		t.Fatalf("joiner result: %s", resB.Err)
+	}
+	for name, path := range map[string]string{"receiver": outA, "joiner": outB} {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s sink corrupted: %d of %d bytes", name, len(got), len(payload))
+		}
+	}
+}
+
+// TestControlJoinDeadSessionRefused: a JOIN naming a session nobody is
+// broadcasting fails with a typed error, not a hang.
+func TestControlJoinDeadSessionRefused(t *testing.T) {
+	_, addr := startTestAgent(t, core.EngineOptions{}, 0)
+	client, err := control.Dial(addr, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// A listener that accepts and immediately hangs up stands in for a
+	// sender whose broadcast is long gone.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	_, _, err = client.Join(ctx, control.JoinRequest{
+		Session:    99,
+		SenderAddr: l.Addr().String(),
+		Name:       "late",
+	})
+	if err == nil {
+		t.Fatal("join of a dead session succeeded")
+	}
+}
+
+// TestControlJoinMemberAgentRefused: an agent that already carries the
+// session as a member refuses to also host a joiner for it, with the
+// typed refusal — before any dial toward the sender happens.
+func TestControlJoinMemberAgentRefused(t *testing.T) {
+	_, addr := startTestAgent(t, core.EngineOptions{}, 0)
+	client, err := control.Dial(addr, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const sid = core.SessionID(55)
+	opts := testProtoOptions()
+	if _, err := client.Prepare(ctx, control.PrepareRequest{Session: sid, Reservation: opts.PoolReservation()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The joiner arrives on its own control connection (as `kascade join`
+	// does); the channel-scoped duplicate-session check must not be what
+	// fires. SenderAddr is deliberately unroutable: the refusal must come
+	// from the agent's membership check, not from a failed dial.
+	joiner, err := control.Dial(addr, 5*time.Second, control.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	_, _, err = joiner.Join(ctx, control.JoinRequest{
+		Session:    sid,
+		SenderAddr: "127.0.0.1:1",
+		Name:       "late",
+	})
+	var jr *core.JoinRefusedError
+	if !errors.As(err, &jr) {
+		t.Fatalf("join through a member agent: got %v, want *core.JoinRefusedError", err)
+	}
+	if !strings.Contains(jr.Reason, "already serves") {
+		t.Fatalf("refusal reason %q does not name the member conflict", jr.Reason)
 	}
 }
 

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kascade/internal/control"
+	"kascade/internal/core"
+)
+
+// joinMain is the `kascade join` subcommand: ask an agent to enter a
+// broadcast that is already running. The agent negotiates the graft with
+// the session's sender, catches up on everything it missed, and receives
+// the rest live; this command just drives the agent's control channel
+// and reports the outcome.
+func joinMain(args []string) {
+	fs := flag.NewFlagSet("kascade join", flag.ExitOnError)
+	agentAddr := fs.String("agent", "", "control address of the agent that should join (host:port)")
+	sender := fs.String("sender", "", "data address of the live session's sender (node 0)")
+	var session uint64
+	fs.Uint64Var(&session, "session", 0, "session ID of the live broadcast")
+	name := fs.String("name", "", "peer name for the joiner (default: agent hostname)")
+	outPath := fs.String("o", "", "output file path on the joining agent")
+	outCmd := fs.String("O", "", "shell command consuming the stream on the joining agent")
+	timeout := fs.Duration("dial-timeout", 5*time.Second, "control channel dial timeout")
+	quiet := fs.Bool("q", false, "only print the final report")
+	_ = fs.Parse(args)
+
+	if *agentAddr == "" || *sender == "" || session == 0 {
+		fmt.Fprintln(os.Stderr, "kascade join: need -agent, -sender and -session (see -h)")
+		os.Exit(2)
+	}
+	if err := runJoin(*agentAddr, *sender, core.SessionID(session), *name, *outPath, *outCmd, *timeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "kascade join:", err)
+		os.Exit(1)
+	}
+}
+
+func runJoin(agentAddr, sender string, sid core.SessionID, name, outPath, outCmd string, dialTimeout time.Duration, quiet bool) error {
+	c, err := control.Dial(agentAddr, dialTimeout, control.ClientOptions{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	joined, pending, err := c.Join(ctx, control.JoinRequest{
+		Session:    sid,
+		SenderAddr: sender,
+		Name:       name,
+		Output:     control.SinkSpec{Path: outPath, Command: outCmd},
+	})
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "kascade join: grafted into session %d as node %d (%d members, catching up %d bytes)\n",
+			sid, joined.Index, joined.Peers, joined.Head)
+	}
+	res, err := pending.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	if res.Err != "" {
+		return fmt.Errorf("joiner failed: %s", res.Err)
+	}
+	if !quiet && res.Report != nil {
+		fmt.Println(res.Report)
+	}
+	return nil
+}

@@ -16,6 +16,11 @@
 //
 //	kascade agent -listen :9430
 //
+// Graft a fresh agent onto a broadcast that is already running (the
+// sender prints the -sender/-session pair when started with -rerank):
+//
+//	kascade join -agent host5:9430 -sender host1:9431 -session 7 -o /tmp/myfile.tgz
+//
 // Self-contained demo: broadcast to N in-process nodes over loopback TCP:
 //
 //	kascade -local 5 -i myfile.tgz -o /tmp/out
@@ -34,6 +39,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "agent" {
 		agentMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "join" {
+		joinMain(os.Args[2:])
 		return
 	}
 	rootMain(os.Args[1:])

@@ -180,6 +180,13 @@ func runRoot(o rootOptions) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.rerank && nc.InputFile != nil && !o.quiet {
+		// Late join needs the self-reorganizing tree (the graft rides the
+		// re-ranking machinery) and a file-backed sender (catch-up ranges
+		// are served from it); print the coordinates joiners need.
+		fmt.Fprintf(os.Stderr, "kascade: accepting late joiners: kascade join -sender %s -session %d -agent <agent:port>\n",
+			rootListener.Addr(), session)
+	}
 	start := time.Now()
 	report, runErr := node.Run(ctx)
 	elapsed := time.Since(start)

@@ -76,6 +76,13 @@ type Spec struct {
 	SlowNode int
 	// Rerank enables mid-broadcast self-reorganization (tree topologies).
 	Rerank bool
+	// JoinAt, when > 0, grafts one late joiner onto the live broadcast
+	// once any receiver has ingested this fraction of the payload
+	// (dynamic membership; requires Rerank + a tree Topology, fabric runs
+	// only). The measured session then also carries the join negotiation,
+	// the joiner's range catch-up from the sender, and the epilogue
+	// waiting on its sink parity.
+	JoinAt float64
 }
 
 // EngineBenchSize is the per-iteration payload of every engine benchmark.
@@ -148,6 +155,18 @@ func EngineBenchmarks() []Spec {
 			LinkRate: 64 << 20, SlowNode: 1, Rerank: on,
 		})
 	}
+	// Dynamic membership: the same 16-node rerank tree with one late
+	// joiner grafted at half transfer. The row prices the whole join path
+	// against EngineTreeRerank's rerank=on baseline: graft negotiation,
+	// the joiner's windowed range catch-up streamed from the sender
+	// alongside the live broadcast, and the completion wave waiting for
+	// the joiner's sink to reach parity.
+	specs = append(specs, Spec{
+		Name:  "EngineLateJoin/nodes=16,k=2,join=50%",
+		Nodes: 16, Chunk: 256 << 10, Size: EngineBenchSize,
+		Topology: core.TopologyTree(2),
+		LinkRate: 64 << 20, Rerank: true, JoinAt: 0.5,
+	})
 	return specs
 }
 
@@ -184,13 +203,14 @@ func (spec Spec) Broadcast() (*core.SessionResult, error) {
 		InputFile: NewReaderAt(payload),
 		InputSize: spec.Size,
 	}
+	var fabric *transport.Fabric
 	if spec.Loopback {
 		for i := range peers {
 			peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: "127.0.0.1:0"}
 		}
 		cfg.NetworkFor = func(int) transport.Network { return transport.TCP{} }
 	} else {
-		fabric := transport.NewFabric(1 << 20)
+		fabric = transport.NewFabric(1 << 20)
 		for i := range peers {
 			peers[i] = core.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("n%d:7000", i+1)}
 		}
@@ -208,9 +228,67 @@ func (spec Spec) Broadcast() (*core.SessionResult, error) {
 		cfg.NetworkFor = func(i int) transport.Network { return fabric.Host(peers[i].Name) }
 	}
 	cfg.Peers = peers
+	if spec.JoinAt > 0 {
+		if fabric == nil {
+			return nil, fmt.Errorf("benchkit: JoinAt requires a fabric run")
+		}
+		return spec.broadcastLateJoin(cfg, fabric)
+	}
 	res, err := core.RunSession(context.Background(), cfg)
 	if err != nil {
 		return res, err
+	}
+	if len(res.Report.Failures) != 0 {
+		return res, fmt.Errorf("benchkit: failures during broadcast: %v", res.Report)
+	}
+	return res, nil
+}
+
+// broadcastLateJoin runs one iteration of a JoinAt spec: the broadcast
+// starts normally, and once any receiver's ingestion crosses the JoinAt
+// mark (observed through the trace seam, not by sleeping) a fresh host is
+// grafted onto the live tree. The session's elapsed time covers the whole
+// dynamic-membership path, since the completion wave waits for the
+// joiner's catch-up parity.
+func (spec Spec) broadcastLateJoin(cfg core.SessionConfig, fabric *transport.Fabric) (*core.SessionResult, error) {
+	ctx := context.Background()
+	joinMark := uint64(float64(spec.Size) * spec.JoinAt)
+	type joinRes struct {
+		h   *core.JoinHandle
+		err error
+	}
+	sessCh := make(chan *core.Session, 1)
+	joinCh := make(chan joinRes, 1)
+	var once sync.Once
+	cfg.Trace = func(ev core.TraceEvent) {
+		if ev.Kind == core.TraceChunk && ev.Node > 0 && ev.Offset >= joinMark {
+			once.Do(func() {
+				go func() {
+					s := <-sessCh
+					h, err := s.Join(ctx, core.JoinConfig{
+						Peer:    core.Peer{Name: "j1", Addr: "j1:7000"},
+						Network: fabric.Host("j1"),
+					})
+					joinCh <- joinRes{h, err}
+				}()
+			})
+		}
+	}
+	sess, err := core.StartSession(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sessCh <- sess
+	res, err := sess.Wait()
+	if err != nil {
+		return res, err
+	}
+	jr := <-joinCh
+	if jr.err != nil {
+		return res, fmt.Errorf("benchkit: late join: %w", jr.err)
+	}
+	if _, werr := jr.h.Wait(); werr != nil {
+		return res, fmt.Errorf("benchkit: joiner: %w", werr)
 	}
 	if len(res.Report.Failures) != 0 {
 		return res, fmt.Errorf("benchkit: failures during broadcast: %v", res.Report)

@@ -158,6 +158,31 @@ func (f Fault) String() string {
 	return b.String()
 }
 
+// JoinSpec schedules one late joiner: a fresh host grafted onto the
+// live broadcast through the session's Join verb when the mark fires.
+// Join scenarios need Rerank, a tree Topology and a file-backed source
+// (Stream false) — the preconditions of the dynamic-membership protocol;
+// a join landing after the broadcast ended is a refusal, not a crash,
+// and Check accepts it unless the scenario demands a MinGrafted floor.
+type JoinSpec struct {
+	// When triggers the join (byte-offset or reorg marks, observed
+	// through the trace seam like fault marks).
+	When Mark `json:"when"`
+	// CrashAt kills the joiner's host once the joiner has ingested this
+	// many bytes (catch-up backfill and live chunks both count); 0 lets
+	// it live to completion. A crashed joiner must be named in the ring
+	// report unless it finished first — the same invariant as Crash.
+	CrashAt uint64 `json:"crash_at,omitempty"`
+}
+
+func (j JoinSpec) String() string {
+	s := fmt.Sprintf("late join %s", j.When)
+	if j.CrashAt > 0 {
+		s += fmt.Sprintf(", joiner crashed at %d B ingested", j.CrashAt)
+	}
+	return s
+}
+
 // Scenario is one self-contained chaos run: pipeline shape, payload,
 // pacing and fault schedule. Scenarios are plain data so a failing one can
 // be printed and replayed verbatim.
@@ -206,20 +231,31 @@ type Scenario struct {
 	// kept the tree from thrashing. Zero leaves the respective side open.
 	MinMigrations int `json:"min_migrations,omitempty"`
 	MaxMigrations int `json:"max_migrations,omitempty"`
+	// Joins schedules late joiners (dynamic membership); requires Rerank,
+	// a tree Topology and a file-backed source. Single-session only.
+	Joins []JoinSpec `json:"joins,omitempty"`
+	// MinGrafted is the minimum number of Joins that must actually graft
+	// (a refusal-only run would otherwise pass the join invariants
+	// vacuously). Zero leaves the floor open — generated schedules use
+	// that, since a randomly late mark may legitimately be refused.
+	MinGrafted int `json:"min_grafted,omitempty"`
 	// Timeout is the hard scenario budget (bounded-recovery assertion);
 	// defaulted by Run when 0.
 	Timeout time.Duration `json:"timeout,omitempty"`
 	Faults  []Fault       `json:"faults"`
 }
 
-// Schedule renders the fault schedule, one line per fault.
+// Schedule renders the fault and join schedule, one line per entry.
 func (sc Scenario) Schedule() string {
-	if len(sc.Faults) == 0 {
+	if len(sc.Faults) == 0 && len(sc.Joins) == 0 {
 		return "  (no faults)"
 	}
-	lines := make([]string, len(sc.Faults))
-	for i, f := range sc.Faults {
-		lines[i] = "  " + f.String()
+	var lines []string
+	for _, f := range sc.Faults {
+		lines = append(lines, "  "+f.String())
+	}
+	for _, j := range sc.Joins {
+		lines = append(lines, "  "+j.String())
 	}
 	return strings.Join(lines, "\n")
 }

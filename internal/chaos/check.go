@@ -73,6 +73,9 @@ func Check(res *Result) error {
 	}
 
 	for _, inj := range res.Injections {
+		if inj.Fault.Victim >= len(res.Outcomes) {
+			continue // a crashed late joiner; the join invariants cover it
+		}
 		switch inj.Fault.Kind {
 		case Crash:
 			out := res.Outcomes[inj.Fault.Victim]
@@ -102,6 +105,53 @@ func Check(res *Result) error {
 		}
 	} else if res.Migrations > 0 {
 		fail("%d migration(s) executed without Rerank enabled", res.Migrations)
+	}
+
+	// Dynamic membership (Scenario.Joins): every scheduled join either
+	// grafted or was refused with a typed reason; a grafted joiner's sink
+	// never diverges, reaches the full payload unless the schedule
+	// crashed it, and stays out of the ring report when healthy; a
+	// crashed joiner is named in the report unless it finished first
+	// (the Crash invariant, under the joiner's granted index); and at
+	// least MinGrafted joins actually landed.
+	grafted := 0
+	for i, j := range res.Joins {
+		if j.Corrupt {
+			fail("joiner %d sink diverged from the source prefix", i)
+		}
+		if !j.Grafted {
+			if j.RefuseReason == "" {
+				fail("join %d neither grafted nor refused", i)
+			}
+			continue
+		}
+		grafted++
+		if j.Crashed {
+			if !res.Report.Failed(j.Index) && !j.Complete {
+				fail("crashed joiner (node %d) neither reported nor complete", j.Index)
+			}
+			continue
+		}
+		if j.Err != "" {
+			fail("joiner (node %d) failed: %s", j.Index, j.Err)
+		}
+		if !j.Complete {
+			fail("joiner (node %d) incomplete: %d of %d bytes",
+				j.Index, j.ReceivedBytes, res.Scenario.PayloadSize)
+		}
+		if res.Report.Failed(j.Index) {
+			fail("healthy joiner (node %d) named in the ring report", j.Index)
+		}
+	}
+	if grafted < res.Scenario.MinGrafted {
+		var refusals []string
+		for _, j := range res.Joins {
+			if !j.Grafted && j.RefuseReason != "" {
+				refusals = append(refusals, j.RefuseReason)
+			}
+		}
+		fail("only %d of %d scheduled joins grafted, scenario demands >= %d (refusals: %s)",
+			grafted, len(res.Joins), res.Scenario.MinGrafted, strings.Join(refusals, "; "))
 	}
 
 	for _, rec := range res.Recoveries {

@@ -69,6 +69,28 @@ type SiblingOutcome struct {
 	BaselineMs float64 `json:"baseline_ms"`
 }
 
+// JoinOutcome is the terminal state of one scheduled late joiner.
+type JoinOutcome struct {
+	// Index is the pipeline index the planner granted (-1 if the join
+	// never grafted).
+	Index int `json:"index"`
+	// Grafted means the join negotiation succeeded and a joiner node ran.
+	Grafted bool `json:"grafted"`
+	// RefuseReason is the typed refusal when the graft was declined
+	// (session ended, broadcast completing, …) — an acceptable outcome
+	// for a late mark, counted against the scenario's MinGrafted floor.
+	RefuseReason string `json:"refuse_reason,omitempty"`
+	// Head is the granted catch-up boundary: bytes the joiner had to
+	// backfill from the sender.
+	Head uint64 `json:"head,omitempty"`
+	// Crashed means the schedule killed the joiner's host (CrashAt).
+	Crashed       bool   `json:"crashed,omitempty"`
+	Err           string `json:"err,omitempty"`
+	ReceivedBytes uint64 `json:"received_bytes"`
+	Complete      bool   `json:"complete"`
+	Corrupt       bool   `json:"corrupt,omitempty"`
+}
+
 // Result is everything one chaos run produced.
 type Result struct {
 	Scenario   Scenario      `json:"scenario"`
@@ -77,6 +99,9 @@ type Result struct {
 	Outcomes   []NodeOutcome `json:"outcomes"`
 	Injections []Injection   `json:"injections"`
 	Recoveries []Recovery    `json:"recoveries"`
+	// Joins records every scheduled late joiner's outcome, in schedule
+	// order; Check asserts the dynamic-membership invariants over them.
+	Joins []JoinOutcome `json:"joins,omitempty"`
 	// Migrations counts executed re-ranking migrations (TraceReorg
 	// events); Check bounds it by the scenario's Min/MaxMigrations.
 	Migrations int `json:"migrations,omitempty"`
@@ -186,18 +211,37 @@ type runner struct {
 	sess    *core.Session
 	start   time.Time
 
-	mu         sync.Mutex
-	ingested   []uint64 // per-index high-water of TraceChunk
-	pending    []Fault  // byte-mark faults not yet applied
-	injections []Injection
-	events     []core.TraceEvent
+	runCtx context.Context // bounds late-joiner admissions
+
+	mu           sync.Mutex
+	ingested     []uint64 // per-index high-water of TraceChunk
+	pending      []Fault  // byte-mark faults not yet applied
+	pendingJoins []*joinerRun
+	joiners      []*joinerRun // schedule order, fired or not
+	injections   []Injection
+	events       []core.TraceEvent
 
 	rebornMu sync.Mutex
 	reborn   map[int]*rebornNode
 	rebornWG sync.WaitGroup
+	joinWG   sync.WaitGroup
 
 	timers   []*time.Timer
 	timersMu sync.Mutex
+}
+
+// joinerRun tracks one scheduled late joiner from mark to terminal state.
+type joinerRun struct {
+	spec JoinSpec
+	name string // fabric host
+	sink *prefixSink
+
+	// Guarded by runner.mu.
+	idx     int // granted pipeline index; -1 until grafted
+	head    uint64
+	crashed bool
+	refused string
+	err     error
 }
 
 type rebornNode struct {
@@ -247,6 +291,14 @@ func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 		peers[i] = core.Peer{Name: r.host(i), Addr: r.host(i) + ":7000"}
 		r.sinks[i] = newPrefixSink(r.payload, r.clk)
 	}
+	for i, js := range sc.Joins {
+		r.joiners = append(r.joiners, &joinerRun{
+			spec: js,
+			name: fmt.Sprintf("j%d", i+1),
+			sink: newPrefixSink(r.payload, r.clk),
+			idx:  -1,
+		})
+	}
 
 	// One time source for the whole scenario: the nodes' protocol timers
 	// (Options.Clock) and the throttled sinks tick together.
@@ -275,6 +327,7 @@ func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 		return &Result{Scenario: sc, Err: fmt.Sprintf("start: %v", err)}
 	}
 	r.sess = sess
+	r.runCtx = runCtx
 	r.start = time.Now()
 	r.armSchedule()
 
@@ -301,14 +354,14 @@ func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 	}
 	res.Elapsed = time.Since(r.start)
 
-	// Wait for restarted nodes to settle.
+	// Wait for restarted nodes and late joiners to settle.
 	rebornDone := make(chan struct{})
-	go func() { r.rebornWG.Wait(); close(rebornDone) }()
+	go func() { r.rebornWG.Wait(); r.joinWG.Wait(); close(rebornDone) }()
 	select {
 	case <-rebornDone:
 	case <-time.After(10 * time.Second):
 		if res.Err == "" {
-			res.Err = "restarted node never finished"
+			res.Err = "restarted or joined node never finished"
 		}
 	}
 
@@ -318,7 +371,8 @@ func RunWithClock(ctx context.Context, sc Scenario, clk core.Clock) *Result {
 
 func (r *runner) host(i int) string { return fmt.Sprintf("n%d", i+1) }
 
-// armSchedule starts wall-clock faults and registers byte-mark faults.
+// armSchedule starts wall-clock faults and registers byte-mark faults
+// and joins.
 func (r *runner) armSchedule() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -329,6 +383,14 @@ func (r *runner) armSchedule() {
 			continue
 		}
 		r.afterFunc(f.When.After, func() { r.inject(f) })
+	}
+	for _, jr := range r.joiners {
+		jr := jr
+		if jr.spec.When.Bytes > 0 || jr.spec.When.Reorg {
+			r.pendingJoins = append(r.pendingJoins, jr)
+			continue
+		}
+		r.afterFunc(jr.spec.When.After, func() { r.launchJoin(jr) })
 	}
 }
 
@@ -353,6 +415,7 @@ func (r *runner) stopTimers() {
 // after run (no polling, no sleeps).
 func (r *runner) onTrace(ev core.TraceEvent) {
 	var due []Fault
+	var launches, kills []*joinerRun
 	r.mu.Lock()
 	r.events = append(r.events, ev)
 	if ev.Kind == core.TraceChunk && ev.Node < len(r.ingested) {
@@ -368,6 +431,25 @@ func (r *runner) onTrace(ev core.TraceEvent) {
 			}
 		}
 		r.pending = keep
+		keepJ := r.pendingJoins[:0]
+		for _, jr := range r.pendingJoins {
+			if !jr.spec.When.Reorg && jr.spec.When.Node == ev.Node && r.ingested[ev.Node] >= jr.spec.When.Bytes {
+				launches = append(launches, jr)
+			} else {
+				keepJ = append(keepJ, jr)
+			}
+		}
+		r.pendingJoins = keepJ
+	}
+	if ev.Kind == core.TraceChunk && ev.Node >= len(r.ingested) {
+		// A late joiner's ingestion (catch-up backfill and live chunks
+		// alike): fire its scheduled crash once it crosses the mark.
+		for _, jr := range r.joiners {
+			if jr.idx == ev.Node && jr.spec.CrashAt > 0 && !jr.crashed && ev.Offset >= jr.spec.CrashAt {
+				jr.crashed = true
+				kills = append(kills, jr)
+			}
+		}
 	}
 	if ev.Kind == core.TraceReorg {
 		// A migration fired: release reorg-mark faults, resolving the
@@ -393,11 +475,70 @@ func (r *runner) onTrace(ev core.TraceEvent) {
 			due = append(due, f)
 		}
 		r.pending = keep
+		keepJ := r.pendingJoins[:0]
+		for _, jr := range r.pendingJoins {
+			if jr.spec.When.Reorg {
+				launches = append(launches, jr)
+			} else {
+				keepJ = append(keepJ, jr)
+			}
+		}
+		r.pendingJoins = keepJ
 	}
 	r.mu.Unlock()
 	for _, f := range due {
 		r.inject(f)
 	}
+	for _, jr := range launches {
+		r.launchJoin(jr)
+	}
+	for _, jr := range kills {
+		r.killJoiner(jr)
+	}
+}
+
+// launchJoin grafts one scheduled joiner in the background: the join
+// negotiation does real protocol I/O against the live session, so it
+// must not run on the trace callback.
+func (r *runner) launchJoin(jr *joinerRun) {
+	r.joinWG.Add(1)
+	go func() {
+		defer r.joinWG.Done()
+		h, err := r.sess.Join(r.runCtx, core.JoinConfig{
+			Peer:    core.Peer{Name: jr.name, Addr: jr.name + ":7000"},
+			Network: r.fabric.Host(jr.name),
+			Sink:    jr.sink,
+			Trace:   r.onTrace,
+		})
+		if err != nil {
+			r.mu.Lock()
+			jr.refused = err.Error()
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Lock()
+		jr.idx = h.Grant.Index
+		jr.head = h.Grant.Head
+		r.mu.Unlock()
+		_, werr := h.Wait()
+		r.mu.Lock()
+		jr.err = werr
+		r.mu.Unlock()
+	}()
+}
+
+// killJoiner crashes a grafted joiner's host mid-run and records the
+// injection under the joiner's granted pipeline index, so Check can hold
+// the ring report to the same victim-naming bar as a scheduled Crash.
+func (r *runner) killJoiner(jr *joinerRun) {
+	at := time.Since(r.start)
+	r.fabric.Kill(jr.name)
+	r.mu.Lock()
+	r.injections = append(r.injections, Injection{
+		Fault: Fault{Kind: Crash, Victim: jr.idx, Peer: -1, When: jr.spec.When},
+		At:    at,
+	})
+	r.mu.Unlock()
 }
 
 // inject applies one fault now and schedules its heal, if any.
@@ -502,6 +643,23 @@ func (r *runner) assemble(res *Result, sres *core.SessionResult) {
 	r.mu.Lock()
 	res.Injections = append([]Injection(nil), r.injections...)
 	events := append([]core.TraceEvent(nil), r.events...)
+	for _, jr := range r.joiners {
+		out := JoinOutcome{
+			Index:        jr.idx,
+			Grafted:      jr.idx >= 0,
+			RefuseReason: jr.refused,
+			Head:         jr.head,
+			Crashed:      jr.crashed,
+		}
+		if jr.err != nil {
+			out.Err = jr.err.Error()
+		}
+		received, corrupt := jr.sink.state()
+		out.ReceivedBytes = uint64(received)
+		out.Corrupt = corrupt
+		out.Complete = !corrupt && int64(received) == r.sc.PayloadSize
+		res.Joins = append(res.Joins, out)
+	}
 	r.mu.Unlock()
 
 	for _, ev := range events {

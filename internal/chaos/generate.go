@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"kascade/internal/core"
 )
 
 // Shape fixes the non-fault dimensions of generated scenarios.
@@ -84,6 +86,41 @@ func Generate(seed int64, shape Shape) Scenario {
 			f.Rate = float64(64<<10) * float64(1+rng.Intn(4))
 		}
 		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}
+
+// GenerateJoins derives one randomized dynamic-membership scenario from a
+// seed: a fault-free rerank tree of random arity with 1–3 late joiners at
+// random byte marks, some of which crash mid-catch-up. The same (seed,
+// shape) always yields the same schedule. No MinGrafted floor is set: a
+// randomly late mark may legitimately be refused ("broadcast is
+// completing"), and Check accepts either outcome — the handcrafted matrix
+// clusters carry the must-graft assertions.
+func GenerateJoins(seed int64, shape Shape) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Name:         fmt.Sprintf("gen-join/n=%d/seed=%d", shape.Nodes, seed),
+		Seed:         seed,
+		Nodes:        shape.Nodes,
+		PayloadSize:  shape.PayloadSize,
+		ChunkSize:    shape.ChunkSize,
+		WindowChunks: shape.WindowChunks,
+		LinkRate:     shape.LinkRate,
+		Topology:     core.TopologyTree(2 + rng.Intn(2)),
+		Rerank:       true,
+	}
+	nj := 1 + rng.Intn(3)
+	for i := 0; i < nj; i++ {
+		watch := 1 + rng.Intn(shape.Nodes-1)
+		j := JoinSpec{When: Mark{
+			Node:  watch,
+			Bytes: uint64(shape.PayloadSize/8) + uint64(rng.Int63n(shape.PayloadSize/2)),
+		}}
+		if rng.Intn(3) == 0 {
+			j.CrashAt = uint64(shape.PayloadSize/4) + uint64(rng.Int63n(shape.PayloadSize/2))
+		}
+		sc.Joins = append(sc.Joins, j)
 	}
 	return sc
 }

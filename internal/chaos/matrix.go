@@ -220,20 +220,91 @@ func Matrix(seed int64, full bool) []Scenario {
 			})
 		}
 		// The ceiling is deliberately loose: cadence pacing alone would
-		// allow ~30 migrations over these runs, so staying under 6 is the
+		// allow ~30 migrations over these runs, so staying under 9 is the
 		// hysteresis claim, while scheduler jitter in the post-heal EWMA
-		// transients keeps the exact count from being pinnable.
-		rerank("slow-interior", 6)
-		rerank("crash-migrating", 6,
+		// transients keeps the exact count from being pinnable — on a
+		// starved runner (tier-1 runs this matrix with every other
+		// package in parallel) the transients stretch and a couple of
+		// extra paced migrations land before the estimates settle.
+		rerank("slow-interior", 9)
+		rerank("crash-migrating", 9,
 			Fault{Kind: Crash, Victim: ReorgDemoted, Peer: -1, When: Mark{Reorg: true}})
-		rerank("crash-new-parent", 6,
+		rerank("crash-new-parent", 9,
 			Fault{Kind: Crash, Victim: ReorgPromoted, Peer: -1, When: Mark{Reorg: true}})
+	}
+
+	// Dynamic membership: late joiners grafted onto a live rerank tree.
+	// The links are paced down so the marks land well before the
+	// completion wave (a join racing the EOF slack would be refused and
+	// trip the MinGrafted floor). Three structurally different clusters:
+	// a two-joiner wave at 1/8 and 1/4 of the transfer; a join fired on
+	// the first re-ranking migration (the graft and an unrelated
+	// REORG-path rewiring of the same tree version sequence interleave);
+	// and a joiner crashed mid-catch-up, which must be detected and named
+	// under its granted index like any other crash.
+	for _, n := range []int{7, 16} {
+		n := n
+		shape := shapeFor(n)
+		eighth := uint64(shape.PayloadSize / 8)
+		quarter := uint64(shape.PayloadSize / 4)
+		half := uint64(shape.PayloadSize / 2)
+		join := func(name string, mut func(*Scenario)) {
+			add(fmt.Sprintf("join-%s/n=%d", name, n), shape, func(sc *Scenario) {
+				sc.Topology = core.TopologyTree(2)
+				sc.Rerank = true
+				sc.LinkRate = 1 << 20
+				mut(sc)
+			})
+		}
+
+		join("wave", func(sc *Scenario) {
+			sc.Joins = []JoinSpec{
+				{When: Mark{Node: 1, Bytes: eighth}},
+				{When: Mark{Node: 1, Bytes: quarter}},
+			}
+			sc.MinGrafted = 2
+		})
+
+		join("during-reorg", func(sc *Scenario) {
+			// The collapsed root-child link provokes a demotion; the join
+			// fires on that exact migration, mid-rewire by construction.
+			// The payload is 8× the cluster default so the broadcast
+			// still has ~half a second of runway after the migration —
+			// the join negotiation runs on its own goroutine, and on a
+			// loaded machine it must not lose a race against the freed
+			// tree finishing (which would turn the graft into a
+			// legitimate "broadcast is completing" refusal and trip
+			// MinGrafted). The links stay at the shape rate rather than
+			// the paced-down join rate: post-demotion rate estimates
+			// must re-converge fast, or the planner rotates stale-slow
+			// interiors and busts MaxMigrations. The migration ceiling
+			// is looser than the pure rerank clusters' for the same
+			// reason: on a starved runner the convergence window
+			// stretches and a couple of extra paced migrations land
+			// before the estimates settle.
+			sc.PayloadSize = shape.PayloadSize * 8
+			sc.LinkRate = shape.LinkRate
+			sc.MinMigrations = 1
+			sc.MaxMigrations = 12
+			sc.Faults = []Fault{{Kind: RateCollapse, Victim: 1, Peer: 0,
+				Delay: 3 * time.Second, Rate: 48 << 10}}
+			sc.Joins = []JoinSpec{{When: Mark{Reorg: true}}}
+			sc.MinGrafted = 1
+		})
+
+		join("crash-catchup", func(sc *Scenario) {
+			sc.Joins = []JoinSpec{{When: Mark{Node: 1, Bytes: eighth}, CrashAt: half}}
+			sc.MinGrafted = 1
+		})
 	}
 
 	// Seeded random schedules: the generator's scenario diversity, pinned
 	// by -chaos.seed.
 	for _, n := range MatrixNodeCounts {
 		out = append(out, Generate(seed+int64(n), shapeFor(n)))
+	}
+	for _, n := range []int{7, 16} {
+		out = append(out, GenerateJoins(seed+1000+int64(n), shapeFor(n)))
 	}
 
 	return out

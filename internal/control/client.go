@@ -264,6 +264,59 @@ func (p *Pending) Wait(ctx context.Context) (*ResultReply, error) {
 	}
 }
 
+// Join asks the agent to enter a live broadcast as a late peer. It
+// blocks until the graft lands (JOINED) or fails — failures surface as
+// the typed membership errors (core.ErrSessionEnded,
+// *core.JoinRefusedError) or *core.AdmissionError, rebuilt from the
+// frame's status code. On success the joiner node keeps running on the
+// agent under the channel's lease renewals; the returned Pending
+// resolves with its terminal result.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinedReply, *Pending, error) {
+	id, ch, err := c.call(FrameJoin, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Two replies ride this request ID (JOINED now, RESULT at the end),
+	// so the graft wait must not retire the request like await does.
+	for {
+		select {
+		case f := <-ch:
+			switch f.Type {
+			case FrameQueued:
+				continue
+			case FrameJoined:
+				var rep JoinedReply
+				if err := f.decode(&rep); err != nil {
+					c.forget(id)
+					return nil, nil, err
+				}
+				c.mu.Lock()
+				c.live[req.Session] = true
+				c.mu.Unlock()
+				return &rep, &Pending{c: c, sid: req.Session, req: id, ch: ch}, nil
+			case FrameError:
+				c.forget(id)
+				var er ErrorReply
+				if err := f.decode(&er); err != nil {
+					return nil, nil, err
+				}
+				return nil, nil, er.errorFor(req.Session)
+			default:
+				c.forget(id)
+				return nil, nil, fmt.Errorf("control: unexpected %v reply to JOIN", f.Type)
+			}
+		case <-c.done:
+			c.mu.Lock()
+			cerr := c.err
+			c.mu.Unlock()
+			return nil, nil, cerr
+		case <-ctx.Done():
+			c.forget(id)
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
 // Status snapshots the agent's engine stats and control-session table.
 func (c *Client) Status(ctx context.Context) (*StatsReply, error) {
 	id, ch, err := c.call(FrameStatus, StatusRequest{})

@@ -63,6 +63,13 @@ const (
 	FrameHeartbeatAck
 	// FrameError is the failure reply to any request.
 	FrameError
+	// FrameJoin asks the agent to join a live broadcast as a late peer:
+	// engine admission, the RoleJoin graft negotiation with the session's
+	// sender, then running the joiner node. Reply: FrameJoined when the
+	// graft landed (the node keeps running; a FrameResult follows when it
+	// finishes), or FrameError with a membership code.
+	FrameJoin
+	FrameJoined
 )
 
 func (t FrameType) String() string {
@@ -91,6 +98,10 @@ func (t FrameType) String() string {
 		return "HEARTBEAT-ACK"
 	case FrameError:
 		return "ERROR"
+	case FrameJoin:
+		return "JOIN"
+	case FrameJoined:
+		return "JOINED"
 	default:
 		return fmt.Sprintf("FrameType(%d)", byte(t))
 	}
@@ -225,6 +236,32 @@ type ResultReply struct {
 	Bytes  uint64       `json:"bytes,omitempty"`
 }
 
+// JoinRequest asks the agent to enter a live broadcast as a late peer.
+// The session's options, transport and topology are NOT carried here: the
+// agent learns them from the sender's JOININFO descriptor during the
+// graft negotiation, so the joiner always runs the session's real shape.
+type JoinRequest struct {
+	Session core.SessionID `json:"session"`
+	// SenderAddr is the data address of the session's node 0, where the
+	// RoleJoin negotiation is played.
+	SenderAddr string `json:"sender_addr"`
+	// Name is the joiner's peer name in reports and the member table.
+	Name   string   `json:"name"`
+	Output SinkSpec `json:"output,omitempty"`
+}
+
+// JoinedReply reports a landed graft. The joiner node keeps running; its
+// terminal FrameResult arrives on the same request ID when it finishes.
+type JoinedReply struct {
+	// Index is the joiner's assigned pipeline index.
+	Index int `json:"index"`
+	// Head is the catch-up boundary: live data flows from here, [0, Head)
+	// is backfilled from the sender.
+	Head uint64 `json:"head"`
+	// Peers is the membership size at admission (joiner included).
+	Peers int `json:"peers"`
+}
+
 // StatusRequest asks for the agent's current state.
 type StatusRequest struct{}
 
@@ -277,6 +314,18 @@ const (
 	CodeBadRequest = "bad-request"
 	// CodeInternal: the agent failed serving a well-formed request.
 	CodeInternal = "internal"
+
+	// Membership codes, shared verbatim with core.MembershipErrorCode so
+	// both ends agree without string-matching error text.
+	//
+	// CodeSessionEnded: the broadcast already closed its ring (or aborted).
+	CodeSessionEnded = "session-ended"
+	// CodeJoinRefused: the planner refused the graft (typed reason in the
+	// message).
+	CodeJoinRefused = "join-refused"
+	// CodeCatchUpEvicted: the joiner's pending catch-up range was evicted
+	// at the source.
+	CodeCatchUpEvicted = "catch-up-evicted"
 )
 
 // ErrorReply is the FrameError payload.
@@ -286,14 +335,19 @@ type ErrorReply struct {
 }
 
 // errorFor converts an ErrorReply into the error the client surfaces:
-// admission codes become the typed *core.AdmissionError senders match on.
+// admission codes become the typed *core.AdmissionError senders match on,
+// and membership codes rebuild core's typed membership errors
+// (ErrSessionEnded, *JoinRefusedError, ErrCatchUpEvicted) — the code is
+// the contract, never the message text.
 func (e ErrorReply) errorFor(sid core.SessionID) error {
 	switch e.Code {
 	case CodeAdmissionRefused:
 		return &core.AdmissionError{Session: sid, Reason: e.Message}
 	case CodeAdmissionTimeout:
 		return &core.AdmissionError{Session: sid, Reason: e.Message, Queued: true}
-	default:
-		return fmt.Errorf("control: agent error (%s): %s", e.Code, e.Message)
 	}
+	if err, ok := core.MembershipErrorFromCode(e.Code, e.Message); ok {
+		return err
+	}
+	return fmt.Errorf("control: agent error (%s): %s", e.Code, e.Message)
 }

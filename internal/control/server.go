@@ -29,6 +29,13 @@ type Server struct {
 	// opening the sink — and returns its result. It must honour ctx: lease
 	// expiry and RELEASE cancel it.
 	Run func(ctx context.Context, req StartRequest) ResultReply
+	// Join enters a live broadcast as a late peer: engine admission, the
+	// graft negotiation with the session's sender, then the joiner node to
+	// completion. grafted is called exactly once when the graft lands,
+	// before the node runs; the ResultReply is the node's terminal state.
+	// A non-nil error (typed: *core.AdmissionError, *core.JoinRefusedError,
+	// core.ErrSessionEnded) means no node ran. Nil disables FrameJoin.
+	Join func(ctx context.Context, req JoinRequest, grafted func(JoinedReply)) (ResultReply, error)
 
 	// LeaseTTL is how long a prepared or running session survives without
 	// a heartbeat. Defaults to 10 s.
@@ -105,6 +112,8 @@ func (s *Server) ServeConn(conn net.Conn, r io.Reader) error {
 			sc.handleRelease(f)
 		case FrameHeartbeat:
 			sc.handleHeartbeat(f)
+		case FrameJoin:
+			go sc.handleJoin(f)
 		default:
 			sc.writeErr(f.Req, CodeBadRequest, fmt.Sprintf("unexpected frame %v", f.Type))
 		}
@@ -246,6 +255,88 @@ func (sc *serverConn) handleStart(f frame) {
 		cs.ticket.Cancel()
 	}
 	sc.write(FrameResult, f.Req, res)
+}
+
+// handleJoin enters a live broadcast as a late peer. The session rides
+// the same lease machinery as a started one from the moment the request
+// lands: a joiner whose operator stops heartbeating is killed like any
+// other session. Two replies on one request ID: FrameJoined when the
+// graft lands (or FrameError with a typed code), then FrameResult when
+// the joiner node finishes.
+func (sc *serverConn) handleJoin(f frame) {
+	var req JoinRequest
+	if err := f.decode(&req); err != nil {
+		sc.writeErr(f.Req, CodeBadRequest, err.Error())
+		return
+	}
+	if sc.s.Join == nil {
+		sc.writeErr(f.Req, CodeBadRequest, "agent does not support late join")
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	if _, dup := sc.sessions[req.Session]; dup {
+		sc.mu.Unlock()
+		sc.writeErr(f.Req, CodeBadRequest, fmt.Sprintf("session %d already held on this channel", req.Session))
+		return
+	}
+	cs := &ctrlSession{
+		sid:     req.Session,
+		expires: sc.clk.Now().Add(sc.ttl),
+		cancel:  cancel,
+		started: true,
+	}
+	sc.sessions[req.Session] = cs
+	sc.mu.Unlock()
+
+	res, err := sc.s.Join(ctx, req, func(j JoinedReply) {
+		sc.write(FrameJoined, f.Req, j)
+	})
+
+	sc.mu.Lock()
+	delete(sc.sessions, req.Session)
+	sc.mu.Unlock()
+	if err != nil {
+		sc.writeErr(f.Req, joinErrorCode(err), joinErrorMessage(err))
+		return
+	}
+	sc.write(FrameResult, f.Req, res)
+}
+
+// joinErrorCode maps a join failure to its wire status code — membership
+// codes straight from core, admission codes like PREPARE, CodeInternal
+// otherwise. Never derived from error text.
+func joinErrorCode(err error) string {
+	if code := core.MembershipErrorCode(err); code != "" {
+		return code
+	}
+	var adErr *core.AdmissionError
+	if errors.As(err, &adErr) {
+		if adErr.Queued {
+			return CodeAdmissionTimeout
+		}
+		return CodeAdmissionRefused
+	}
+	return CodeInternal
+}
+
+// joinErrorMessage extracts the bare payload message: a refusal carries
+// just its reason so the far end's rebuilt error does not nest prefixes.
+func joinErrorMessage(err error) string {
+	var jr *core.JoinRefusedError
+	if errors.As(err, &jr) {
+		return jr.Reason
+	}
+	var adErr *core.AdmissionError
+	if errors.As(err, &adErr) {
+		return adErr.Reason
+	}
+	return err.Error()
 }
 
 func (sc *serverConn) handleStatus(f frame) {

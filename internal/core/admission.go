@@ -249,6 +249,16 @@ func (e *Engine) fitsLocked(reservation int64) bool {
 	return e.used+reservation <= e.opts.MemBudget
 }
 
+// Serves reports whether the engine currently carries the session —
+// reserved (pending or registered) or parked in the admission queue.
+// Late-join front ends use it to refuse a join through an agent that is
+// already a member of the broadcast, before any wire work happens.
+func (e *Engine) Serves(sid SessionID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.isKnownLocked(sid)
+}
+
 // isKnownLocked reports whether sid is reserved (pending or registered) or
 // queued. Caller holds e.mu.
 func (e *Engine) isKnownLocked(sid SessionID) bool {

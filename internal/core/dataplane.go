@@ -52,7 +52,12 @@ func (n *Node) ingest(c *chunk) error {
 		return err
 	}
 	var sinkErr error
-	if n.cfg.Sink != nil {
+	if n.joinSt != nil {
+		// Late joiner: the sink only sees contiguous prefixes, so live
+		// chunks route through the catch-up serializer (backlogged until
+		// the backfill reaches parity, written through afterwards).
+		sinkErr = n.joinSt.live(c.bytes())
+	} else if n.cfg.Sink != nil {
 		_, sinkErr = n.cfg.Sink.Write(c.bytes())
 	}
 	c.release()

@@ -83,6 +83,13 @@ func (n *Node) handleWire(w *wire, role Role, from int) {
 			return
 		}
 		n.serveRateSpoke(w)
+	case RoleJoin:
+		// Late-join admission terminates at the planner on node 0.
+		if n.cfg.Index != 0 {
+			_ = w.close()
+			return
+		}
+		n.serveJoin(w)
 	default:
 		_ = w.close()
 	}

@@ -122,7 +122,7 @@ func (n *Node) serveSuccessor(ctx context.Context, succ int, cur *childCursor, q
 		// Proof frame: the view that motivated this dial, so the child's
 		// acceptReplacement judges us against it instead of a stale one.
 		v := n.curView()
-		if werr := w.writeReorg(v.version, v.occupant); werr != nil {
+		if werr := n.writeView(w, v); werr != nil {
 			return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 		}
 		sentView = v.version
@@ -175,7 +175,7 @@ streamLoop:
 			// Piggyback new views on the data stream: children learn the
 			// plan from their parent before the batch that follows it.
 			if v := n.curView(); v.version > sentView {
-				if werr := w.writeReorg(v.version, v.occupant); werr != nil {
+				if werr := n.writeView(w, v); werr != nil {
 					return n.classifyConnErr(ctx, werr, succ, peer.Addr, quiet)
 				}
 				sentView = v.version

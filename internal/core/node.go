@@ -80,6 +80,14 @@ type NodeConfig struct {
 	// detection, rewiring, gap fetches). Nil disables tracing. See trace.go.
 	Trace Tracer
 
+	// Join marks this node as a late joiner grafted into a live broadcast:
+	// the grant (from Node.AdmitJoiner or the wire negotiation) carries the
+	// node's assigned index, the full membership at admission, the catch-up
+	// boundary, and the membership view the graft rode in on. The caller
+	// must set Index = Join.Index and Plan.Peers = Join.Peers. See
+	// membership.go.
+	Join *JoinGrant
+
 	// Source input (Index 0 only): either a random-access file...
 	InputFile io.ReaderAt
 	InputSize int64
@@ -117,6 +125,16 @@ type Node struct {
 	viewKick chan struct{}            // nudges the re-graft manager on view changes
 	rates    linkRates                // per-downstream-link drain-rate meters
 	reorg    *reorganizer             // node 0 only: the planner
+
+	// Dynamic membership (membership.go): members, when non-nil, supersedes
+	// Plan.Peers as the peer table — it is only ever extended (under mu),
+	// never shrunk or reordered, so a loaded snapshot stays valid forever.
+	// basePeers is the size of the start plan: indices below it are the
+	// original members every pre-JOIN frame layout assumes.
+	members   atomic.Pointer[[]Peer]
+	basePeers int
+	closing   bool       // node 0: ring is closing, no further joins
+	joinSt    *joinState // late joiner only: catch-up / backlog state
 
 	mu            sync.Mutex
 	detected      []Failure
@@ -220,17 +238,32 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		// NewNode with one is a caller bug, not a plan error.
 		return nil, err
 	}
+	if cfg.Join != nil {
+		if cfg.Index != cfg.Join.Index || cfg.Index == 0 {
+			return nil, fmt.Errorf("kascade: joiner index %d does not match grant index %d", cfg.Index, cfg.Join.Index)
+		}
+		if !cfg.Plan.Opts.Rerank || treeK <= 1 {
+			return nil, ErrJoinRefused("late join requires a re-ranking tree topology")
+		}
+		if len(cfg.Join.Occupants) != len(cfg.Plan.Peers) {
+			return nil, fmt.Errorf("kascade: joiner grant view has %d slots for %d peers", len(cfg.Join.Occupants), len(cfg.Plan.Peers))
+		}
+		if cfg.Join.BasePeers <= 0 || cfg.Join.BasePeers > len(cfg.Plan.Peers) {
+			return nil, fmt.Errorf("kascade: joiner grant base plan size %d out of range", cfg.Join.BasePeers)
+		}
+	}
 	opts := cfg.Plan.Opts.withDefaults()
 	n := &Node{
-		cfg:     cfg,
-		opts:    opts,
-		clk:     opts.Clock,
-		sid:     cfg.Plan.Session,
-		treeK:   treeK,
-		upConns: make(chan *upstreamConn, 4),
-		reportC: make(chan struct{}),
-		passedC: make(chan struct{}),
-		ringC:   make(chan struct{}),
+		cfg:       cfg,
+		opts:      opts,
+		clk:       opts.Clock,
+		sid:       cfg.Plan.Session,
+		treeK:     treeK,
+		basePeers: len(cfg.Plan.Peers),
+		upConns:   make(chan *upstreamConn, 4),
+		reportC:   make(chan struct{}),
+		passedC:   make(chan struct{}),
+		ringC:     make(chan struct{}),
 	}
 	if spliceEligible(&cfg, &opts) {
 		n.splice = &spliceGate{}
@@ -242,6 +275,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		if cfg.Index == 0 {
 			n.reorg = newReorganizer(n)
 		}
+	}
+	if g := cfg.Join; g != nil {
+		// The joiner starts from the granted membership view, not the
+		// identity permutation: prior re-rankings are baked into the
+		// occupant table the graft rode in on.
+		n.basePeers = g.BasePeers
+		occ := append([]int32(nil), g.Occupants...)
+		n.view.Store(viewFromOccupants(g.Version, occ))
+		n.joinSt = newJoinState(cfg.Sink, g.Head, int64(opts.PoolReservation()), opts.ChunkSize)
 	}
 	if cfg.Index == 0 {
 		// The sender originates the report chain: its own report is
@@ -271,6 +313,12 @@ func (n *Node) prepare() error {
 	} else {
 		n.ws = newWindowStore(n.opts.ChunkSize, n.opts.WindowChunks, n.pool)
 		n.st = n.ws
+		if g := n.cfg.Join; g != nil {
+			// A late joiner's live window starts at the catch-up boundary:
+			// everything before it is backfilled from node 0 instead of
+			// flowing through the replay window.
+			n.ws.rebase(g.Head)
+		}
 	}
 	if n.cfg.Engine != nil {
 		if n.treeK == 1 {
@@ -348,8 +396,48 @@ func (n *Node) AbandonReason() string {
 }
 
 func (n *Node) me() Peer { return n.cfg.Plan.Peers[n.cfg.Index] }
+
+// peers returns the current membership: the start plan until a late joiner
+// is admitted, then the extended member table. The returned slice is an
+// immutable snapshot — extension replaces the pointer, never mutates.
 func (n *Node) peers() []Peer {
+	if m := n.members.Load(); m != nil {
+		return *m
+	}
 	return n.cfg.Plan.Peers
+}
+
+// addMembers extends the membership table with peers learned from a grant
+// or a REORG2 frame. Entries must be indexed contiguously from the current
+// size; stale entries (already known) are ignored, gapped ones rejected.
+func (n *Node) addMembers(ms []wireMember) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addMembersLocked(ms)
+}
+
+func (n *Node) addMembersLocked(ms []wireMember) error {
+	cur := n.peers()
+	grown := false
+	ext := cur
+	for _, m := range ms {
+		switch {
+		case m.Index < len(ext):
+			continue // already known
+		case m.Index == len(ext):
+			if !grown {
+				ext = append(make([]Peer, 0, len(cur)+len(ms)), cur...)
+				grown = true
+			}
+			ext = append(ext, Peer{Name: m.Name, Addr: m.Addr})
+		default:
+			return fmt.Errorf("kascade: member table gap: entry %d with %d members known", m.Index, len(ext))
+		}
+	}
+	if grown {
+		n.members.Store(&ext)
+	}
+	return nil
 }
 
 // newWire wraps a connection with this node's clock as deadline source.
@@ -364,6 +452,13 @@ func (n *Node) newWire(c transport.Conn) *wire {
 // to close its ring before hard shutdown.
 func (n *Node) Run(ctx context.Context) (*Report, error) {
 	rep, err := n.run(ctx)
+	if err != nil && n.joinSt != nil {
+		// A failed catch-up surfaces as a generic abandon through the
+		// store; prefer the typed membership error recorded at the source.
+		if jerr := n.joinSt.failure(); jerr != nil {
+			err = jerr
+		}
+	}
 	detail := ""
 	if err != nil {
 		detail = err.Error()
@@ -430,6 +525,10 @@ func (n *Node) run(ctx context.Context) (*Report, error) {
 
 	if n.rerank && n.cfg.Index > 0 {
 		go n.runRateSpoke(ictx)
+	}
+
+	if n.joinSt != nil {
+		go n.runCatchUp(ictx)
 	}
 
 	upErrC := make(chan error, 1)

@@ -248,37 +248,49 @@ const (
 	TransportUDP = "udp"
 )
 
+// validateShape checks the transport × topology × options combination —
+// the shape rules shared by SessionConfig.Validate (before addresses are
+// bound) and Plan.Validate (resolved wire plans). Address checks stay
+// with the caller: only resolved plans have addresses worth validating.
+func validateShape(transport, topology string, opts Options) error {
+	switch transport {
+	case "", TransportTCP, TransportUDP:
+	default:
+		return fmt.Errorf("kascade: unknown transport %q", transport)
+	}
+	if topology != TopologyScatterAllgather {
+		k, err := TreeArity(topology)
+		if err != nil {
+			return err
+		}
+		if k > 1 && transport == TransportUDP {
+			return fmt.Errorf("kascade: udp transport already fans out from the sender; it cannot carry topology %q", topology)
+		}
+		if opts.Rerank && k <= 1 {
+			return fmt.Errorf("kascade: rerank requires a tree topology (tree:<k>, k >= 2), not %q", topology)
+		}
+	} else if transport == TransportUDP {
+		return fmt.Errorf("kascade: udp transport cannot carry topology %q", topology)
+	} else if opts.Rerank {
+		return fmt.Errorf("kascade: rerank requires a tree topology (tree:<k>, k >= 2), not %q", topology)
+	}
+	return opts.Validate()
+}
+
 // Validate checks the plan is runnable.
 func (p *Plan) Validate() error {
 	if len(p.Peers) == 0 {
 		return fmt.Errorf("kascade: empty plan")
 	}
-	switch p.Transport {
-	case "", TransportTCP:
-	case TransportUDP:
+	if err := validateShape(p.Transport, p.Topology, p.Opts); err != nil {
+		return err
+	}
+	if p.Transport == TransportUDP {
 		for i, peer := range p.Peers {
 			if peer.PacketAddr == "" {
 				return fmt.Errorf("kascade: udp transport: peer %d (%s) has no packet address", i, peer.Name)
 			}
 		}
-	default:
-		return fmt.Errorf("kascade: unknown transport %q", p.Transport)
-	}
-	if p.Topology != TopologyScatterAllgather {
-		k, err := TreeArity(p.Topology)
-		if err != nil {
-			return err
-		}
-		if k > 1 && p.Transport == TransportUDP {
-			return fmt.Errorf("kascade: udp transport already fans out from the sender; it cannot carry topology %q", p.Topology)
-		}
-		if p.Opts.Rerank && k <= 1 {
-			return fmt.Errorf("kascade: rerank requires a tree topology (tree:<k>, k >= 2), not %q", p.Topology)
-		}
-	} else if p.Transport == TransportUDP {
-		return fmt.Errorf("kascade: udp transport cannot carry topology %q", p.Topology)
-	} else if p.Opts.Rerank {
-		return fmt.Errorf("kascade: rerank requires a tree topology (tree:<k>, k >= 2), not %q", p.Topology)
 	}
 	seen := make(map[string]bool, len(p.Peers))
 	for i, peer := range p.Peers {
@@ -290,5 +302,5 @@ func (p *Plan) Validate() error {
 		}
 		seen[peer.Addr] = true
 	}
-	return p.Opts.Validate()
+	return nil
 }

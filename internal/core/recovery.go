@@ -132,10 +132,25 @@ func (n *Node) acceptReplacement(cur, repl *upstreamConn) bool {
 func (n *Node) absorbReorgProof(repl *upstreamConn) uint64 {
 	repl.w.setReadDeadlineIn(n.opts.GetTimeout)
 	typ, err := repl.w.readType()
-	if err != nil || typ != MsgReorg {
+	if err != nil {
 		return 0
 	}
-	version, occ, err := repl.w.readReorg()
+	var version uint64
+	var occ []int32
+	switch typ {
+	case MsgReorg:
+		version, occ, err = repl.w.readReorg()
+	case MsgReorg2:
+		// Wide proof: the view references slots past the start plan, so
+		// the member table rides along and must land first.
+		var members []wireMember
+		version, occ, members, err = repl.w.readReorg2()
+		if err == nil {
+			err = n.addMembers(members)
+		}
+	default:
+		return 0
+	}
 	if err != nil || version == 0 {
 		return 0
 	}
@@ -293,14 +308,13 @@ func (n *Node) serveUpstream(ctx context.Context, uc *upstreamConn) (*upstreamCo
 			if err := w.writeGet(n.st.Head()); err != nil {
 				return nil, nil
 			}
-		case MsgReorg:
+		case MsgReorg, MsgReorg2:
 			// A new view, piggybacked on the data stream (or the dial-time
 			// proof of a connection accepted without replacement judgement).
-			version, occ, err := w.readReorg()
-			if err != nil {
+			// The wide variant carries the member table for late joiners.
+			if err := n.readViewFrame(w, typ); err != nil {
 				return nil, nil
 			}
-			n.installWireView(version, occ)
 		case MsgReport:
 			rep, err := w.readReport()
 			if err != nil {

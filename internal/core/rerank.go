@@ -55,8 +55,34 @@ func identityView(np int) *treeView {
 	return v
 }
 
-// parentOf returns the node currently feeding `node` (-1 for the root).
+// viewFromOccupants builds an immutable view from an occupant table
+// (callers own occ; it is not copied).
+func viewFromOccupants(version uint64, occ []int32) *treeView {
+	v := &treeView{version: version, occupant: occ, slotOf: make([]int32, len(occ))}
+	for s, o := range occ {
+		v.slotOf[o] = int32(s)
+	}
+	return v
+}
+
+// unknownDepth is reported for a node a view has no slot for (a joiner
+// admitted after the view was cut): deeper than anything real, so depth
+// comparisons treat the unknown node as the least-attractive parent.
+const unknownDepth = 1 << 30
+
+// knows reports whether the view has a slot for node. Views and the
+// member table can briefly disagree while a membership extension
+// propagates, so every slot lookup is bounds-checked through here.
+func (v *treeView) knows(node int) bool {
+	return node >= 0 && node < len(v.slotOf)
+}
+
+// parentOf returns the node currently feeding `node` (-1 for the root or
+// a node this view has no slot for).
 func (v *treeView) parentOf(node, k int) int {
+	if !v.knows(node) {
+		return -1
+	}
 	ps := treeParent(int(v.slotOf[node]), k)
 	if ps < 0 {
 		return -1
@@ -64,9 +90,13 @@ func (v *treeView) parentOf(node, k int) int {
 	return int(v.occupant[ps])
 }
 
-// childrenOf returns the nodes `node` currently feeds.
-func (v *treeView) childrenOf(node, k, np int) []int {
-	slots := treeChildren(int(v.slotOf[node]), k, np)
+// childrenOf returns the nodes `node` currently feeds. The tree shape is
+// the view's own slot count — membership may already be larger.
+func (v *treeView) childrenOf(node, k int) []int {
+	if !v.knows(node) {
+		return nil
+	}
+	slots := treeChildren(int(v.slotOf[node]), k, len(v.occupant))
 	if len(slots) == 0 {
 		return nil
 	}
@@ -79,6 +109,9 @@ func (v *treeView) childrenOf(node, k, np int) []int {
 
 // depthOf returns `node`'s current distance from the root.
 func (v *treeView) depthOf(node, k int) int {
+	if !v.knows(node) {
+		return unknownDepth
+	}
 	return treeDepth(int(v.slotOf[node]), k)
 }
 
@@ -102,26 +135,67 @@ func (n *Node) installView(v *treeView) bool {
 
 // installWireView validates and installs a view received off the wire.
 // Anything that is not a permutation keeping node 0 in slot 0 is dropped.
+// The slot count may exceed the start plan (late joiners) but never the
+// member table — REORG2 installs the members first.
 func (n *Node) installWireView(version uint64, occ []int32) bool {
 	if !n.rerank {
 		return false
 	}
-	np := len(n.peers())
-	if len(occ) != np || occ[0] != 0 {
+	if len(occ) < n.basePeers || len(occ) > len(n.peers()) {
 		return false
 	}
-	seen := make([]bool, np)
+	if len(occ) == 0 || occ[0] != 0 {
+		return false
+	}
+	seen := make([]bool, len(occ))
 	for _, o := range occ {
-		if o < 0 || int(o) >= np || seen[o] {
+		if o < 0 || int(o) >= len(occ) || seen[o] {
 			return false
 		}
 		seen[o] = true
 	}
-	v := &treeView{version: version, occupant: occ, slotOf: make([]int32, np)}
-	for s, o := range occ {
-		v.slotOf[o] = int32(s)
+	return n.installView(viewFromOccupants(version, occ))
+}
+
+// writeView frames the view for the wire: a plain REORG while the view
+// fits the start plan (byte-identical to the pre-JOIN protocol), REORG2
+// carrying the member table once late joiners hold slots beyond it.
+func (n *Node) writeView(w *wire, v *treeView) error {
+	if len(v.occupant) <= n.basePeers {
+		return w.writeReorg(v.version, v.occupant)
 	}
-	return n.installView(v)
+	peers := n.peers()
+	members := make([]wireMember, 0, len(v.occupant)-n.basePeers)
+	for i := n.basePeers; i < len(v.occupant) && i < len(peers); i++ {
+		members = append(members, wireMember{Index: i, Name: peers[i].Name, Addr: peers[i].Addr})
+	}
+	return w.writeReorg2(v.version, v.occupant, members)
+}
+
+// readViewFrame absorbs the body of a REORG or REORG2 frame (typ, already
+// read) and installs the view it carries; REORG2 extends the member table
+// first so the view never references an unknown peer.
+func (n *Node) readViewFrame(w *wire, typ MsgType) error {
+	switch typ {
+	case MsgReorg:
+		version, occ, err := w.readReorg()
+		if err != nil {
+			return err
+		}
+		n.installWireView(version, occ)
+	case MsgReorg2:
+		version, occ, members, err := w.readReorg2()
+		if err != nil {
+			return err
+		}
+		if err := n.addMembers(members); err != nil {
+			return err
+		}
+		n.installWireView(version, occ)
+	default:
+		return &errProtocol{want: MsgReorg, got: typ}
+	}
+	return nil
 }
 
 // kickRerank nudges the re-graft manager to reconcile against the
@@ -257,12 +331,11 @@ func (n *Node) sendRateReport(ingest float64) {
 		return
 	}
 	w.setReadDeadlineIn(n.opts.GetTimeout)
-	if typ, err := w.readType(); err != nil || typ != MsgReorg {
+	typ, err := w.readType()
+	if err != nil {
 		return
 	}
-	if version, occ, err := w.readReorg(); err == nil {
-		n.installWireView(version, occ)
-	}
+	_ = n.readViewFrame(w, typ)
 }
 
 // serveRateSpoke is node 0's side of one RATE spoke connection: fold the
@@ -281,7 +354,7 @@ func (n *Node) serveRateSpoke(w *wire) {
 	n.reorg.fold(rep)
 	v := n.curView()
 	w.setWriteDeadlineIn(n.opts.GetTimeout)
-	_ = w.writeReorg(v.version, v.occupant)
+	_ = n.writeView(w, v)
 }
 
 // reorganizer is node 0's planning state: the latest rate report per
@@ -416,8 +489,11 @@ const rerankEndSlack = 8
 // churn; blocked candidates count as suppressed.
 func (g *reorganizer) replanLocked() {
 	n := g.n
-	np := len(n.peers())
 	v := n.curView()
+	// The tree shape is the view's slot count, not the member table's:
+	// a just-admitted joiner may already be a member while this plan
+	// generation predates its slot.
+	np := len(v.occupant)
 
 	// Freeze near EOF: node 0 knows the stream end, and the spokes carry
 	// each reporter's ingest progress. Once even the laggard is within
@@ -482,6 +558,9 @@ func (g *reorganizer) replanLocked() {
 		if n.isFailedPeer(x) {
 			continue // crash recovery owns dead nodes
 		}
+		if x >= n.basePeers {
+			continue // late joiners are leaf-pinned: never demoted or promoted
+		}
 		if finished(x) {
 			continue
 		}
@@ -516,7 +595,7 @@ func (g *reorganizer) replanLocked() {
 		kids := treeChildren(slot, n.treeK, np)
 		if len(kids) == 0 {
 			occ := int(v.occupant[slot])
-			if occ == worst || occ == 0 || n.isFailedPeer(occ) {
+			if occ == worst || occ == 0 || occ >= n.basePeers || n.isFailedPeer(occ) {
 				return
 			}
 			// A partner takes on children: require a live mid-stream
@@ -572,10 +651,9 @@ func (g *reorganizer) replanLocked() {
 // child is released instead of being chased.
 func (n *Node) rerankServes(target int) bool {
 	v := n.curView()
-	np := len(n.peers())
 	var walk func(node int) bool
 	walk = func(node int) bool {
-		for _, c := range v.childrenOf(node, n.treeK, np) {
+		for _, c := range v.childrenOf(node, n.treeK) {
 			if c == target {
 				return true
 			}
@@ -602,7 +680,6 @@ func (n *Node) rerankFinished(peer int) bool {
 // and targets deferred until a newer view.
 func (n *Node) desiredRerankTargets(completed map[int]bool, deferred map[int]uint64) []int {
 	v := n.curView()
-	np := len(n.peers())
 	var out []int
 	seen := make(map[int]bool)
 	var expand func(target int)
@@ -612,7 +689,7 @@ func (n *Node) desiredRerankTargets(completed map[int]bool, deferred map[int]uin
 		}
 		seen[target] = true
 		if n.isFailedPeer(target) {
-			for _, g := range v.childrenOf(target, n.treeK, np) {
+			for _, g := range v.childrenOf(target, n.treeK) {
 				expand(g)
 			}
 			return
@@ -625,7 +702,7 @@ func (n *Node) desiredRerankTargets(completed map[int]bool, deferred map[int]uin
 		}
 		out = append(out, target)
 	}
-	for _, c := range v.childrenOf(n.cfg.Index, n.treeK, np) {
+	for _, c := range v.childrenOf(n.cfg.Index, n.treeK) {
 		expand(c)
 	}
 	return out
@@ -648,7 +725,19 @@ func (n *Node) runRerankManager(ctx context.Context) error {
 		outcome serveOutcome
 		err     error
 	}
+	// Late joiners can grow the worker set past the start membership, so
+	// worker exits must never rely on buffer capacity: sends block until
+	// the manager (which drains continuously) takes them, and a sentinel
+	// releases stragglers once the manager has returned.
 	exitc := make(chan exit, len(n.peers()))
+	mgrDone := make(chan struct{})
+	defer close(mgrDone)
+	post := func(ex exit) {
+		select {
+		case exitc <- ex:
+		case <-mgrDone:
+		}
+	}
 	running := make(map[int]bool)
 	completed := make(map[int]bool)
 	deferred := make(map[int]uint64)
@@ -672,15 +761,15 @@ func (n *Node) runRerankManager(ctx context.Context) error {
 			retries := 0
 			for {
 				if err := tctx.Err(); err != nil {
-					exitc <- exit{target, outcomeTerminal, err}
+					post(exit{target, outcomeTerminal, err})
 					return
 				}
 				if n.isFailedPeer(target) {
-					exitc <- exit{target, outcomeDead, nil}
+					post(exit{target, outcomeDead, nil})
 					return
 				}
 				if !n.rerankServes(target) {
-					exitc <- exit{target, outcomeSuperseded, nil}
+					post(exit{target, outcomeSuperseded, nil})
 					return
 				}
 				// Report-phase adoptive dials are quiet: a child that
@@ -690,7 +779,7 @@ func (n *Node) runRerankManager(ctx context.Context) error {
 				outcome, err := n.serveSuccessor(tctx, target, cur, quiet)
 				switch outcome {
 				case outcomeDone, outcomeDead, outcomeSuperseded:
-					exitc <- exit{target, outcome, nil}
+					post(exit{target, outcome, nil})
 					return
 				case outcomeRetry:
 					retries++
@@ -699,10 +788,10 @@ func (n *Node) runRerankManager(ctx context.Context) error {
 						retries = 0
 					}
 				case outcomeTerminal:
-					exitc <- exit{target, outcomeTerminal, err}
+					post(exit{target, outcomeTerminal, err})
 					return
 				default:
-					exitc <- exit{target, outcomeTerminal, fmt.Errorf("kascade: internal: unexpected outcome %d", outcome)}
+					post(exit{target, outcomeTerminal, fmt.Errorf("kascade: internal: unexpected outcome %d", outcome)})
 					return
 				}
 			}
@@ -730,7 +819,16 @@ func (n *Node) runRerankManager(ctx context.Context) error {
 			// A childless node may yet be promoted; it settles only once
 			// the report phase began (planning is frozen by then).
 			if reportSeen() && len(desired) == 0 {
-				break
+				// Bar further joins before committing to settle, then
+				// re-check once: a joiner grafted between the desired
+				// computation and here must be served, not starved.
+				n.mu.Lock()
+				n.closing = true
+				n.mu.Unlock()
+				if len(n.desiredRerankTargets(completed, deferred)) == 0 {
+					break
+				}
+				continue
 			}
 		}
 		timer := n.clk.NewTimer(n.opts.RerankInterval)
@@ -762,6 +860,14 @@ func (n *Node) runRerankManager(ctx context.Context) error {
 			}
 		}
 		timer.Stop()
+	}
+
+	// A late joiner must not certify the broadcast until its catch-up
+	// backfill reached parity: its PASSED (and hence the session end)
+	// waits here. Node 0's manager is still live meanwhile, so catch-up
+	// fetches keep being served. No-op for everyone else.
+	if err := n.awaitCatchUp(ctx); err != nil {
+		return err
 	}
 
 	if done == 0 {

@@ -64,6 +64,26 @@ type SessionConfig struct {
 	Trace Tracer
 }
 
+// Validate checks the session configuration before any listener binds.
+// It is the lifecycle API's single validation front door: the structural
+// wiring (peers, network/engine hooks) and the transport × topology ×
+// options shape that Options.Validate and Plan.Validate used to split
+// between them. Address checks are deliberately absent — peers may carry
+// empty or duplicate addresses until StartSession resolves ephemeral
+// binds, after which the derived Plan re-validates with addresses.
+func (cfg *SessionConfig) Validate() error {
+	if len(cfg.Peers) == 0 {
+		return fmt.Errorf("kascade: session needs at least the sender")
+	}
+	if cfg.NetworkFor == nil {
+		return fmt.Errorf("kascade: session needs a NetworkFor function")
+	}
+	if cfg.EngineFor != nil && cfg.Session == 0 {
+		return fmt.Errorf("kascade: engine-attached sessions need a non-zero session ID")
+	}
+	return validateShape(cfg.Transport, cfg.Topology, cfg.Opts)
+}
+
 // SessionResult aggregates the outcome of an in-process broadcast.
 type SessionResult struct {
 	// Report is the sender's final ring report.
@@ -119,14 +139,8 @@ func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) 
 // StartSession binds listeners, builds the nodes and launches them, then
 // returns immediately with the live session.
 func StartSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
-	if len(cfg.Peers) == 0 {
-		return nil, fmt.Errorf("kascade: session needs at least the sender")
-	}
-	if cfg.NetworkFor == nil {
-		return nil, fmt.Errorf("kascade: session needs a NetworkFor function")
-	}
-	if cfg.EngineFor != nil && cfg.Session == 0 {
-		return nil, fmt.Errorf("kascade: engine-attached sessions need a non-zero session ID")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	peers := append([]Peer(nil), cfg.Peers...)
 
@@ -258,6 +272,141 @@ func packetBindAddr(streamAddr string) string {
 		return streamAddr[:i+1] + "0"
 	}
 	return streamAddr + ":0"
+}
+
+// JoinConfig describes one late joiner of an in-process session: the
+// same lifecycle surface as SessionConfig, scoped to a single peer.
+type JoinConfig struct {
+	// Peer names the joiner; its Addr may be empty or ephemeral and is
+	// resolved at bind time (ignored when Engine is set — the engine's
+	// shared data address is used).
+	Peer Peer
+	// Network is the joiner's network view.
+	Network transport.Network
+	// Engine, when set, attaches the joiner to a shared per-process
+	// engine: its admission (accept/queue/refuse, typed *AdmissionError)
+	// runs before the graft, and the engine's listener carries the
+	// joiner's connections.
+	Engine *Engine
+	// Sink receives the complete payload (catch-up bytes first, in
+	// order); nil discards.
+	Sink io.Writer
+	// Trace observes the joiner's recovery-path transitions; nil falls
+	// back to untraced.
+	Trace Tracer
+}
+
+// JoinHandle tracks one admitted late joiner to completion.
+type JoinHandle struct {
+	// Node is the joiner's live pipeline member.
+	Node *Node
+	// Grant is the planner's admission ticket (index, membership,
+	// catch-up boundary).
+	Grant *JoinGrant
+
+	done chan struct{}
+	rep  *Report
+	err  error
+}
+
+// Wait blocks until the joiner finished its protocol epilogue (which
+// includes catch-up parity: a joiner never certifies a partial sink).
+func (h *JoinHandle) Wait() (*Report, error) {
+	<-h.done
+	return h.rep, h.err
+}
+
+// Err returns the joiner's terminal error once finished; nil before.
+func (h *JoinHandle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// Join admits a late joiner into the live broadcast and runs it to
+// completion in the background. The admission reuses the engine's
+// accept/queue/refuse semantics when the joiner is engine-attached
+// (typed *AdmissionError on refusal), then grafts the joiner onto the
+// dissemination tree via the planner on node 0 — typed failures:
+// *JoinRefusedError when the session cannot take joiners,
+// ErrSessionEnded once the broadcast closed its ring. The session's
+// Wait is unaffected: joiner outcomes live on the returned handle.
+func (s *Session) Join(ctx context.Context, jc JoinConfig) (*JoinHandle, error) {
+	if jc.Network == nil && jc.Engine == nil {
+		return nil, fmt.Errorf("kascade: join needs a Network or an Engine")
+	}
+	if len(s.Nodes) == 0 {
+		return nil, ErrSessionEnded
+	}
+	opts := s.Plan.Opts
+
+	// Local resource admission first (accept/queue/refuse), so a joiner
+	// the host cannot carry never perturbs the session.
+	var ticket *Ticket
+	if jc.Engine != nil {
+		ticket = jc.Engine.AdmitClass(s.Plan.Session, opts.PoolReservation(), opts.Class)
+		if _, err := ticket.Wait(ctx); err != nil {
+			return nil, err
+		}
+	}
+	fail := func(err error) (*JoinHandle, error) {
+		if ticket != nil {
+			ticket.Cancel()
+		}
+		return nil, err
+	}
+
+	// Resolve the joiner's address before the graft: it enters the
+	// member table with the grant.
+	peer := jc.Peer
+	var lst transport.Listener
+	if jc.Engine != nil {
+		peer.Addr = jc.Engine.Addr()
+	} else {
+		l, err := jc.Network.Listen(peer.Addr)
+		if err != nil {
+			return fail(fmt.Errorf("kascade: binding joiner %s: %w", peer.Addr, err))
+		}
+		lst = l
+		peer.Addr = l.Addr()
+	}
+	cleanup := func(err error) (*JoinHandle, error) {
+		if lst != nil {
+			lst.Close()
+		}
+		return fail(err)
+	}
+
+	grant, err := s.Nodes[0].AdmitJoiner(peer)
+	if err != nil {
+		return cleanup(err)
+	}
+
+	plan := s.Plan
+	plan.Peers = grant.Peers
+	nc := NodeConfig{
+		Index:    grant.Index,
+		Plan:     plan,
+		Join:     grant,
+		Network:  jc.Network,
+		Listener: lst,
+		Engine:   jc.Engine,
+		Sink:     jc.Sink,
+		Trace:    jc.Trace,
+	}
+	n, err := NewNode(nc)
+	if err != nil {
+		return cleanup(err)
+	}
+	h := &JoinHandle{Node: n, Grant: grant, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.rep, h.err = n.Run(ctx)
+	}()
+	return h, nil
 }
 
 // Wait blocks until every node finished and returns the aggregate result.

@@ -476,6 +476,19 @@ func (s *windowStore) recycle() {
 	s.mu.Unlock()
 }
 
+// rebase positions an empty window at off (chunk-aligned): a late
+// joiner's live stream starts at its catch-up boundary, not at zero.
+// Must run before the first Append.
+func (s *windowStore) rebase(off uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base = off
+	s.head = off
+	if s.lowWater < off {
+		s.lowWater = off
+	}
+}
+
 // Base returns the smallest retained offset (for tests and diagnostics).
 func (s *windowStore) Base() uint64 {
 	s.mu.Lock()

@@ -40,6 +40,9 @@ const (
 	// TraceReorg fires at node 0 when a re-ranking migration is planned;
 	// Peer is the demoted node's index, Offset the new view version.
 	TraceReorg
+	// TraceJoin fires at node 0 when a late joiner is admitted; Peer is
+	// the joiner's new pipeline index, Offset its catch-up boundary.
+	TraceJoin
 )
 
 func (k TraceKind) String() string {
@@ -64,6 +67,8 @@ func (k TraceKind) String() string {
 		return "finished"
 	case TraceReorg:
 		return "reorg"
+	case TraceJoin:
+		return "join"
 	default:
 		return "trace(?)"
 	}

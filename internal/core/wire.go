@@ -31,6 +31,11 @@ const (
 	MsgHello2                    // HELLO v2: role + node index + session ID
 	MsgReorg                     // view version + slot assignment: tree re-ranking plan
 	MsgRate                      // length + JSON link-rate report (reorg spoke)
+	MsgReorg2                    // REORG plus the member table for slots beyond the start plan
+	MsgJoin                      // length + JSON join request (late joiner → node 0)
+	MsgJoinInfo                  // length + JSON session descriptor (node 0 → joiner, pre-admission)
+	MsgJoinGo                    // joiner passed local admission; node 0 may graft
+	MsgJoinOK                    // length + JSON join grant (node 0 → joiner)
 )
 
 func (m MsgType) String() string {
@@ -63,6 +68,16 @@ func (m MsgType) String() string {
 		return "REORG"
 	case MsgRate:
 		return "RATE"
+	case MsgReorg2:
+		return "REORG2"
+	case MsgJoin:
+		return "JOIN"
+	case MsgJoinInfo:
+		return "JOININFO"
+	case MsgJoinGo:
+		return "JOINGO"
+	case MsgJoinOK:
+		return "JOINOK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(m))
 	}
@@ -77,6 +92,7 @@ const (
 	RoleFetch                  // PGET gap fetch directed at node 1 (§III-D2)
 	RoleReport                 // ring-closing report delivery from the last node to node 1
 	RoleRate                   // link-rate report spoke to node 0 (self-reorganization)
+	RoleJoin                   // late-join admission conversation directed at node 0
 )
 
 func (r Role) String() string {
@@ -91,6 +107,8 @@ func (r Role) String() string {
 		return "report"
 	case RoleRate:
 		return "rate"
+	case RoleJoin:
+		return "join"
 	default:
 		return fmt.Sprintf("Role(%d)", byte(r))
 	}
@@ -456,6 +474,111 @@ func (w *wire) writeReorg(version uint64, occupants []int32) error {
 		binary.BigEndian.PutUint32(buf[4*i:], uint32(o))
 	}
 	return w.writeAll(buf)
+}
+
+// wireMember names a membership slot learned over the wire. Late joiners
+// are appended to the broadcast membership after START, so any view that
+// references slots beyond the start plan must carry the index→peer mapping
+// itself (readers admitted at START only know the original plan).
+type wireMember struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+}
+
+// maxReorgMembers bounds the member table accepted from the wire.
+const maxReorgMembers = 1 << 16
+
+// writeReorg2 frames a re-ranking plan together with the member table for
+// the slots past the start plan — the dynamic-membership superset of
+// writeReorg. Sessions that never admit a joiner never emit this frame,
+// keeping their byte stream identical to the pre-JOIN protocol.
+func (w *wire) writeReorg2(version uint64, occupants []int32, members []wireMember) error {
+	payload, err := json.Marshal(members)
+	if err != nil {
+		return fmt.Errorf("kascade: encoding member table: %w", err)
+	}
+	w.hdr[0] = byte(MsgReorg2)
+	binary.BigEndian.PutUint64(w.hdr[1:9], version)
+	binary.BigEndian.PutUint32(w.hdr[9:13], uint32(len(occupants)))
+	if err := w.writeAll(w.hdr[:13]); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(occupants))
+	for i, o := range occupants {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(o))
+	}
+	if err := w.writeAll(buf); err != nil {
+		return err
+	}
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(payload)))
+	if err := w.writeAll(lb[:]); err != nil {
+		return err
+	}
+	return w.writeAll(payload)
+}
+
+// readReorg2 parses a REORG2 payload (after the type byte): the REORG body
+// followed by the member table for slots beyond the reader's start plan.
+func (w *wire) readReorg2() (uint64, []int32, []wireMember, error) {
+	version, occ, err := w.readReorg()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	size, err := w.readUint32()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if size > maxFrameData {
+		return 0, nil, nil, fmt.Errorf("kascade: REORG2 member table of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if err := w.readFull(payload); err != nil {
+		return 0, nil, nil, err
+	}
+	var members []wireMember
+	if err := json.Unmarshal(payload, &members); err != nil {
+		return 0, nil, nil, fmt.Errorf("kascade: bad member table payload: %w", err)
+	}
+	if len(members) > maxReorgMembers {
+		return 0, nil, nil, fmt.Errorf("kascade: member table with %d entries exceeds limit", len(members))
+	}
+	return version, occ, members, nil
+}
+
+// writeJSON frames a small JSON payload under the given type byte, in the
+// same length-prefixed layout as REPORT and RATE frames.
+func (w *wire) writeJSON(t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("kascade: encoding %v payload: %w", t, err)
+	}
+	w.hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(w.hdr[1:5], uint32(len(payload)))
+	if err := w.writeAll(w.hdr[:5]); err != nil {
+		return err
+	}
+	return w.writeAll(payload)
+}
+
+// readJSON parses a length-prefixed JSON payload (after the type byte).
+func (w *wire) readJSON(v any) error {
+	size, err := w.readUint32()
+	if err != nil {
+		return err
+	}
+	if size > maxFrameData {
+		return fmt.Errorf("kascade: JSON frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if err := w.readFull(payload); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("kascade: bad frame payload: %w", err)
+	}
+	return nil
 }
 
 func (w *wire) writeRateReport(r *rateReport) error {

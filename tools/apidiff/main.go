@@ -1,0 +1,387 @@
+// Command apidiff dumps and diffs the exported API surface of Go packages
+// using nothing but the standard library's go/parser, so it runs in CI with
+// no module downloads.
+//
+// Dump mode prints one line per exported symbol, sorted, in a stable
+// normalized form:
+//
+//	apidiff dump ./internal/core ./internal/control > old.api
+//
+// Diff mode compares two dumps and classifies every difference:
+//
+//	apidiff diff old.api new.api
+//
+// Additions are reported but benign (exit 0). Removals and changes are
+// breaking (exit 1) — the CI job then checks whether the PR documents them
+// in API_CHANGES.md before deciding to fail.
+//
+// The normalized form deliberately captures what callers can observe:
+// package path, symbol kind, name, and a rendered type/signature. Unexported
+// struct fields, method bodies, and comments are invisible to it; reordering
+// declarations or struct fields does not change the dump (each field is its
+// own line).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dump":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		lines, err := dumpDirs(os.Args[2:])
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		w.Flush()
+	case "diff":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		breaking, err := diff(os.Args[2], os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		if breaking {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: apidiff dump <pkg-dir>... | apidiff diff <old.api> <new.api>")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apidiff:", err)
+	os.Exit(2)
+}
+
+// dumpDirs parses every non-test .go file in each directory and returns the
+// sorted exported-API lines. Directories that do not exist are skipped (a
+// package may not exist yet at the merge-base).
+func dumpDirs(dirs []string) ([]string, error) {
+	var lines []string
+	for _, dir := range dirs {
+		if _, err := os.Stat(dir); os.IsNotExist(err) {
+			continue
+		}
+		pkgLines, err := dumpDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, pkgLines...)
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func dumpDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	prefix := filepath.ToSlash(filepath.Clean(dir))
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			lines = append(lines, dumpFile(prefix, f)...)
+		}
+	}
+	return lines, nil
+}
+
+// dumpFile emits the exported declarations of one file. Every line is
+// self-contained: "<pkg> <kind> <name>: <rendered form>".
+func dumpFile(pkg string, f *ast.File) []string {
+	var lines []string
+	emit := func(kind, name, detail string) {
+		lines = append(lines, fmt.Sprintf("%s %s %s: %s", pkg, kind, name, detail))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			name := d.Name.Name
+			if d.Recv != nil {
+				recv, exported := recvType(d.Recv)
+				if !exported || !ast.IsExported(name) {
+					continue
+				}
+				emit("method", recv+"."+name, renderFuncType(d.Type))
+			} else if ast.IsExported(name) {
+				emit("func", name, renderFuncType(d.Type))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !ast.IsExported(s.Name.Name) {
+						continue
+					}
+					dumpType(emit, s)
+				case *ast.ValueSpec:
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					for _, n := range s.Names {
+						if !ast.IsExported(n.Name) {
+							continue
+						}
+						detail := render(s.Type)
+						if detail == "" {
+							detail = "(untyped)"
+						}
+						emit(kind, n.Name, detail)
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// dumpType renders a type declaration. Structs and interfaces explode into
+// one line per exported member so a single added field reads as one added
+// line, not a whole-type change.
+func dumpType(emit func(kind, name, detail string), s *ast.TypeSpec) {
+	name := s.Name.Name
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		emit("type", name, "struct")
+		for _, field := range t.Fields.List {
+			ft := render(field.Type)
+			if len(field.Names) == 0 { // embedded
+				base := ft
+				if i := strings.LastIndex(base, "."); i >= 0 {
+					base = base[i+1:]
+				}
+				if ast.IsExported(strings.TrimPrefix(base, "*")) {
+					emit("field", name+"."+strings.TrimPrefix(base, "*"), ft)
+				}
+				continue
+			}
+			for _, fn := range field.Names {
+				if ast.IsExported(fn.Name) {
+					emit("field", name+"."+fn.Name, ft)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		emit("type", name, "interface")
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				emit("embeds", name+"."+render(m.Type), render(m.Type))
+				continue
+			}
+			for _, mn := range m.Names {
+				if ast.IsExported(mn.Name) {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						emit("method", name+"."+mn.Name, renderFuncType(ft))
+					}
+				}
+			}
+		}
+	default:
+		emit("type", name, render(s.Type))
+	}
+}
+
+// recvType returns the receiver's base type name and whether it is exported.
+func recvType(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, ast.IsExported(id.Name)
+	}
+	return "", false
+}
+
+func renderFuncType(ft *ast.FuncType) string {
+	params := renderFieldList(ft.Params)
+	results := renderFieldList(ft.Results)
+	if results == "" {
+		return "func(" + params + ")"
+	}
+	return "func(" + params + ") (" + results + ")"
+}
+
+// renderFieldList renders parameter/result types only — names are dropped,
+// so renaming a parameter is not an API change.
+func renderFieldList(fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		t := render(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// render prints a type expression in a stable, compact form.
+func render(e ast.Expr) string {
+	switch t := e.(type) {
+	case nil:
+		return ""
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return render(t.X) + "." + t.Sel.Name
+	case *ast.StarExpr:
+		return "*" + render(t.X)
+	case *ast.ArrayType:
+		if t.Len != nil {
+			return "[" + render(t.Len) + "]" + render(t.Elt)
+		}
+		return "[]" + render(t.Elt)
+	case *ast.MapType:
+		return "map[" + render(t.Key) + "]" + render(t.Value)
+	case *ast.ChanType:
+		switch t.Dir {
+		case ast.RECV:
+			return "<-chan " + render(t.Value)
+		case ast.SEND:
+			return "chan<- " + render(t.Value)
+		default:
+			return "chan " + render(t.Value)
+		}
+	case *ast.FuncType:
+		return renderFuncType(t)
+	case *ast.Ellipsis:
+		return "..." + render(t.Elt)
+	case *ast.InterfaceType:
+		if len(t.Methods.List) == 0 {
+			return "interface{}"
+		}
+		var ms []string
+		for _, m := range t.Methods.List {
+			ms = append(ms, render(m.Type))
+		}
+		return "interface{" + strings.Join(ms, "; ") + "}"
+	case *ast.StructType:
+		var fs []string
+		for _, f := range t.Fields.List {
+			fs = append(fs, render(f.Type))
+		}
+		return "struct{" + strings.Join(fs, "; ") + "}"
+	case *ast.BasicLit:
+		return t.Value
+	case *ast.IndexExpr:
+		return render(t.X) + "[" + render(t.Index) + "]"
+	case *ast.IndexListExpr:
+		var idx []string
+		for _, i := range t.Indices {
+			idx = append(idx, render(i))
+		}
+		return render(t.X) + "[" + strings.Join(idx, ", ") + "]"
+	case *ast.ParenExpr:
+		return "(" + render(t.X) + ")"
+	case *ast.BinaryExpr: // array lengths like 1 << 20
+		return render(t.X) + " " + t.Op.String() + " " + render(t.Y)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// diff loads two dumps and prints a classified report. A symbol present in
+// both files under the same key but with different detail is "changed"; a
+// key only in old is "removed"; only in new, "added". Returns whether any
+// breaking (removed/changed) difference exists.
+func diff(oldPath, newPath string) (bool, error) {
+	oldAPI, err := loadDump(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newAPI, err := loadDump(newPath)
+	if err != nil {
+		return false, err
+	}
+	var added, removed, changed []string
+	for key, detail := range newAPI {
+		if oldDetail, ok := oldAPI[key]; !ok {
+			added = append(added, key+": "+detail)
+		} else if oldDetail != detail {
+			changed = append(changed, fmt.Sprintf("%s: %s -> %s", key, oldDetail, detail))
+		}
+	}
+	for key, detail := range oldAPI {
+		if _, ok := newAPI[key]; !ok {
+			removed = append(removed, key+": "+detail)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	sort.Strings(changed)
+	for _, l := range added {
+		fmt.Println("+ " + l)
+	}
+	for _, l := range changed {
+		fmt.Println("! " + l)
+	}
+	for _, l := range removed {
+		fmt.Println("- " + l)
+	}
+	fmt.Printf("apidiff: %d added, %d changed, %d removed\n", len(added), len(changed), len(removed))
+	return len(removed)+len(changed) > 0, nil
+}
+
+// loadDump reads a dump file into key -> detail. The key is everything up
+// to the first ": ", which is unique per (package, kind, name).
+func loadDump(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	api := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		key, detail, ok := strings.Cut(line, ": ")
+		if !ok {
+			key, detail = line, ""
+		}
+		api[key] = detail
+	}
+	return api, nil
+}
